@@ -1,0 +1,1518 @@
+//! B+trees over fixed-length byte-comparable keys.
+//!
+//! The paper structures `ParentRel` and `ChildRel` as B-trees on OID (which
+//! "facilitates the merge-join in BFS") and `ClusterRel` as a B-tree on
+//! `cluster#`. Keys here are fixed-length byte strings whose byte order is
+//! the logical order (see [`cor_relational::Oid::to_key_bytes`]); values are
+//! variable-length records.
+//!
+//! Node layout (2 KB page, custom — not the slotted layout):
+//!
+//! ```text
+//! 0..2   count            number of entries
+//! 2..4   free_end         start of the entry heap (grows down)
+//! 4..8   flags            bit 0: leaf
+//! 8..12  next             leaf: next-leaf chain; internal: leftmost child
+//! 12..16 reserved
+//! 16..   directory        4 B per entry: offset u16, vlen u16, sorted by key
+//! ...    free space
+//! ...    entry heap       each entry: key (key_len B) then value (vlen B)
+//! ```
+//!
+//! Inserts are upserts (a second insert of the same key replaces the
+//! value). Deletes merge underfull nodes with a sibling when the pair
+//! fits in one page and collapse the root as levels empty — the paper's
+//! workloads never shrink relations ("in our environment there are no
+//! insertions or deletions"), but a production library must.
+
+use crate::AccessError;
+use cor_pagestore::{BufferPool, PageId, NO_PAGE, PAGE_SIZE};
+use std::cell::Cell;
+use std::sync::Arc;
+
+/// A materialized `(key, value)` entry list.
+pub type Entries = Vec<(Vec<u8>, Vec<u8>)>;
+
+const HDR: usize = 16;
+const DIR: usize = 4;
+
+/// Largest `key + value` size insertable into a B-tree (guarantees any
+/// split leaves room for two entries per node).
+pub const MAX_BTREE_ENTRY: usize = (PAGE_SIZE - HDR) / 2 - DIR;
+
+/// Default leaf fill fraction for bulk loads, mimicking a freshly
+/// `modify`-ed INGRES B-tree.
+pub const DEFAULT_FILL: f64 = 0.9;
+
+// ---------------------------------------------------------------------------
+// Raw node helpers
+// ---------------------------------------------------------------------------
+
+mod node {
+    use super::*;
+
+    pub fn count(d: &[u8]) -> usize {
+        u16::from_le_bytes([d[0], d[1]]) as usize
+    }
+
+    pub fn set_count(d: &mut [u8], n: usize) {
+        d[0..2].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    pub fn free_end(d: &[u8]) -> usize {
+        u16::from_le_bytes([d[2], d[3]]) as usize
+    }
+
+    pub fn set_free_end(d: &mut [u8], v: usize) {
+        d[2..4].copy_from_slice(&(v as u16).to_le_bytes());
+    }
+
+    pub fn is_leaf(d: &[u8]) -> bool {
+        d[4] & 1 == 1
+    }
+
+    pub fn next(d: &[u8]) -> PageId {
+        u32::from_le_bytes([d[8], d[9], d[10], d[11]])
+    }
+
+    pub fn set_next(d: &mut [u8], p: PageId) {
+        d[8..12].copy_from_slice(&p.to_le_bytes());
+    }
+
+    pub fn init(d: &mut [u8], leaf: bool) {
+        d[..HDR].fill(0);
+        set_free_end(d, PAGE_SIZE);
+        d[4] = leaf as u8;
+        set_next(d, NO_PAGE);
+    }
+
+    fn dir_at(i: usize) -> usize {
+        HDR + i * DIR
+    }
+
+    pub fn entry_off(d: &[u8], i: usize) -> usize {
+        let at = dir_at(i);
+        u16::from_le_bytes([d[at], d[at + 1]]) as usize
+    }
+
+    pub fn entry_vlen(d: &[u8], i: usize) -> usize {
+        let at = dir_at(i);
+        u16::from_le_bytes([d[at + 2], d[at + 3]]) as usize
+    }
+
+    pub fn entry_key(d: &[u8], i: usize, key_len: usize) -> &[u8] {
+        let off = entry_off(d, i);
+        &d[off..off + key_len]
+    }
+
+    pub fn entry_val(d: &[u8], i: usize, key_len: usize) -> &[u8] {
+        let off = entry_off(d, i);
+        let vlen = entry_vlen(d, i);
+        &d[off + key_len..off + key_len + vlen]
+    }
+
+    /// Internal-node child pointer stored as the entry value.
+    pub fn entry_child(d: &[u8], i: usize, key_len: usize) -> PageId {
+        let v = entry_val(d, i, key_len);
+        u32::from_le_bytes([v[0], v[1], v[2], v[3]])
+    }
+
+    /// Binary search over the sorted directory.
+    pub fn search(d: &[u8], key: &[u8], key_len: usize) -> Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = count(d);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match entry_key(d, mid, key_len).cmp(key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// Which child should a search for `key` descend into?
+    pub fn find_child(d: &[u8], key: &[u8], key_len: usize) -> PageId {
+        match search(d, key, key_len) {
+            Ok(i) => entry_child(d, i, key_len),
+            Err(0) => next(d), // child0
+            Err(i) => entry_child(d, i - 1, key_len),
+        }
+    }
+
+    pub fn live_bytes(d: &[u8], key_len: usize) -> usize {
+        (0..count(d)).map(|i| key_len + entry_vlen(d, i)).sum()
+    }
+
+    pub fn total_free(d: &[u8], key_len: usize) -> usize {
+        PAGE_SIZE - HDR - count(d) * DIR - live_bytes(d, key_len)
+    }
+
+    pub fn contiguous_free(d: &[u8]) -> usize {
+        free_end(d) - (HDR + count(d) * DIR)
+    }
+
+    /// Rewrite the entry heap contiguously, dropping dead space.
+    pub fn compact(d: &mut [u8], key_len: usize) {
+        let n = count(d);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+            .map(|i| {
+                (
+                    entry_key(d, i, key_len).to_vec(),
+                    entry_val(d, i, key_len).to_vec(),
+                )
+            })
+            .collect();
+        let mut free_end = PAGE_SIZE;
+        for (i, (k, v)) in entries.iter().enumerate() {
+            free_end -= k.len() + v.len();
+            d[free_end..free_end + k.len()].copy_from_slice(k);
+            d[free_end + k.len()..free_end + k.len() + v.len()].copy_from_slice(v);
+            let at = dir_at(i);
+            d[at..at + 2].copy_from_slice(&(free_end as u16).to_le_bytes());
+            d[at + 2..at + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+        }
+        set_free_end(d, free_end);
+    }
+
+    /// Insert `(key, val)` at directory position `i`. The caller must have
+    /// verified `total_free >= key_len + val.len() + DIR`.
+    pub fn insert_entry(d: &mut [u8], i: usize, key: &[u8], val: &[u8], key_len: usize) {
+        debug_assert_eq!(key.len(), key_len);
+        let need = key_len + val.len();
+        if contiguous_free(d) < need + DIR {
+            compact(d, key_len);
+        }
+        debug_assert!(contiguous_free(d) >= need + DIR);
+        let n = count(d);
+        // Shift directory entries [i..n) right by one slot.
+        d.copy_within(dir_at(i)..dir_at(n), dir_at(i + 1));
+        let off = free_end(d) - need;
+        d[off..off + key_len].copy_from_slice(key);
+        d[off + key_len..off + need].copy_from_slice(val);
+        set_free_end(d, off);
+        let at = dir_at(i);
+        d[at..at + 2].copy_from_slice(&(off as u16).to_le_bytes());
+        d[at + 2..at + 4].copy_from_slice(&(val.len() as u16).to_le_bytes());
+        set_count(d, n + 1);
+    }
+
+    /// Remove the directory entry at `i` (heap space reclaimed lazily).
+    pub fn remove_entry(d: &mut [u8], i: usize) {
+        let n = count(d);
+        d.copy_within(dir_at(i + 1)..dir_at(n), dir_at(i));
+        set_count(d, n - 1);
+    }
+
+    /// Overwrite the value of entry `i` in place (`val` must not be longer
+    /// than the current value).
+    pub fn overwrite_value(d: &mut [u8], i: usize, key_len: usize, val: &[u8]) {
+        let off = entry_off(d, i);
+        debug_assert!(val.len() <= entry_vlen(d, i));
+        d[off + key_len..off + key_len + val.len()].copy_from_slice(val);
+        let at = dir_at(i);
+        d[at + 2..at + 4].copy_from_slice(&(val.len() as u16).to_le_bytes());
+    }
+
+    /// Rewrite the whole node from a materialized entry list.
+    pub fn write_node(
+        d: &mut [u8],
+        leaf: bool,
+        next_or_child0: PageId,
+        entries: &[(Vec<u8>, Vec<u8>)],
+        key_len: usize,
+    ) {
+        init(d, leaf);
+        set_next(d, next_or_child0);
+        let mut free_end = PAGE_SIZE;
+        for (i, (k, v)) in entries.iter().enumerate() {
+            debug_assert_eq!(k.len(), key_len);
+            free_end -= k.len() + v.len();
+            d[free_end..free_end + k.len()].copy_from_slice(k);
+            d[free_end + k.len()..free_end + k.len() + v.len()].copy_from_slice(v);
+            let at = dir_at(i);
+            d[at..at + 2].copy_from_slice(&(free_end as u16).to_le_bytes());
+            d[at + 2..at + 4].copy_from_slice(&(v.len() as u16).to_le_bytes());
+        }
+        set_free_end(d, free_end);
+        set_count(d, entries.len());
+    }
+
+    pub fn all_entries(d: &[u8], key_len: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (0..count(d))
+            .map(|i| {
+                (
+                    entry_key(d, i, key_len).to_vec(),
+                    entry_val(d, i, key_len).to_vec(),
+                )
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BTreeFile
+// ---------------------------------------------------------------------------
+
+/// Structural metadata of a B-tree, sufficient to reattach to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeMeta {
+    /// Key length in bytes.
+    pub key_len: u16,
+    /// Root page.
+    pub root: PageId,
+    /// Leftmost leaf (scan entry point).
+    pub first_leaf: PageId,
+    /// Number of entries.
+    pub len: u64,
+    /// Height in levels.
+    pub height: u32,
+    /// Leaf page count.
+    pub leaf_pages: u32,
+}
+
+/// A promoted separator key plus the page to its right, produced by splits.
+type SplitResult = (Vec<u8>, PageId);
+
+/// Outcome of a leaf fast-path mutation attempt.
+enum Fast {
+    Inserted,
+    Replaced,
+    NeedSplit,
+    /// A replacement removed the old entry but the grown value needs a
+    /// split to be re-placed; the key count must not change.
+    NeedSplitAfterRemove,
+}
+
+/// A B+tree relation: fixed-length keys, variable-length values.
+///
+/// ```
+/// use cor_access::BTreeFile;
+/// use cor_pagestore::{BufferPool, IoStats, MemDisk};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let tree = BTreeFile::create(pool, 8).unwrap();
+/// tree.insert(&7u64.to_be_bytes(), b"seven").unwrap();
+/// assert_eq!(tree.get(&7u64.to_be_bytes()).unwrap().unwrap(), b"seven");
+/// assert_eq!(tree.range(&0u64.to_be_bytes(), &9u64.to_be_bytes()).unwrap().count(), 1);
+/// ```
+pub struct BTreeFile {
+    pool: Arc<BufferPool>,
+    key_len: usize,
+    root: Cell<PageId>,
+    first_leaf: Cell<PageId>,
+    len: Cell<u64>,
+    height: Cell<u32>,
+    leaf_pages: Cell<u32>,
+}
+
+impl BTreeFile {
+    /// Create an empty tree with `key_len`-byte keys.
+    pub fn create(pool: Arc<BufferPool>, key_len: usize) -> Result<Self, AccessError> {
+        if key_len == 0 || key_len > 64 {
+            return Err(AccessError::BadKeyLen(key_len));
+        }
+        let root = pool.allocate_page()?;
+        pool.write(root, |mut p| node::init(p.bytes_mut(), true))?;
+        Ok(BTreeFile {
+            pool,
+            key_len,
+            root: Cell::new(root),
+            first_leaf: Cell::new(root),
+            len: Cell::new(0),
+            height: Cell::new(1),
+            leaf_pages: Cell::new(1),
+        })
+    }
+
+    /// Bulk-load a tree from strictly ascending `(key, value)` pairs at the
+    /// given fill fraction (INGRES `modify ... to btree` analogue).
+    pub fn bulk_load(
+        pool: Arc<BufferPool>,
+        key_len: usize,
+        entries: impl IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+        fill: f64,
+    ) -> Result<Self, AccessError> {
+        if key_len == 0 || key_len > 64 {
+            return Err(AccessError::BadKeyLen(key_len));
+        }
+        let fill = fill.clamp(0.3, 1.0);
+        let limit = ((PAGE_SIZE - HDR) as f64 * fill) as usize;
+
+        // --- leaf level ---
+        let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, page)
+        let mut current: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut current_bytes = 0usize;
+        let mut prev_key: Option<Vec<u8>> = None;
+        let mut total = 0u64;
+
+        let flush_leaf = |entries: &mut Vec<(Vec<u8>, Vec<u8>)>,
+                          leaves: &mut Vec<(Vec<u8>, PageId)>|
+         -> Result<(), AccessError> {
+            if entries.is_empty() {
+                return Ok(());
+            }
+            let pid = pool.allocate_page()?;
+            pool.write(pid, |mut p| {
+                node::write_node(p.bytes_mut(), true, NO_PAGE, entries, key_len)
+            })?;
+            if let Some((_, prev)) = leaves.last() {
+                let prev = *prev;
+                pool.write(prev, |mut p| node::set_next(p.bytes_mut(), pid))?;
+            }
+            leaves.push((entries[0].0.clone(), pid));
+            entries.clear();
+            Ok(())
+        };
+
+        for (k, v) in entries {
+            if k.len() != key_len {
+                return Err(AccessError::BadKeyLen(k.len()));
+            }
+            if key_len + v.len() > MAX_BTREE_ENTRY {
+                return Err(AccessError::EntryTooLarge);
+            }
+            if let Some(pk) = &prev_key {
+                if k.as_slice() <= pk.as_slice() {
+                    return Err(AccessError::UnsortedBulkLoad);
+                }
+            }
+            prev_key = Some(k.clone());
+            let sz = DIR + key_len + v.len();
+            if current_bytes + sz > limit && !current.is_empty() {
+                flush_leaf(&mut current, &mut leaves)?;
+                current_bytes = 0;
+            }
+            current_bytes += sz;
+            current.push((k, v));
+            total += 1;
+        }
+        flush_leaf(&mut current, &mut leaves)?;
+
+        if leaves.is_empty() {
+            // Empty input: plain empty tree.
+            return Self::create(pool, key_len);
+        }
+        let first_leaf = leaves[0].1;
+        let leaf_pages = leaves.len() as u32;
+
+        // --- internal levels ---
+        let mut level = leaves;
+        let mut height = 1u32;
+        while level.len() > 1 {
+            height += 1;
+            let mut upper: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let entry_sz = DIR + key_len + 4;
+            let per_node = ((limit / entry_sz).max(2)) + 1; // children per node
+            for group in level.chunks(per_node) {
+                let pid = pool.allocate_page()?;
+                let child0 = group[0].1;
+                let entries: Vec<(Vec<u8>, Vec<u8>)> = group[1..]
+                    .iter()
+                    .map(|(k, c)| (k.clone(), c.to_le_bytes().to_vec()))
+                    .collect();
+                pool.write(pid, |mut p| {
+                    node::write_node(p.bytes_mut(), false, child0, &entries, key_len)
+                })?;
+                upper.push((group[0].0.clone(), pid));
+            }
+            level = upper;
+        }
+        let root = level[0].1;
+        Ok(BTreeFile {
+            pool,
+            key_len,
+            root: Cell::new(root),
+            first_leaf: Cell::new(first_leaf),
+            len: Cell::new(total),
+            height: Cell::new(height),
+            leaf_pages: Cell::new(leaf_pages),
+        })
+    }
+
+    /// The buffer pool this tree lives in.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Snapshot of the tree's structural metadata, for persisting in a
+    /// catalog (see [`crate::catalog::Catalog`]).
+    pub fn metadata(&self) -> BTreeMeta {
+        BTreeMeta {
+            key_len: self.key_len as u16,
+            root: self.root.get(),
+            first_leaf: self.first_leaf.get(),
+            len: self.len.get(),
+            height: self.height.get(),
+            leaf_pages: self.leaf_pages.get(),
+        }
+    }
+
+    /// Reattach to a tree previously persisted via [`Self::metadata`].
+    /// The pages must live in `pool`'s store; nothing is validated eagerly
+    /// beyond the key length.
+    pub fn from_metadata(pool: Arc<BufferPool>, meta: BTreeMeta) -> Result<Self, AccessError> {
+        if meta.key_len == 0 || meta.key_len > 64 {
+            return Err(AccessError::BadKeyLen(meta.key_len as usize));
+        }
+        Ok(BTreeFile {
+            pool,
+            key_len: meta.key_len as usize,
+            root: Cell::new(meta.root),
+            first_leaf: Cell::new(meta.first_leaf),
+            len: Cell::new(meta.len),
+            height: Cell::new(meta.height),
+            leaf_pages: Cell::new(meta.leaf_pages),
+        })
+    }
+
+    /// Key length in bytes.
+    pub fn key_len(&self) -> usize {
+        self.key_len
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.len.get()
+    }
+
+    /// True if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> u32 {
+        self.height.get()
+    }
+
+    /// Number of leaf pages (exact after bulk load, grows with splits).
+    pub fn leaf_pages(&self) -> u32 {
+        self.leaf_pages.get()
+    }
+
+    fn check_entry(&self, key: &[u8], val: &[u8]) -> Result<(), AccessError> {
+        if key.len() != self.key_len {
+            return Err(AccessError::BadKeyLen(key.len()));
+        }
+        if self.key_len + val.len() > MAX_BTREE_ENTRY {
+            return Err(AccessError::EntryTooLarge);
+        }
+        Ok(())
+    }
+
+    /// Descend from the root to the leaf that owns `key`.
+    fn find_leaf(&self, key: &[u8]) -> Result<PageId, AccessError> {
+        let mut page = self.root.get();
+        loop {
+            let (leaf, child) = self.pool.read(page, |p| {
+                let d = p.bytes();
+                if node::is_leaf(d) {
+                    (true, NO_PAGE)
+                } else {
+                    (false, node::find_child(d, key, self.key_len))
+                }
+            })?;
+            if leaf {
+                return Ok(page);
+            }
+            page = child;
+        }
+    }
+
+    /// The leaf page currently owning `key`. Secondary indexes store this
+    /// as a TID-style direct pointer (INGRES secondary indexes point at
+    /// tuple locations, not keys), enabling [`Self::get_with_hint`].
+    pub fn leaf_page_of(&self, key: &[u8]) -> Result<PageId, AccessError> {
+        if key.len() != self.key_len {
+            return Err(AccessError::BadKeyLen(key.len()));
+        }
+        self.find_leaf(key)
+    }
+
+    /// Point lookup through a leaf-page hint: one direct page read instead
+    /// of a root-to-leaf descent. Falls back to a full descent if the hint
+    /// went stale (only possible after a split moved the key).
+    pub fn get_with_hint(&self, hint: PageId, key: &[u8]) -> Result<Option<Vec<u8>>, AccessError> {
+        if key.len() != self.key_len {
+            return Err(AccessError::BadKeyLen(key.len()));
+        }
+        let key_len = self.key_len;
+        let hit = self.pool.read(hint, |p| {
+            let d = p.bytes();
+            if !node::is_leaf(d) {
+                return None;
+            }
+            node::search(d, key, key_len)
+                .ok()
+                .map(|i| node::entry_val(d, i, key_len).to_vec())
+        })?;
+        match hit {
+            Some(v) => Ok(Some(v)),
+            None => self.get(key),
+        }
+    }
+
+    /// In-place value replacement through a leaf-page hint (same-size or
+    /// shrinking updates only take the fast path). Falls back to the
+    /// normal update when the hint is stale or the value grows.
+    pub fn update_with_hint(
+        &self,
+        hint: PageId,
+        key: &[u8],
+        val: &[u8],
+    ) -> Result<bool, AccessError> {
+        self.check_entry(key, val)?;
+        let key_len = self.key_len;
+        let done = self.pool.write(hint, |mut p| {
+            let d = p.bytes_mut();
+            if !node::is_leaf(d) {
+                return false;
+            }
+            match node::search(d, key, key_len) {
+                Ok(i) if val.len() <= node::entry_vlen(d, i) => {
+                    node::overwrite_value(d, i, key_len, val);
+                    true
+                }
+                _ => false,
+            }
+        })?;
+        if done {
+            return Ok(true);
+        }
+        self.update(key, val)
+    }
+
+    /// All entries stored on one leaf page (empty if the page is not a
+    /// leaf). Lets callers harvest co-located records from a page they
+    /// already paid to fetch — e.g. the rest of a physically clustered
+    /// unit after a TID probe for its first member.
+    pub fn leaf_entries(&self, leaf: PageId) -> Result<Entries, AccessError> {
+        let key_len = self.key_len;
+        let entries = self.pool.read(leaf, |p| {
+            let d = p.bytes();
+            if !node::is_leaf(d) {
+                return Vec::new();
+            }
+            node::all_entries(d, key_len)
+        })?;
+        Ok(entries)
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, AccessError> {
+        if key.len() != self.key_len {
+            return Err(AccessError::BadKeyLen(key.len()));
+        }
+        let leaf = self.find_leaf(key)?;
+        let v = self.pool.read(leaf, |p| {
+            let d = p.bytes();
+            node::search(d, key, self.key_len)
+                .ok()
+                .map(|i| node::entry_val(d, i, self.key_len).to_vec())
+        })?;
+        Ok(v)
+    }
+
+    /// Does `key` exist?
+    pub fn contains(&self, key: &[u8]) -> Result<bool, AccessError> {
+        Ok(self.get(key)?.is_some())
+    }
+
+    /// Upsert `(key, value)`. Returns `true` if a new key was inserted,
+    /// `false` if an existing key's value was replaced.
+    pub fn insert(&self, key: &[u8], val: &[u8]) -> Result<bool, AccessError> {
+        self.check_entry(key, val)?;
+        let (split, inserted) = self.insert_rec(self.root.get(), key, val)?;
+        if let Some((sep, right)) = split {
+            let new_root = self.pool.allocate_page()?;
+            let old_root = self.root.get();
+            self.pool.write(new_root, |mut p| {
+                let d = p.bytes_mut();
+                node::init(d, false);
+                node::set_next(d, old_root);
+                node::insert_entry(d, 0, &sep, &right.to_le_bytes(), self.key_len);
+            })?;
+            self.root.set(new_root);
+            self.height.set(self.height.get() + 1);
+        }
+        if inserted {
+            self.len.set(self.len.get() + 1);
+        }
+        Ok(inserted)
+    }
+
+    fn insert_rec(
+        &self,
+        page: PageId,
+        key: &[u8],
+        val: &[u8],
+    ) -> Result<(Option<SplitResult>, bool), AccessError> {
+        let leaf = self.pool.read(page, |p| node::is_leaf(p.bytes()))?;
+        if leaf {
+            let key_len = self.key_len;
+            let fast = self.pool.write(page, |mut p| {
+                let d = p.bytes_mut();
+                match node::search(d, key, key_len) {
+                    Ok(i) => {
+                        if val.len() <= node::entry_vlen(d, i) {
+                            node::overwrite_value(d, i, key_len, val);
+                            return Fast::Replaced;
+                        }
+                        node::remove_entry(d, i);
+                        if node::total_free(d, key_len) >= key_len + val.len() + DIR {
+                            let pos = node::search(d, key, key_len).unwrap_err();
+                            node::insert_entry(d, pos, key, val, key_len);
+                            Fast::Replaced
+                        } else {
+                            // Old entry is gone; the split path below will
+                            // re-add the key with its new value.
+                            Fast::NeedSplitAfterRemove
+                        }
+                    }
+                    Err(i) => {
+                        if node::total_free(d, key_len) >= key_len + val.len() + DIR {
+                            node::insert_entry(d, i, key, val, key_len);
+                            Fast::Inserted
+                        } else {
+                            Fast::NeedSplit
+                        }
+                    }
+                }
+            })?;
+            return match fast {
+                Fast::Inserted => Ok((None, true)),
+                Fast::Replaced => Ok((None, false)),
+                Fast::NeedSplit => {
+                    let (split, inserted) = self.split_leaf(page, key, val)?;
+                    Ok((Some(split), inserted))
+                }
+                Fast::NeedSplitAfterRemove => {
+                    let (split, _) = self.split_leaf(page, key, val)?;
+                    Ok((Some(split), false))
+                }
+            };
+        }
+
+        let child = self
+            .pool
+            .read(page, |p| node::find_child(p.bytes(), key, self.key_len))?;
+        let (split, inserted) = self.insert_rec(child, key, val)?;
+        let Some((sep, new_child)) = split else {
+            return Ok((None, inserted));
+        };
+        let key_len = self.key_len;
+        let fitted = self.pool.write(page, |mut p| {
+            let d = p.bytes_mut();
+            let i = node::search(d, &sep, key_len)
+                .expect_err("separator key cannot already exist in parent");
+            if node::total_free(d, key_len) >= key_len + 4 + DIR {
+                node::insert_entry(d, i, &sep, &new_child.to_le_bytes(), key_len);
+                true
+            } else {
+                false
+            }
+        })?;
+        if fitted {
+            return Ok((None, inserted));
+        }
+        let split = self.split_internal(page, sep, new_child)?;
+        Ok((Some(split), inserted))
+    }
+
+    /// Split an over-full leaf while inserting `(key, val)`.
+    /// Returns the promoted separator and new right page.
+    fn split_leaf(
+        &self,
+        page: PageId,
+        key: &[u8],
+        val: &[u8],
+    ) -> Result<(SplitResult, bool), AccessError> {
+        let key_len = self.key_len;
+        let (mut entries, old_next) = self.pool.read(page, |p| {
+            (node::all_entries(p.bytes(), key_len), node::next(p.bytes()))
+        })?;
+        let inserted = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                entries[i].1 = val.to_vec();
+                false
+            }
+            Err(i) => {
+                entries.insert(i, (key.to_vec(), val.to_vec()));
+                true
+            }
+        };
+        let total_bytes: usize = entries.iter().map(|(k, v)| DIR + k.len() + v.len()).sum();
+        let mut acc = 0usize;
+        let mut m = 0usize;
+        for (i, (k, v)) in entries.iter().enumerate() {
+            acc += DIR + k.len() + v.len();
+            if acc >= total_bytes / 2 {
+                m = i + 1;
+                break;
+            }
+        }
+        let m = m.clamp(1, entries.len() - 1);
+        let right_entries = entries.split_off(m);
+        let sep = right_entries[0].0.clone();
+
+        let right = self.pool.allocate_page()?;
+        self.pool.write(right, |mut p| {
+            node::write_node(p.bytes_mut(), true, old_next, &right_entries, key_len)
+        })?;
+        self.pool.write(page, |mut p| {
+            node::write_node(p.bytes_mut(), true, right, &entries, key_len)
+        })?;
+        self.leaf_pages.set(self.leaf_pages.get() + 1);
+        Ok(((sep, right), inserted))
+    }
+
+    /// Split an over-full internal node while inserting `(sep, new_child)`.
+    fn split_internal(
+        &self,
+        page: PageId,
+        sep: Vec<u8>,
+        new_child: PageId,
+    ) -> Result<(Vec<u8>, PageId), AccessError> {
+        let key_len = self.key_len;
+        let (mut entries, child0) = self.pool.read(page, |p| {
+            (node::all_entries(p.bytes(), key_len), node::next(p.bytes()))
+        })?;
+        let i = entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(&sep))
+            .expect_err("separator key cannot already exist in internal node");
+        entries.insert(i, (sep, new_child.to_le_bytes().to_vec()));
+
+        let m = entries.len() / 2;
+        let promoted = entries[m].0.clone();
+        let right_child0 = PageId::from_le_bytes([
+            entries[m].1[0],
+            entries[m].1[1],
+            entries[m].1[2],
+            entries[m].1[3],
+        ]);
+        let right_entries: Vec<(Vec<u8>, Vec<u8>)> = entries[m + 1..].to_vec();
+        entries.truncate(m);
+
+        let right = self.pool.allocate_page()?;
+        self.pool.write(right, |mut p| {
+            node::write_node(p.bytes_mut(), false, right_child0, &right_entries, key_len)
+        })?;
+        self.pool.write(page, |mut p| {
+            node::write_node(p.bytes_mut(), false, child0, &entries, key_len)
+        })?;
+        Ok((promoted, right))
+    }
+
+    /// Delete `key`. Returns whether it was present.
+    ///
+    /// Underfull nodes (below a quarter-page of live bytes) are merged
+    /// with a sibling when the pair fits in one page, cascading upward;
+    /// when the root shrinks to a single child the tree loses a level.
+    /// (Borrowing is not implemented — with variable-length entries,
+    /// merge-when-fits keeps occupancy bounded with far less machinery;
+    /// freed pages are not recycled by the page store.)
+    pub fn delete(&self, key: &[u8]) -> Result<bool, AccessError> {
+        if key.len() != self.key_len {
+            return Err(AccessError::BadKeyLen(key.len()));
+        }
+        let removed = self.delete_rec(self.root.get(), key)?;
+        if removed {
+            self.len.set(self.len.get() - 1);
+            // Collapse a root that lost all its separators.
+            loop {
+                let root = self.root.get();
+                let sole_child = self.pool.read(root, |p| {
+                    let d = p.bytes();
+                    (!node::is_leaf(d) && node::count(d) == 0).then(|| node::next(d))
+                })?;
+                match sole_child {
+                    Some(child) => {
+                        self.pool.free_page(root)?;
+                        self.root.set(child);
+                        self.height.set(self.height.get() - 1);
+                    }
+                    None => break,
+                }
+            }
+        }
+        Ok(removed)
+    }
+
+    /// Live-byte threshold below which a node is considered underfull.
+    fn underfull_threshold() -> usize {
+        (PAGE_SIZE - HDR) / 4
+    }
+
+    fn is_underfull(&self, page: PageId) -> Result<bool, AccessError> {
+        let key_len = self.key_len;
+        Ok(self.pool.read(page, |p| {
+            let d = p.bytes();
+            node::count(d) * DIR + node::live_bytes(d, key_len) < Self::underfull_threshold()
+        })?)
+    }
+
+    fn delete_rec(&self, page: PageId, key: &[u8]) -> Result<bool, AccessError> {
+        let key_len = self.key_len;
+        let (leaf, child_pos, child) = self.pool.read(page, |p| {
+            let d = p.bytes();
+            if node::is_leaf(d) {
+                (true, 0, NO_PAGE)
+            } else {
+                let pos = match node::search(d, key, key_len) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let child = if pos == 0 {
+                    node::next(d)
+                } else {
+                    node::entry_child(d, pos - 1, key_len)
+                };
+                (false, pos, child)
+            }
+        })?;
+        if leaf {
+            return Ok(self.pool.write(page, |mut p| {
+                let d = p.bytes_mut();
+                match node::search(d, key, key_len) {
+                    Ok(i) => {
+                        node::remove_entry(d, i);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            })?);
+        }
+        let removed = self.delete_rec(child, key)?;
+        if removed && self.is_underfull(child)? {
+            self.try_merge_child(page, child_pos)?;
+        }
+        Ok(removed)
+    }
+
+    /// Try to merge the child at `pos` of `parent` with a sibling (the
+    /// right-hand member of the pair is always folded into the left page,
+    /// keeping the leftmost leaf stable). A merge only happens when the
+    /// combined contents fit in one page.
+    fn try_merge_child(&self, parent: PageId, pos: usize) -> Result<(), AccessError> {
+        let key_len = self.key_len;
+        let n = self.pool.read(parent, |p| node::count(p.bytes()))?;
+        if n == 0 {
+            return Ok(()); // single child: nothing to merge with here
+        }
+        // Prefer merging with the right sibling; fall back to the left.
+        let left_pos = if pos < n { pos } else { pos - 1 };
+        let (left, right, sep) = self.pool.read(parent, |p| {
+            let d = p.bytes();
+            let child_at = |i: usize| {
+                if i == 0 {
+                    node::next(d)
+                } else {
+                    node::entry_child(d, i - 1, key_len)
+                }
+            };
+            (
+                child_at(left_pos),
+                child_at(left_pos + 1),
+                node::entry_key(d, left_pos, key_len).to_vec(),
+            )
+        })?;
+
+        let (l_leaf, l_entries, l_next) = self.pool.read(left, |p| {
+            let d = p.bytes();
+            (
+                node::is_leaf(d),
+                node::all_entries(d, key_len),
+                node::next(d),
+            )
+        })?;
+        let (r_leaf, r_entries, r_next) = self.pool.read(right, |p| {
+            let d = p.bytes();
+            (
+                node::is_leaf(d),
+                node::all_entries(d, key_len),
+                node::next(d),
+            )
+        })?;
+        debug_assert_eq!(l_leaf, r_leaf, "siblings are at the same level");
+
+        let combined_bytes: usize = l_entries
+            .iter()
+            .chain(&r_entries)
+            .map(|(k, v)| DIR + k.len() + v.len())
+            .sum::<usize>()
+            + if l_leaf { 0 } else { DIR + key_len + 4 };
+        if combined_bytes > PAGE_SIZE - HDR {
+            return Ok(()); // does not fit: leave the underfull node be
+        }
+
+        let mut merged = l_entries;
+        let new_next;
+        if l_leaf {
+            merged.extend(r_entries);
+            new_next = r_next; // unlink `right` from the leaf chain
+            self.leaf_pages.set(self.leaf_pages.get() - 1);
+        } else {
+            // Pull the separator down; the right node's child0 becomes its
+            // payload child.
+            merged.push((sep, r_next.to_le_bytes().to_vec()));
+            merged.extend(r_entries);
+            new_next = l_next; // internal: keep left's child0
+        }
+        self.pool.write(left, |mut p| {
+            node::write_node(p.bytes_mut(), l_leaf, new_next, &merged, key_len)
+        })?;
+        // Remove the separator (and with it the pointer to `right`), then
+        // recycle the emptied page.
+        self.pool.write(parent, |mut p| {
+            node::remove_entry(p.bytes_mut(), left_pos);
+        })?;
+        self.pool.free_page(right)?;
+        Ok(())
+    }
+
+    /// Replace the value of an existing key. Returns `false` (and stores
+    /// nothing) if the key is absent.
+    pub fn update(&self, key: &[u8], val: &[u8]) -> Result<bool, AccessError> {
+        self.check_entry(key, val)?;
+        if !self.contains(key)? {
+            return Ok(false);
+        }
+        self.insert(key, val)?;
+        Ok(true)
+    }
+
+    /// Exhaustively check the tree's structural invariants: keys strictly
+    /// ascending within every node, separators bounding their subtrees,
+    /// the leaf chain visiting every leaf in global key order, and the
+    /// entry count matching `len()`. Returns a description of the first
+    /// violation. Used by tests and available to callers who want a
+    /// consistency check after a bulk operation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut leaves_in_order = Vec::new();
+        let entries = self.validate_node(self.root.get(), None, None, &mut leaves_in_order)?;
+        if entries != self.len.get() {
+            return Err(format!(
+                "len() is {} but {} entries found",
+                self.len.get(),
+                entries
+            ));
+        }
+        // The leaf chain must visit exactly the leaves discovered by the
+        // recursive walk, in the same order.
+        let mut chained = Vec::new();
+        let mut page = self.first_leaf.get();
+        let mut prev_last_key: Option<Vec<u8>> = None;
+        while page != NO_PAGE {
+            chained.push(page);
+            let (first, last, next) = self
+                .pool
+                .read(page, |p| {
+                    let d = p.bytes();
+                    let n = node::count(d);
+                    let first = (n > 0).then(|| node::entry_key(d, 0, self.key_len).to_vec());
+                    let last = (n > 0).then(|| node::entry_key(d, n - 1, self.key_len).to_vec());
+                    (first, last, node::next(d))
+                })
+                .map_err(|e| format!("leaf chain read failed: {e}"))?;
+            if let (Some(prev), Some(first)) = (&prev_last_key, &first) {
+                if first <= prev {
+                    return Err(format!("leaf chain out of order at page {page}"));
+                }
+            }
+            if let Some(last) = last {
+                prev_last_key = Some(last);
+            }
+            page = next;
+        }
+        if chained != leaves_in_order {
+            return Err(format!(
+                "leaf chain {chained:?} disagrees with tree structure {leaves_in_order:?}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        page: PageId,
+        lo: Option<&[u8]>,
+        hi: Option<&[u8]>,
+        leaves: &mut Vec<PageId>,
+    ) -> Result<u64, String> {
+        let key_len = self.key_len;
+        let (leaf, keys, children) = self
+            .pool
+            .read(page, |p| {
+                let d = p.bytes();
+                let n = node::count(d);
+                let keys: Vec<Vec<u8>> = (0..n)
+                    .map(|i| node::entry_key(d, i, key_len).to_vec())
+                    .collect();
+                if node::is_leaf(d) {
+                    (true, keys, Vec::new())
+                } else {
+                    let mut ch = vec![node::next(d)];
+                    ch.extend((0..n).map(|i| node::entry_child(d, i, key_len)));
+                    (false, keys, ch)
+                }
+            })
+            .map_err(|e| format!("node {page} unreadable: {e}"))?;
+
+        for w in keys.windows(2) {
+            if w[0] >= w[1] {
+                return Err(format!("node {page}: keys not strictly ascending"));
+            }
+        }
+        if let (Some(lo), Some(first)) = (lo, keys.first()) {
+            if first.as_slice() < lo {
+                return Err(format!("node {page}: key below separator bound"));
+            }
+        }
+        if let (Some(hi), Some(last)) = (hi, keys.last()) {
+            if last.as_slice() >= hi {
+                return Err(format!("node {page}: key at/above separator bound"));
+            }
+        }
+        if leaf {
+            leaves.push(page);
+            return Ok(keys.len() as u64);
+        }
+        if children.len() != keys.len() + 1 {
+            return Err(format!(
+                "node {page}: {} children for {} keys",
+                children.len(),
+                keys.len()
+            ));
+        }
+        let mut total = 0u64;
+        for (i, &child) in children.iter().enumerate() {
+            let child_lo = if i == 0 {
+                lo
+            } else {
+                Some(keys[i - 1].as_slice())
+            };
+            let child_hi = if i == keys.len() {
+                hi
+            } else {
+                Some(keys[i].as_slice())
+            };
+            total += self.validate_node(child, child_lo, child_hi, leaves)?;
+        }
+        Ok(total)
+    }
+
+    /// Inclusive range scan `lo..=hi`.
+    pub fn range(&self, lo: &[u8], hi: &[u8]) -> Result<BTreeRange, AccessError> {
+        if lo.len() != self.key_len || hi.len() != self.key_len {
+            return Err(AccessError::BadKeyLen(lo.len().max(hi.len())));
+        }
+        let start_leaf = self.find_leaf(lo)?;
+        Ok(BTreeRange {
+            pool: Arc::clone(&self.pool),
+            key_len: self.key_len,
+            next_leaf: start_leaf,
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+            buffered: std::collections::VecDeque::new(),
+            done: false,
+        })
+    }
+
+    /// Scan every entry in key order.
+    pub fn scan_all(&self) -> BTreeRange {
+        BTreeRange {
+            pool: Arc::clone(&self.pool),
+            key_len: self.key_len,
+            next_leaf: self.first_leaf.get(),
+            lo: vec![0u8; self.key_len],
+            hi: vec![0xFFu8; self.key_len],
+            buffered: std::collections::VecDeque::new(),
+            done: false,
+        }
+    }
+}
+
+/// Streaming, leaf-at-a-time range scan (see [`BTreeFile::range`]).
+pub struct BTreeRange {
+    pool: Arc<BufferPool>,
+    key_len: usize,
+    next_leaf: PageId,
+    lo: Vec<u8>,
+    hi: Vec<u8>,
+    buffered: std::collections::VecDeque<(Vec<u8>, Vec<u8>)>,
+    done: bool,
+}
+
+impl Iterator for BTreeRange {
+    type Item = (Vec<u8>, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.buffered.pop_front() {
+                return Some(item);
+            }
+            if self.done || self.next_leaf == NO_PAGE {
+                return None;
+            }
+            let leaf = self.next_leaf;
+            let (entries, next, past_hi) = self
+                .pool
+                .read(leaf, |p| {
+                    let d = p.bytes();
+                    let mut out = Vec::new();
+                    let mut past = false;
+                    for i in 0..node::count(d) {
+                        let k = node::entry_key(d, i, self.key_len);
+                        if k < self.lo.as_slice() {
+                            continue;
+                        }
+                        if k > self.hi.as_slice() {
+                            past = true;
+                            break;
+                        }
+                        out.push((k.to_vec(), node::entry_val(d, i, self.key_len).to_vec()));
+                    }
+                    (out, node::next(d), past)
+                })
+                .expect("leaf chain page must be readable");
+            self.next_leaf = next;
+            self.done = past_hi;
+            self.buffered.extend(entries);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_pagestore::{IoStats, MemDisk};
+    use std::collections::BTreeMap;
+
+    fn pool(frames: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(
+            Box::new(MemDisk::new()),
+            frames,
+            IoStats::new(),
+        ))
+    }
+
+    fn key8(k: u64) -> Vec<u8> {
+        k.to_be_bytes().to_vec()
+    }
+
+    #[test]
+    fn empty_tree_behaviour() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.get(&key8(5)).unwrap(), None);
+        assert_eq!(t.scan_all().count(), 0);
+        assert_eq!(t.range(&key8(0), &key8(100)).unwrap().count(), 0);
+        assert!(!t.delete(&key8(1)).unwrap());
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(t.insert(&key8(k), format!("v{k}").as_bytes()).unwrap());
+        }
+        assert_eq!(t.len(), 5);
+        for k in [1u64, 3, 5, 7, 9] {
+            assert_eq!(
+                t.get(&key8(k)).unwrap().unwrap(),
+                format!("v{k}").into_bytes()
+            );
+        }
+        assert_eq!(t.get(&key8(4)).unwrap(), None);
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        assert!(t.insert(&key8(1), b"old").unwrap());
+        assert!(!t.insert(&key8(1), b"new").unwrap());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&key8(1)).unwrap().unwrap(), b"new");
+        // Growing replacement.
+        assert!(!t.insert(&key8(1), b"considerably longer value").unwrap());
+        assert_eq!(
+            t.get(&key8(1)).unwrap().unwrap(),
+            b"considerably longer value"
+        );
+    }
+
+    #[test]
+    fn many_inserts_match_btreemap_model() {
+        let t = BTreeFile::create(pool(16), 8).unwrap();
+        let mut model = BTreeMap::new();
+        // Insert in a scrambled order with ~120-byte values: forces multiple
+        // levels of splits.
+        let mut k = 1u64;
+        for _ in 0..2000 {
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = k % 5000;
+            let val = vec![(key % 251) as u8; 100 + (key % 40) as usize];
+            t.insert(&key8(key), &val).unwrap();
+            model.insert(key, val);
+        }
+        assert_eq!(t.len(), model.len() as u64);
+        assert!(t.height() >= 2);
+        for (key, val) in &model {
+            assert_eq!(t.get(&key8(*key)).unwrap().unwrap(), *val, "key {key}");
+        }
+        // Full scan is sorted and complete.
+        let scanned: Vec<u64> = t
+            .scan_all()
+            .map(|(k, _)| u64::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        let expect: Vec<u64> = model.keys().copied().collect();
+        assert_eq!(scanned, expect);
+    }
+
+    #[test]
+    fn range_scan_bounds_are_inclusive() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        for k in 0..100u64 {
+            t.insert(&key8(k), &[k as u8]).unwrap();
+        }
+        let got: Vec<u64> = t
+            .range(&key8(10), &key8(20))
+            .unwrap()
+            .map(|(k, _)| u64::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        assert_eq!(got, (10..=20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scan_across_leaves() {
+        let t = BTreeFile::create(pool(16), 8).unwrap();
+        for k in 0..1000u64 {
+            t.insert(&key8(k), &[0u8; 64]).unwrap();
+        }
+        assert!(t.leaf_pages() > 1);
+        let got = t.range(&key8(100), &key8(899)).unwrap().count();
+        assert_eq!(got, 800);
+    }
+
+    #[test]
+    fn delete_removes_entries() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        for k in 0..50u64 {
+            t.insert(&key8(k), b"x").unwrap();
+        }
+        for k in (0..50u64).step_by(2) {
+            assert!(t.delete(&key8(k)).unwrap());
+        }
+        assert_eq!(t.len(), 25);
+        for k in 0..50u64 {
+            assert_eq!(t.get(&key8(k)).unwrap().is_some(), k % 2 == 1);
+        }
+    }
+
+    #[test]
+    fn update_only_touches_existing() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        t.insert(&key8(1), b"aaa").unwrap();
+        assert!(t.update(&key8(1), b"bbb").unwrap());
+        assert_eq!(t.get(&key8(1)).unwrap().unwrap(), b"bbb");
+        assert!(!t.update(&key8(2), b"nope").unwrap());
+        assert_eq!(t.get(&key8(2)).unwrap(), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let p = pool(16);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..3000u64)
+            .map(|k| (key8(k), vec![(k % 256) as u8; 90]))
+            .collect();
+        let t = BTreeFile::bulk_load(Arc::clone(&p), 8, entries.clone(), DEFAULT_FILL).unwrap();
+        assert_eq!(t.len(), 3000);
+        for (k, v) in entries.iter().step_by(97) {
+            assert_eq!(t.get(k).unwrap().unwrap(), *v);
+        }
+        let scanned: Vec<Vec<u8>> = t.scan_all().map(|(k, _)| k).collect();
+        let expect: Vec<Vec<u8>> = entries.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(scanned, expect);
+        // Tree accepts further inserts after bulk load.
+        t.insert(&key8(999_999), b"late").unwrap();
+        assert_eq!(t.get(&key8(999_999)).unwrap().unwrap(), b"late");
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted_and_duplicate() {
+        let p = pool(8);
+        let unsorted = vec![(key8(2), vec![]), (key8(1), vec![])];
+        assert!(matches!(
+            BTreeFile::bulk_load(Arc::clone(&p), 8, unsorted, DEFAULT_FILL),
+            Err(AccessError::UnsortedBulkLoad)
+        ));
+        let dup = vec![(key8(1), vec![]), (key8(1), vec![])];
+        assert!(matches!(
+            BTreeFile::bulk_load(p, 8, dup, DEFAULT_FILL),
+            Err(AccessError::UnsortedBulkLoad)
+        ));
+    }
+
+    #[test]
+    fn bulk_load_empty_gives_empty_tree() {
+        let t = BTreeFile::bulk_load(pool(8), 8, Vec::new(), DEFAULT_FILL).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.scan_all().count(), 0);
+    }
+
+    #[test]
+    fn oversized_entries_rejected() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        let huge = vec![0u8; MAX_BTREE_ENTRY];
+        assert!(matches!(
+            t.insert(&key8(1), &huge),
+            Err(AccessError::EntryTooLarge)
+        ));
+        let ok = vec![0u8; MAX_BTREE_ENTRY - 8];
+        t.insert(&key8(1), &ok).unwrap();
+    }
+
+    #[test]
+    fn wrong_key_len_rejected() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        assert!(matches!(t.get(&[1u8; 4]), Err(AccessError::BadKeyLen(4))));
+        assert!(matches!(
+            t.insert(&[1u8; 9], b""),
+            Err(AccessError::BadKeyLen(9))
+        ));
+    }
+
+    #[test]
+    fn validator_accepts_trees_built_every_way() {
+        // Bulk-loaded.
+        let entries: Vec<_> = (0..2500u64).map(|k| (key8(k), vec![3u8; 80])).collect();
+        let t = BTreeFile::bulk_load(pool(32), 8, entries, DEFAULT_FILL).unwrap();
+        t.validate().unwrap();
+        // Incrementally built with scrambled inserts and deletes.
+        let t = BTreeFile::create(pool(32), 8).unwrap();
+        let mut k = 99u64;
+        for _ in 0..1500 {
+            k = k
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t.insert(&key8(k % 4000), &[1u8; 100]).unwrap();
+        }
+        for d in (0..4000u64).step_by(7) {
+            t.delete(&key8(d)).unwrap();
+        }
+        t.validate().unwrap();
+        // Empty.
+        BTreeFile::create(pool(8), 8).unwrap().validate().unwrap();
+    }
+
+    #[test]
+    fn mass_deletion_merges_nodes_and_collapses_height() {
+        let p = pool(64);
+        let entries: Vec<_> = (0..5000u64).map(|k| (key8(k), vec![7u8; 90])).collect();
+        let t = BTreeFile::bulk_load(Arc::clone(&p), 8, entries, DEFAULT_FILL).unwrap();
+        let tall = t.height();
+        assert!(tall >= 3);
+        // Delete all but a sliver.
+        for k in 0..5000u64 {
+            if k % 100 != 0 {
+                assert!(t.delete(&key8(k)).unwrap());
+            }
+        }
+        assert_eq!(t.len(), 50);
+        t.validate().unwrap();
+        assert!(
+            t.height() < tall,
+            "mass deletion must collapse levels ({} -> {})",
+            tall,
+            t.height()
+        );
+        // Survivors intact, in order, and the tree still accepts inserts.
+        let keys: Vec<u64> = t
+            .scan_all()
+            .map(|(k, _)| u64::from_be_bytes(k.try_into().unwrap()))
+            .collect();
+        assert_eq!(keys, (0..5000).step_by(100).collect::<Vec<_>>());
+        for k in 0..200u64 {
+            t.insert(&key8(k * 3 + 1), &[1u8; 90]).unwrap();
+        }
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn deletion_recycles_pages() {
+        let p = pool(64);
+        let entries: Vec<_> = (0..4000u64).map(|k| (key8(k), vec![5u8; 90])).collect();
+        let t = BTreeFile::bulk_load(Arc::clone(&p), 8, entries, DEFAULT_FILL).unwrap();
+        for k in 0..4000u64 {
+            if k % 50 != 0 {
+                t.delete(&key8(k)).unwrap();
+            }
+        }
+        t.validate().unwrap();
+        assert!(
+            p.free_pages() > 10,
+            "merged-away pages must reach the free list"
+        );
+        let before = p.num_pages();
+        // Rebuilding a relation of similar size reuses the freed pages.
+        for k in 10_000..10_500u64 {
+            t.insert(&key8(k), &[9u8; 90]).unwrap();
+        }
+        assert!(
+            p.num_pages() - before < 40,
+            "inserts should mostly reuse freed pages"
+        );
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_everything_then_reuse() {
+        let t = BTreeFile::create(pool(32), 8).unwrap();
+        for k in 0..800u64 {
+            t.insert(&key8(k), &[2u8; 100]).unwrap();
+        }
+        for k in 0..800u64 {
+            assert!(t.delete(&key8(k)).unwrap());
+        }
+        assert!(t.is_empty());
+        t.validate().unwrap();
+        assert_eq!(t.scan_all().count(), 0);
+        // Reuse after total deletion.
+        t.insert(&key8(42), b"back").unwrap();
+        assert_eq!(t.get(&key8(42)).unwrap().unwrap(), b"back");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn validator_catches_len_divergence() {
+        let t = BTreeFile::create(pool(8), 8).unwrap();
+        t.insert(&key8(1), b"x").unwrap();
+        // Corrupt the in-memory length.
+        t.len.set(5);
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("len()"), "got {err}");
+    }
+
+    #[test]
+    fn point_lookup_cost_is_height_when_cold() {
+        let p = pool(4);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..5000u64).map(|k| (key8(k), vec![7u8; 80])).collect();
+        let t = BTreeFile::bulk_load(Arc::clone(&p), 8, entries, DEFAULT_FILL).unwrap();
+        p.flush_and_clear().unwrap();
+        let before = p.stats().reads();
+        t.get(&key8(2500)).unwrap().unwrap();
+        let reads = p.stats().reads() - before;
+        assert_eq!(
+            reads,
+            t.height() as u64,
+            "cold lookup reads one page per level"
+        );
+    }
+}

@@ -1,0 +1,344 @@
+//! Static hash files.
+//!
+//! The paper's `Cache` relation "is maintained as a hash relation, hashed
+//! on hashkey". [`HashFile`] is a static-hashing file: a fixed directory of
+//! buckets, each bucket a chain of slotted pages. Keys are variable-length
+//! byte strings; a probe reads the bucket chain until it finds the key.
+//!
+//! Records are stored as `[klen: u16][key][value]` in slotted pages, so the
+//! existing page machinery handles deletion and space reuse (the cache
+//! deletes units on invalidation and eviction).
+
+use crate::AccessError;
+use cor_pagestore::{BufferPool, PageId, SlotId, NO_PAGE};
+use std::sync::Arc;
+
+/// FNV-1a 64-bit — a deterministic hash so experiment runs are repeatable
+/// across processes (std's `RandomState` is seeded per process).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Structural metadata of a hash file, sufficient to reattach to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashMeta {
+    /// First primary-bucket page (buckets are contiguous).
+    pub first_bucket: PageId,
+    /// Number of primary buckets.
+    pub num_buckets: u32,
+    /// Stored record count.
+    pub len: u64,
+}
+
+/// A static-hashing file of key → value records.
+///
+/// ```
+/// use cor_access::HashFile;
+/// use cor_pagestore::{BufferPool, IoStats, MemDisk};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let cache = HashFile::create(pool, 4).unwrap();
+/// cache.put(b"hashkey", b"cached unit").unwrap();
+/// assert_eq!(cache.get(b"hashkey").unwrap().unwrap(), b"cached unit");
+/// assert!(cache.delete(b"hashkey").unwrap());
+/// ```
+pub struct HashFile {
+    pool: Arc<BufferPool>,
+    buckets: Vec<PageId>,
+    len: std::cell::Cell<u64>,
+}
+
+fn encode_record(key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(2 + key.len() + value.len());
+    rec.extend_from_slice(&(key.len() as u16).to_le_bytes());
+    rec.extend_from_slice(key);
+    rec.extend_from_slice(value);
+    rec
+}
+
+fn record_key(rec: &[u8]) -> &[u8] {
+    let klen = u16::from_le_bytes([rec[0], rec[1]]) as usize;
+    &rec[2..2 + klen]
+}
+
+fn record_value(rec: &[u8]) -> &[u8] {
+    let klen = u16::from_le_bytes([rec[0], rec[1]]) as usize;
+    &rec[2 + klen..]
+}
+
+impl HashFile {
+    /// Create a hash file with `num_buckets` primary buckets (one page
+    /// each, allocated eagerly as a static hash file would be).
+    pub fn create(pool: Arc<BufferPool>, num_buckets: usize) -> Result<Self, AccessError> {
+        assert!(num_buckets > 0, "hash file needs at least one bucket");
+        let mut buckets = Vec::with_capacity(num_buckets);
+        for _ in 0..num_buckets {
+            let pid = pool.allocate_page()?;
+            pool.write(pid, |mut p| p.init())?;
+            buckets.push(pid);
+        }
+        Ok(HashFile {
+            pool,
+            buckets,
+            len: std::cell::Cell::new(0),
+        })
+    }
+
+    /// The buffer pool this file lives in.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Snapshot of the file's metadata for persisting in a catalog.
+    /// Primary bucket pages are allocated contiguously at creation, so
+    /// `(first bucket, count)` reconstructs the directory.
+    pub fn metadata(&self) -> HashMeta {
+        debug_assert!(
+            self.buckets.windows(2).all(|w| w[1] == w[0] + 1),
+            "bucket pages are contiguous"
+        );
+        HashMeta {
+            first_bucket: self.buckets[0],
+            num_buckets: self.buckets.len() as u32,
+            len: self.len.get(),
+        }
+    }
+
+    /// Reattach to a hash file previously persisted via
+    /// [`Self::metadata`].
+    pub fn from_metadata(pool: Arc<BufferPool>, meta: HashMeta) -> Self {
+        HashFile {
+            pool,
+            buckets: (meta.first_bucket..meta.first_bucket + meta.num_buckets).collect(),
+            len: std::cell::Cell::new(meta.len),
+        }
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> u64 {
+        self.len.get()
+    }
+
+    /// True if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of primary buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_of(&self, key: &[u8]) -> PageId {
+        self.buckets[(fnv1a64(key) % self.buckets.len() as u64) as usize]
+    }
+
+    /// Walk the bucket chain of `key`, returning the location of its record.
+    fn find(&self, key: &[u8]) -> Result<Option<(PageId, SlotId)>, AccessError> {
+        let mut page = self.bucket_of(key);
+        loop {
+            let (hit, next) = self.pool.read(page, |p| {
+                let hit = p
+                    .records()
+                    .find(|(_, rec)| record_key(rec) == key)
+                    .map(|(slot, _)| slot);
+                (hit, p.next())
+            })?;
+            if let Some(slot) = hit {
+                return Ok(Some((page, slot)));
+            }
+            if next == NO_PAGE {
+                return Ok(None);
+            }
+            page = next;
+        }
+    }
+
+    /// Fetch the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, AccessError> {
+        match self.find(key)? {
+            Some((page, slot)) => {
+                let v = self.pool.read(page, |p| {
+                    p.record(slot).map(|rec| record_value(rec).to_vec())
+                })?;
+                Ok(v)
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Insert or replace `key → value`. Returns `true` if the key was new.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<bool, AccessError> {
+        let rec = encode_record(key, value);
+        if rec.len() > cor_pagestore::MAX_RECORD {
+            return Err(AccessError::EntryTooLarge);
+        }
+        if let Some((page, slot)) = self.find(key)? {
+            // Replace. Try in place first; on overflow delete + reinsert.
+            let in_place = self
+                .pool
+                .write(page, |mut p| p.update(slot, &rec).is_ok())?;
+            if in_place {
+                return Ok(false);
+            }
+            self.pool.write(page, |mut p| p.delete(slot))?.ok();
+            self.insert_new(&rec)?;
+            return Ok(false);
+        }
+        self.insert_new(&rec)?;
+        self.len.set(self.len.get() + 1);
+        Ok(true)
+    }
+
+    /// Place a record in the first chain page with room, extending the
+    /// chain if every page is full.
+    fn insert_new(&self, rec: &[u8]) -> Result<(), AccessError> {
+        let mut page = self.bucket_of(record_key(rec));
+        loop {
+            let (inserted, next) = self
+                .pool
+                .write(page, |mut p| (p.insert(rec).is_ok(), p.view().next()))?;
+            if inserted {
+                return Ok(());
+            }
+            if next != NO_PAGE {
+                page = next;
+                continue;
+            }
+            let fresh = self.pool.allocate_page()?;
+            self.pool.write(fresh, |mut p| p.init())?;
+            self.pool.write(page, |mut p| p.set_next(fresh))?;
+            page = fresh;
+        }
+    }
+
+    /// Remove `key`. Returns whether it was present.
+    pub fn delete(&self, key: &[u8]) -> Result<bool, AccessError> {
+        match self.find(key)? {
+            Some((page, slot)) => {
+                self.pool.write(page, |mut p| p.delete(slot))?.ok();
+                self.len.set(self.len.get() - 1);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Does `key` exist?
+    pub fn contains(&self, key: &[u8]) -> Result<bool, AccessError> {
+        Ok(self.find(key)?.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_pagestore::{IoStats, MemDisk};
+    use std::collections::HashMap;
+
+    fn pool(frames: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(
+            Box::new(MemDisk::new()),
+            frames,
+            IoStats::new(),
+        ))
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(fnv1a64(b"abc"), fnv1a64(b"abc"));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let h = HashFile::create(pool(8), 4).unwrap();
+        assert!(h.put(b"k1", b"v1").unwrap());
+        assert!(h.put(b"k2", b"v2").unwrap());
+        assert_eq!(h.get(b"k1").unwrap().unwrap(), b"v1");
+        assert_eq!(h.get(b"k2").unwrap().unwrap(), b"v2");
+        assert_eq!(h.get(b"k3").unwrap(), None);
+        assert_eq!(h.len(), 2);
+        assert!(h.delete(b"k1").unwrap());
+        assert_eq!(h.get(b"k1").unwrap(), None);
+        assert!(!h.delete(b"k1").unwrap());
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn put_replaces_existing() {
+        let h = HashFile::create(pool(8), 2).unwrap();
+        assert!(h.put(b"k", b"small").unwrap());
+        assert!(!h.put(b"k", b"bigger value entirely").unwrap());
+        assert_eq!(h.get(b"k").unwrap().unwrap(), b"bigger value entirely");
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn chains_grow_under_load_and_model_agrees() {
+        let h = HashFile::create(pool(16), 4).unwrap();
+        let mut model = HashMap::new();
+        for i in 0..500u32 {
+            let k = format!("key-{i}");
+            let v = vec![(i % 256) as u8; 40 + (i % 30) as usize];
+            h.put(k.as_bytes(), &v).unwrap();
+            model.insert(k, v);
+        }
+        assert_eq!(h.len(), model.len() as u64);
+        for (k, v) in &model {
+            assert_eq!(h.get(k.as_bytes()).unwrap().unwrap(), *v, "key {k}");
+        }
+        // Delete half, verify the rest survives.
+        for i in (0..500u32).step_by(2) {
+            let k = format!("key-{i}");
+            assert!(h.delete(k.as_bytes()).unwrap());
+            model.remove(&k);
+        }
+        for (k, v) in &model {
+            assert_eq!(h.get(k.as_bytes()).unwrap().unwrap(), *v);
+        }
+        assert_eq!(h.len(), model.len() as u64);
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let h = HashFile::create(pool(8), 2).unwrap();
+        let huge = vec![0u8; cor_pagestore::MAX_RECORD];
+        assert!(matches!(
+            h.put(b"k", &huge),
+            Err(AccessError::EntryTooLarge)
+        ));
+    }
+
+    #[test]
+    fn empty_key_works() {
+        let h = HashFile::create(pool(8), 2).unwrap();
+        h.put(b"", b"nothing").unwrap();
+        assert_eq!(h.get(b"").unwrap().unwrap(), b"nothing");
+    }
+
+    #[test]
+    fn resident_probe_is_free_cold_probe_reads_chain() {
+        let p = pool(4);
+        let h = HashFile::create(Arc::clone(&p), 1).unwrap();
+        h.put(b"k", b"v").unwrap();
+        p.flush_and_clear().unwrap();
+        let before = p.stats().reads();
+        h.get(b"k").unwrap().unwrap();
+        assert_eq!(
+            p.stats().reads() - before,
+            1,
+            "single-page bucket: one read"
+        );
+        let before = p.stats().reads();
+        h.get(b"k").unwrap().unwrap();
+        assert_eq!(p.stats().reads() - before, 0, "now resident: free");
+    }
+}

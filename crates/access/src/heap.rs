@@ -1,0 +1,302 @@
+//! Heap files: unordered chains of slotted pages.
+//!
+//! Heap files back the temporary relations of the BFS strategies (the
+//! `temp` relation of Sec. 3.1) and the sorted runs of the external sorter.
+//! Appends fill the tail page and extend the chain when it overflows; scans
+//! walk the chain in page order.
+
+use cor_pagestore::{BufferError, BufferPool, PageId, SlotId, NO_PAGE};
+use std::sync::Arc;
+
+/// Physical address of a record: page + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RecordId {
+    /// Page holding the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: SlotId,
+}
+
+/// Structural metadata of a heap file, sufficient to reattach to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeapMeta {
+    /// First page of the chain.
+    pub first: PageId,
+    /// Tail page (append target).
+    pub last: PageId,
+    /// Live record count.
+    pub len: u64,
+    /// Chain length in pages.
+    pub pages: u32,
+}
+
+/// An unordered file of variable-length records.
+///
+/// ```
+/// use cor_access::HeapFile;
+/// use cor_pagestore::{BufferPool, IoStats, MemDisk};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let temp = HeapFile::create(pool).unwrap();
+/// temp.append(b"oid-1").unwrap();
+/// temp.append(b"oid-2").unwrap();
+/// assert_eq!(temp.scan().count(), 2);
+/// ```
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    first: PageId,
+    last: std::cell::Cell<PageId>,
+    len: std::cell::Cell<u64>,
+    pages: std::cell::Cell<u32>,
+}
+
+impl HeapFile {
+    /// Create an empty heap file (allocates its first page).
+    pub fn create(pool: Arc<BufferPool>) -> Result<Self, BufferError> {
+        let first = pool.allocate_page()?;
+        pool.write(first, |mut p| p.init())?;
+        Ok(HeapFile {
+            pool,
+            first,
+            last: std::cell::Cell::new(first),
+            len: std::cell::Cell::new(0),
+            pages: std::cell::Cell::new(1),
+        })
+    }
+
+    /// The buffer pool this file lives in.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Snapshot of the chain's metadata, for persisting in a catalog.
+    pub fn metadata(&self) -> HeapMeta {
+        HeapMeta {
+            first: self.first,
+            last: self.last.get(),
+            len: self.len.get(),
+            pages: self.pages.get(),
+        }
+    }
+
+    /// Reattach to a heap file previously persisted via [`Self::metadata`].
+    pub fn from_metadata(pool: Arc<BufferPool>, meta: HeapMeta) -> Self {
+        HeapFile {
+            pool,
+            first: meta.first,
+            last: std::cell::Cell::new(meta.last),
+            len: std::cell::Cell::new(meta.len),
+            pages: std::cell::Cell::new(meta.pages),
+        }
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> u64 {
+        self.len.get()
+    }
+
+    /// True if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of pages in the chain.
+    pub fn num_pages(&self) -> u32 {
+        self.pages.get()
+    }
+
+    /// Append a record, returning its address.
+    pub fn append(&self, record: &[u8]) -> Result<RecordId, BufferError> {
+        let tail = self.last.get();
+        let slot = self.pool.write(tail, |mut p| p.insert(record))?;
+        if let Ok(slot) = slot {
+            self.len.set(self.len.get() + 1);
+            return Ok(RecordId { page: tail, slot });
+        }
+        // Tail page full: extend the chain.
+        let fresh = self.pool.allocate_page()?;
+        self.pool.write(fresh, |mut p| p.init())?;
+        self.pool.write(tail, |mut p| p.set_next(fresh))?;
+        self.last.set(fresh);
+        self.pages.set(self.pages.get() + 1);
+        let slot = self
+            .pool
+            .write(fresh, |mut p| p.insert(record))?
+            .expect("fresh page must accept any record that fits a page");
+        self.len.set(self.len.get() + 1);
+        Ok(RecordId { page: fresh, slot })
+    }
+
+    /// Fetch the record at `rid`.
+    pub fn get(&self, rid: RecordId) -> Result<Option<Vec<u8>>, BufferError> {
+        self.pool
+            .read(rid.page, |p| p.record(rid.slot).map(|r| r.to_vec()))
+    }
+
+    /// Overwrite the record at `rid` in place (must fit in its page).
+    pub fn update(&self, rid: RecordId, record: &[u8]) -> Result<bool, BufferError> {
+        self.pool
+            .write(rid.page, |mut p| p.update(rid.slot, record).is_ok())
+    }
+
+    /// Delete the record at `rid`. Returns whether a record was removed.
+    pub fn delete(&self, rid: RecordId) -> Result<bool, BufferError> {
+        let removed = self
+            .pool
+            .write(rid.page, |mut p| p.delete(rid.slot).is_ok())?;
+        if removed {
+            self.len.set(self.len.get() - 1);
+        }
+        Ok(removed)
+    }
+
+    /// Force every page of this file to disk (counting the writes). Used
+    /// to materialize temporaries whose creation cost must be charged.
+    pub fn flush(&self) -> Result<(), BufferError> {
+        let mut page = self.first;
+        while page != NO_PAGE {
+            self.pool.flush_page(page)?;
+            let next = self.pool.read(page, |p| p.next())?;
+            page = next;
+        }
+        Ok(())
+    }
+
+    /// Stream all records in chain order. Each step buffers one page's
+    /// records, so the scan costs one page read per chained page (when the
+    /// page is not already resident).
+    pub fn scan(&self) -> HeapScan {
+        HeapScan {
+            pool: Arc::clone(&self.pool),
+            next_page: self.first,
+            buffered: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+/// Streaming scan over a heap file (see [`HeapFile::scan`]).
+pub struct HeapScan {
+    pool: Arc<BufferPool>,
+    next_page: PageId,
+    buffered: std::collections::VecDeque<(RecordId, Vec<u8>)>,
+}
+
+impl Iterator for HeapScan {
+    type Item = (RecordId, Vec<u8>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(item) = self.buffered.pop_front() {
+                return Some(item);
+            }
+            if self.next_page == NO_PAGE {
+                return None;
+            }
+            let page = self.next_page;
+            let (records, next) = self
+                .pool
+                .read(page, |p| {
+                    let recs: Vec<(SlotId, Vec<u8>)> =
+                        p.records().map(|(s, r)| (s, r.to_vec())).collect();
+                    (recs, p.next())
+                })
+                .expect("heap chain page must be readable");
+            self.next_page = next;
+            self.buffered.extend(
+                records
+                    .into_iter()
+                    .map(|(slot, rec)| (RecordId { page, slot }, rec)),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_pagestore::{IoStats, MemDisk};
+
+    fn pool(frames: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(
+            Box::new(MemDisk::new()),
+            frames,
+            IoStats::new(),
+        ))
+    }
+
+    #[test]
+    fn append_and_scan_preserve_order_within_pages() {
+        let heap = HeapFile::create(pool(8)).unwrap();
+        let records: Vec<Vec<u8>> = (0..100u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for r in &records {
+            heap.append(r).unwrap();
+        }
+        assert_eq!(heap.len(), 100);
+        let scanned: Vec<Vec<u8>> = heap.scan().map(|(_, r)| r).collect();
+        assert_eq!(scanned, records);
+    }
+
+    #[test]
+    fn chain_grows_past_one_page() {
+        let heap = HeapFile::create(pool(8)).unwrap();
+        let rec = [0u8; 200];
+        for _ in 0..50 {
+            heap.append(&rec).unwrap();
+        }
+        assert!(
+            heap.num_pages() > 1,
+            "200-byte x50 must overflow one 2KB page"
+        );
+        assert_eq!(heap.scan().count(), 50);
+    }
+
+    #[test]
+    fn get_update_delete() {
+        let heap = HeapFile::create(pool(8)).unwrap();
+        let rid = heap.append(b"abc").unwrap();
+        assert_eq!(heap.get(rid).unwrap().unwrap(), b"abc");
+        assert!(heap.update(rid, b"xyz").unwrap());
+        assert_eq!(heap.get(rid).unwrap().unwrap(), b"xyz");
+        assert!(heap.delete(rid).unwrap());
+        assert_eq!(heap.get(rid).unwrap(), None);
+        assert!(!heap.delete(rid).unwrap());
+        assert_eq!(heap.len(), 0);
+    }
+
+    #[test]
+    fn scan_skips_deleted_records() {
+        let heap = HeapFile::create(pool(8)).unwrap();
+        let a = heap.append(b"a").unwrap();
+        heap.append(b"b").unwrap();
+        let c = heap.append(b"c").unwrap();
+        heap.delete(a).unwrap();
+        heap.delete(c).unwrap();
+        let left: Vec<Vec<u8>> = heap.scan().map(|(_, r)| r).collect();
+        assert_eq!(left, vec![b"b".to_vec()]);
+    }
+
+    #[test]
+    fn scan_costs_about_one_read_per_page_when_cold() {
+        let p = pool(4);
+        let heap = HeapFile::create(Arc::clone(&p)).unwrap();
+        let rec = [7u8; 200];
+        for _ in 0..90 {
+            heap.append(&rec).unwrap(); // ~9 records/page -> ~10 pages
+        }
+        let pages = heap.num_pages() as u64;
+        assert!(pages >= 10);
+        p.flush_and_clear().unwrap();
+        let before = p.stats().reads();
+        assert_eq!(heap.scan().count(), 90);
+        let reads = p.stats().reads() - before;
+        assert_eq!(reads, pages, "cold scan should read each page exactly once");
+    }
+
+    #[test]
+    fn empty_heap_scans_nothing() {
+        let heap = HeapFile::create(pool(2)).unwrap();
+        assert_eq!(heap.scan().count(), 0);
+        assert!(heap.is_empty());
+    }
+}

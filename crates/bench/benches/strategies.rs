@@ -1,0 +1,211 @@
+//! Criterion microbenchmarks over the query-processing strategies: one
+//! fixed database, wall-clock per retrieve at representative NumTop
+//! values. The figure binaries measure I/O; these measure CPU+structure
+//! overheads at a small scale where everything is memory-resident.
+
+use complexobj::strategies::run_retrieve;
+use complexobj::{ExecOptions, RetAttr, RetrieveQuery, Strategy};
+use cor_workload::{build_for_strategy, generate, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn params() -> Params {
+    Params {
+        parent_card: 1000,
+        use_factor: 5,
+        overlap_factor: 1,
+        size_cache: 100,
+        buffer_pages: 64,
+        ..Params::paper_default()
+    }
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let p = params();
+    let generated = generate(&p);
+    let opts = ExecOptions::default();
+
+    let mut g = c.benchmark_group("retrieve");
+    for num_top in [1u64, 20, 200] {
+        for strategy in Strategy::ALL {
+            let db = build_for_strategy(&p, &generated, strategy).expect("db builds");
+            let query = RetrieveQuery {
+                lo: 100,
+                hi: 100 + num_top - 1,
+                attr: RetAttr::Ret1,
+            };
+            g.throughput(Throughput::Elements(num_top));
+            g.bench_with_input(
+                BenchmarkId::new(strategy.name(), num_top),
+                &query,
+                |b, q| {
+                    b.iter(|| {
+                        black_box(
+                            run_retrieve(&db, strategy, q, &opts)
+                                .expect("query runs")
+                                .values
+                                .len(),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let p = params();
+    let generated = generate(&p);
+
+    let mut g = c.benchmark_group("update");
+    for (name, strategy, maintain) in [
+        ("plain", Strategy::Bfs, false),
+        ("with_cache_invalidation", Strategy::DfsCache, true),
+        ("clustered", Strategy::DfsClust, false),
+    ] {
+        let db = build_for_strategy(&p, &generated, strategy).expect("db builds");
+        if maintain {
+            // Warm the cache so invalidations actually happen.
+            let q = RetrieveQuery {
+                lo: 0,
+                hi: 400,
+                attr: RetAttr::Ret1,
+            };
+            run_retrieve(&db, strategy, &q, &ExecOptions::default()).unwrap();
+        }
+        let update = complexobj::UpdateQuery {
+            targets: (0..10)
+                .map(|i| cor_relational::Oid::new(complexobj::database::CHILD_REL_BASE, i * 97))
+                .collect(),
+            new_ret1: 42,
+        };
+        g.throughput(Throughput::Elements(update.targets.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(complexobj::apply_update(&db, &update, maintain).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_representations(c: &mut Criterion) {
+    use complexobj::procedural::{run_proc_retrieve, ProcCaching, ProcDatabase};
+    use complexobj::ValueDatabase;
+    use cor_workload::{generate_matrix, make_pool};
+
+    let p = Params {
+        parent_card: 500,
+        size_cache: 50,
+        buffer_pages: 64,
+        ..params()
+    };
+    let spec = generate_matrix(&p);
+    let query = RetrieveQuery {
+        lo: 100,
+        hi: 119,
+        attr: RetAttr::Ret1,
+    };
+
+    let mut g = c.benchmark_group("representation");
+    g.throughput(Throughput::Elements(query.hi - query.lo + 1));
+
+    let value_db = ValueDatabase::build(make_pool(&p), &spec.oid_spec).unwrap();
+    g.bench_function("value_based", |b| {
+        b.iter(|| black_box(value_db.run_retrieve(&query).unwrap().values.len()))
+    });
+
+    let proc_db = ProcDatabase::build(make_pool(&p), &spec.proc_spec, ProcCaching::None).unwrap();
+    g.bench_function("procedural_exec", |b| {
+        b.iter(|| black_box(run_proc_retrieve(&proc_db, &query).unwrap().values.len()))
+    });
+
+    let proc_cached = ProcDatabase::build(
+        make_pool(&p),
+        &spec.proc_spec,
+        ProcCaching::OutsideValues(p.size_cache),
+    )
+    .unwrap();
+    run_proc_retrieve(&proc_cached, &query).unwrap(); // warm
+    g.bench_function("procedural_cached", |b| {
+        b.iter(|| {
+            black_box(
+                run_proc_retrieve(&proc_cached, &query)
+                    .unwrap()
+                    .values
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_multilevel(c: &mut Criterion) {
+    use complexobj::multilevel::{bfs_multilevel, dfs_multilevel, MultiDotQuery};
+    use cor_workload::{build_hierarchy, HierarchyParams};
+
+    let hp = HierarchyParams {
+        levels: 2,
+        top_card: 500,
+        fan_out: 4,
+        use_factor: 4,
+        buffer_pages: 64,
+        ..HierarchyParams::default()
+    };
+    let levels = build_hierarchy(&hp).unwrap();
+    let q = MultiDotQuery {
+        lo: 50,
+        hi: 59,
+        attr: RetAttr::Ret1,
+    };
+
+    let mut g = c.benchmark_group("multilevel_3dot");
+    g.bench_function("dfs", |b| {
+        b.iter(|| black_box(dfs_multilevel(&levels, &q).unwrap().values.len()))
+    });
+    g.bench_function("bfs", |b| {
+        b.iter(|| {
+            black_box(
+                bfs_multilevel(&levels, &q, false, &ExecOptions::default())
+                    .unwrap()
+                    .values
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_quel_parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quel");
+    g.bench_function("parse_retrieve", |b| {
+        b.iter(|| {
+            black_box(
+                complexobj::parse_quel(
+                    "retrieve (ParentRel.children.ret2) where 100 <= ParentRel.OID <= 149",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.bench_function("parse_replace", |b| {
+        b.iter(|| {
+            black_box(
+                complexobj::parse_quel(
+                    "replace child10 (ret1 = 42) where child10.OID in (3, 7, 9, 11, 13)",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strategies,
+    bench_updates,
+    bench_representations,
+    bench_multilevel,
+    bench_quel_parse
+);
+criterion_main!(benches);

@@ -1,0 +1,151 @@
+//! Free-form experiment runner: measure any single point of the paper's
+//! parameter space under any strategy, or run a literal QUEL query.
+//!
+//! ```text
+//! cargo run -p cor-bench --release --bin explore -- \
+//!     --strategy DFSCACHE --num-top 100 --use-factor 5 --overlap-factor 1 \
+//!     --pr-update 0.25 [--scale F] [--seq N] [--seed S]
+//!
+//! cargo run -p cor-bench --release --bin explore -- \
+//!     --query "retrieve (ParentRel.children.ret2) where 100 <= ParentRel.OID <= 149"
+//! ```
+
+use complexobj::strategies::run_retrieve;
+use complexobj::{parse_quel, ExecOptions, QuelStatement, Strategy};
+use cor_bench::BenchConfig;
+use cor_workload::{build_for_strategy, fnum, generate, run_point};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let mut params = cfg.base_params();
+    let mut strategies: Vec<Strategy> = Vec::new();
+    let mut query_text: Option<String> = None;
+
+    let mut rest = cfg.rest.iter();
+    while let Some(flag) = rest.next() {
+        let mut take = |what: &str| -> String {
+            rest.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs {what}")))
+                .clone()
+        };
+        match flag.as_str() {
+            "--strategy" => {
+                let name = take("a strategy name").to_uppercase();
+                let s = Strategy::ALL
+                    .into_iter()
+                    .find(|s| s.name() == name)
+                    .unwrap_or_else(|| die(&format!("unknown strategy {name}; one of DFS, BFS, BFSNODUP, DFSCACHE, DFSCLUST, SMART")));
+                strategies.push(s);
+            }
+            "--num-top" => params.num_top = parse(&take("a count"), flag),
+            "--use-factor" => params.use_factor = parse(&take("a factor"), flag),
+            "--overlap-factor" => params.overlap_factor = parse(&take("a factor"), flag),
+            "--pr-update" => params.pr_update = parse(&take("a probability"), flag),
+            "--num-child-rels" => params.num_child_rels = parse(&take("a count"), flag),
+            "--size-cache" => params.size_cache = parse(&take("a count"), flag),
+            "--buffer" => params.buffer_pages = parse(&take("a page count"), flag),
+            "--update-batch" => params.update_batch = parse(&take("a count"), flag),
+            "--query" => query_text = Some(take("a QUEL statement")),
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    if strategies.is_empty() {
+        strategies = Strategy::ALL.to_vec();
+    }
+
+    // QUEL mode: run one literal query across the strategies.
+    if let Some(text) = query_text {
+        match parse_quel(&text) {
+            Ok(QuelStatement::Retrieve(q)) => {
+                let q = complexobj::RetrieveQuery {
+                    lo: q.lo.min(params.parent_card - 1),
+                    hi: q.hi.min(params.parent_card - 1),
+                    attr: q.attr,
+                };
+                println!(
+                    "query: {text}\n(database: |ParentRel| = {}, ShareFactor {})\n",
+                    params.parent_card,
+                    params.share_factor()
+                );
+                let generated = generate(&params);
+                println!("{:<10} {:>9} {:>9} {:>9}  values", "strategy", "ParCost", "ChildCost", "total");
+                for s in strategies {
+                    let db = build_for_strategy(&params, &generated, s)
+                        .unwrap_or_else(|e| die(&format!("{s} build failed: {e}")));
+                    db.pool().flush_and_clear().ok();
+                    let out = run_retrieve(&db, s, &q, &ExecOptions::default())
+                        .unwrap_or_else(|e| die(&format!("{s} failed: {e}")));
+                    println!(
+                        "{:<10} {:>9} {:>9} {:>9}  {}",
+                        s.name(),
+                        out.par_io.total(),
+                        out.child_io.total(),
+                        out.total_io(),
+                        out.values.len()
+                    );
+                }
+                return;
+            }
+            Ok(other) => die(&format!(
+                "explore runs two-dot retrieves; got {other:?} (use the library for replace/multi-dot)"
+            )),
+            Err(e) => die(&e.to_string()),
+        }
+    }
+
+    params.num_top = params.num_top.clamp(1, params.parent_card);
+    if let Err(e) = params.validate() {
+        die(&e);
+    }
+
+    println!(
+        "point: |ParentRel|={} SizeUnit={} UseFactor={} OverlapFactor={} (ShareFactor {})\n\
+         NumTop={} Pr(UPDATE)={} SizeCache={} buffer={} pages, {} queries, seed {}\n",
+        params.parent_card,
+        params.size_unit,
+        params.use_factor,
+        params.overlap_factor,
+        params.share_factor(),
+        params.num_top,
+        params.pr_update,
+        params.size_cache,
+        params.buffer_pages,
+        params.sequence_len,
+        params.seed,
+    );
+
+    println!(
+        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+        "strategy", "avg I/O", "retrieve", "ParCost", "ChildCost", "update", "hit rate"
+    );
+    for s in strategies {
+        let r = run_point(&params, s).unwrap_or_else(|e| die(&format!("{s} failed: {e}")));
+        let hit_rate = r
+            .cache
+            .map(|c| {
+                let denom = (c.hits + c.misses).max(1);
+                format!("{:.0}%", 100.0 * c.hits as f64 / denom as f64)
+            })
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>8}",
+            s.name(),
+            fnum(r.avg_io_per_query()),
+            fnum(r.avg_retrieve_io()),
+            fnum(r.avg_par_cost()),
+            fnum(r.avg_child_cost()),
+            fnum(r.avg_update_io()),
+            hit_rate,
+        );
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: &str, flag: &str) -> T {
+    v.parse()
+        .unwrap_or_else(|_| die(&format!("bad value {v:?} for {flag}")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

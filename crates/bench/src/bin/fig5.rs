@@ -1,0 +1,121 @@
+//! Figure 5: ParCost / ChildCost / TotCost as a function of ShareFactor,
+//! for DFSCLUST (5a) and BFS (5b), at NumTop = 200.
+//!
+//! Paper's shape:
+//! * DFSCLUST — ParCost **increases** as ShareFactor decreases (better
+//!   clustering interleaves more subobjects between consecutive objects);
+//!   ChildCost decreases; the total is dominated by ChildCost.
+//! * BFS — ParCost is flat; ChildCost **decreases** as ShareFactor
+//!   increases because |ChildRel| = 50,000/ShareFactor shrinks the merge
+//!   join. A crossover ShareFactor exists beyond which BFS wins.
+//!
+//! ```text
+//! cargo run -p cor-bench --release --bin fig5 [--scale F]
+//! ```
+
+use complexobj::Strategy;
+use cor_bench::BenchConfig;
+use cor_workload::{default_threads, fnum, format_table, parallel_map, run_point, Params};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let base = cfg.base_params();
+    let num_top = ((200.0 * cfg.scale).round() as u64).clamp(1, base.parent_card);
+    let share_factors: Vec<u32> = (1..=10).collect();
+
+    println!(
+        "Figure 5 — cost breakup vs ShareFactor at NumTop={} (scale {})\n",
+        num_top, cfg.scale
+    );
+
+    let strategies = [Strategy::DfsClust, Strategy::Bfs];
+    let points: Vec<(u32, Strategy)> = share_factors
+        .iter()
+        .flat_map(|&sf| strategies.iter().map(move |&s| (sf, s)))
+        .collect();
+    let results = parallel_map(points, default_threads(), |&(sf, s)| {
+        let p = Params {
+            use_factor: sf,
+            overlap_factor: 1,
+            num_top,
+            pr_update: 0.0,
+            ..base.clone()
+        };
+        let r = run_point(&p, s).expect("point runs");
+        (r.avg_par_cost(), r.avg_child_cost())
+    });
+
+    let mut all_rows: Vec<Vec<String>> = Vec::new();
+    for (si, s) in strategies.iter().enumerate() {
+        let label = if *s == Strategy::DfsClust {
+            "Figure 5(a) DFSCLUST"
+        } else {
+            "Figure 5(b) BFS"
+        };
+        let mut rows = Vec::new();
+        for (i, &sf) in share_factors.iter().enumerate() {
+            let (par, child) = results[i * 2 + si];
+            rows.push(vec![
+                sf.to_string(),
+                fnum(par),
+                fnum(child),
+                fnum(par + child),
+            ]);
+        }
+        println!("{label}");
+        println!(
+            "{}",
+            format_table(&["ShareFactor", "ParCost", "ChildCost", "TotCost"], &rows)
+        );
+        all_rows.extend(rows.iter().cloned().map(|mut r| {
+            r.insert(0, s.name().to_string());
+            r
+        }));
+    }
+    cfg.maybe_write_csv(
+        &["strategy", "ShareFactor", "ParCost", "ChildCost", "TotCost"],
+        &all_rows,
+    );
+
+    // Headline checks.
+    let clu = |i: usize| results[i * 2];
+    let bfs = |i: usize| results[i * 2 + 1];
+    let last = share_factors.len() - 1;
+
+    let par_trend = clu(0).0 > clu(last).0;
+    println!(
+        "DFSCLUST ParCost falls as ShareFactor rises ({} -> {}) {}",
+        fnum(clu(0).0),
+        fnum(clu(last).0),
+        if par_trend { "[OK]" } else { "[MISMATCH]" }
+    );
+    let child_trend = clu(0).1 < clu(last).1;
+    println!(
+        "DFSCLUST ChildCost rises with ShareFactor ({} -> {}) {}",
+        fnum(clu(0).1),
+        fnum(clu(last).1),
+        if child_trend { "[OK]" } else { "[MISMATCH]" }
+    );
+    let bfs_child_trend = bfs(0).1 > bfs(last).1;
+    println!(
+        "BFS ChildCost falls with ShareFactor ({} -> {}) {}",
+        fnum(bfs(0).1),
+        fnum(bfs(last).1),
+        if bfs_child_trend {
+            "[OK]"
+        } else {
+            "[MISMATCH]"
+        }
+    );
+    let crossover = share_factors.iter().enumerate().find(|(i, _)| {
+        let c = clu(*i);
+        let b = bfs(*i);
+        b.0 + b.1 < c.0 + c.1
+    });
+    match crossover {
+        Some((_, sf)) => {
+            println!("BFS beats DFSCLUST from ShareFactor {sf} (paper: crossover at ~4.7) [OK]")
+        }
+        None => println!("no crossover in 1..=10 (paper: crossover at ~4.7) [MISMATCH]"),
+    }
+}

@@ -1,0 +1,128 @@
+//! Figure 7: the effect of OverlapFactor on clustering.
+//! Plots Cost(DFSCLUST)/Cost(BFS) vs NumTop for two databases with the
+//! same ShareFactor = 5 shared differently:
+//!
+//! * curve 1 — OverlapFactor = 1, UseFactor = 5 (whole units shared);
+//! * curve 2 — OverlapFactor = 5, UseFactor = 1 (overlapping units).
+//!
+//! Paper's shape: the OverlapFactor = 5 curve lies "considerably above"
+//! the OverlapFactor = 1 curve (clustering degrades because a unit's
+//! subobjects scatter), and the NumTop where BFS overtakes DFSCLUST moves
+//! left as OverlapFactor grows.
+//!
+//! ```text
+//! cargo run -p cor-bench --release --bin fig7 [--scale F]
+//! ```
+
+use complexobj::Strategy;
+use cor_bench::{num_top_sweep, BenchConfig};
+use cor_workload::{
+    default_threads, format_ascii_plot, format_table, parallel_map, run_point, Params,
+};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let base = cfg.base_params();
+    let sweep = num_top_sweep(base.parent_card);
+    let cases = [(1u32, 5u32, "OF=1,UF=5"), (5, 1, "OF=5,UF=1")];
+
+    println!(
+        "Figure 7 — Cost(DFSCLUST)/Cost(BFS) vs NumTop, ShareFactor=5 both ways (scale {})\n",
+        cfg.scale
+    );
+
+    let mut points = Vec::new();
+    for &(of, uf, _) in &cases {
+        for &nt in &sweep {
+            for s in [Strategy::DfsClust, Strategy::Bfs] {
+                points.push((of, uf, nt, s));
+            }
+        }
+    }
+    let costs = parallel_map(points, default_threads(), |&(of, uf, nt, s)| {
+        let p = Params {
+            overlap_factor: of,
+            use_factor: uf,
+            num_top: nt,
+            pr_update: 0.0,
+            ..base.clone()
+        };
+        run_point(&p, s).expect("point runs").avg_retrieve_io()
+    });
+
+    let ratio = |case: usize, i: usize| -> f64 {
+        let b = (case * sweep.len() + i) * 2;
+        costs[b] / costs[b + 1]
+    };
+
+    let mut rows = Vec::new();
+    for (i, &nt) in sweep.iter().enumerate() {
+        rows.push(vec![
+            nt.to_string(),
+            format!("{:.2}", ratio(0, i)),
+            format!("{:.2}", ratio(1, i)),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["NumTop", "ratio OF=1,UF=5", "ratio OF=5,UF=1"], &rows)
+    );
+    cfg.maybe_write_csv(&["NumTop", "ratio_OF1_UF5", "ratio_OF5_UF1"], &rows);
+
+    let series: Vec<(char, Vec<(f64, f64)>)> = vec![
+        (
+            '1',
+            sweep
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n as f64, ratio(0, i)))
+                .collect(),
+        ),
+        (
+            '5',
+            sweep
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n as f64, ratio(1, i)))
+                .collect(),
+        ),
+    ];
+    println!(
+        "{}",
+        format_ascii_plot(
+            "Cost(DFSCLUST)/Cost(BFS) vs NumTop ('1'=OF1/UF5, '5'=OF5/UF1, *=overlap):",
+            &series,
+            true,
+            false,
+            60,
+            14,
+        )
+    );
+
+    // Headline checks.
+    let mean0: f64 = (0..sweep.len()).map(|i| ratio(0, i)).sum::<f64>() / sweep.len() as f64;
+    let mean1: f64 = (0..sweep.len()).map(|i| ratio(1, i)).sum::<f64>() / sweep.len() as f64;
+    println!(
+        "mean ratio: OF=1 {:.2} vs OF=5 {:.2} (paper: OF=5 considerably above) {}",
+        mean0,
+        mean1,
+        if mean1 > mean0 { "[OK]" } else { "[MISMATCH]" }
+    );
+    let crossover = |case: usize| {
+        sweep
+            .iter()
+            .enumerate()
+            .find(|(i, _)| ratio(case, *i) > 1.0)
+            .map(|(_, &n)| n)
+    };
+    match (crossover(0), crossover(1)) {
+        (Some(a), Some(b)) => println!(
+            "BFS overtakes DFSCLUST at NumTop {a} (OF=1) vs {b} (OF=5) \
+             (paper: point B moves left to A) {}",
+            if b <= a { "[OK]" } else { "[MISMATCH]" }
+        ),
+        (a, b) => {
+            println!("crossovers: OF=1 {a:?}, OF=5 {b:?} (one side never crosses at this scale)")
+        }
+    }
+}

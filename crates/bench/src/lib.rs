@@ -1,0 +1,158 @@
+//! # cor-bench
+//!
+//! Benchmark harness: one binary per figure/table of the paper's
+//! evaluation (see DESIGN.md's experiment index) plus criterion
+//! microbenchmarks for the substrate.
+//!
+//! Every figure binary accepts:
+//!
+//! * `--scale F` — run at fraction `F` of the paper's database size
+//!   (ParentRel, SizeCache, buffer and sequence length shrink together);
+//!   default 0.2.
+//! * `--full` — the paper's full scale (equivalent to `--scale 1.0`).
+//! * `--seq N` — override the sequence length.
+//! * `--seed S` — override the master seed.
+
+#![warn(missing_docs)]
+
+use cor_workload::Params;
+
+/// Common command-line configuration for figure binaries.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Scale factor applied to the paper's database size.
+    pub scale: f64,
+    /// Sequence-length override.
+    pub seq: Option<usize>,
+    /// Seed override.
+    pub seed: Option<u64>,
+    /// Write the main table as CSV to this path.
+    pub csv: Option<std::path::PathBuf>,
+    /// Extra flags not consumed by the common parser.
+    pub rest: Vec<String>,
+}
+
+impl BenchConfig {
+    /// Parse `std::env::args`, exiting with usage on malformed input.
+    pub fn from_args() -> Self {
+        let mut cfg = BenchConfig {
+            scale: 0.2,
+            seq: None,
+            seed: None,
+            csv: None,
+            rest: Vec::new(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--scale" => {
+                    cfg.scale = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage("--scale needs a number in (0,1]"))
+                }
+                "--full" => cfg.scale = 1.0,
+                "--seq" => {
+                    cfg.seq = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--seq needs a positive integer")),
+                    )
+                }
+                "--seed" => {
+                    cfg.seed = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or_else(|| usage("--seed needs an integer")),
+                    )
+                }
+                "--csv" => {
+                    cfg.csv = Some(
+                        args.next()
+                            .map(Into::into)
+                            .unwrap_or_else(|| usage("--csv needs a path")),
+                    )
+                }
+                "--help" | "-h" => usage(""),
+                other => cfg.rest.push(other.to_string()),
+            }
+        }
+        if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+            usage("--scale must be in (0, 1]");
+        }
+        cfg
+    }
+
+    /// Base parameters at the configured scale.
+    pub fn base_params(&self) -> Params {
+        let mut p = Params::scaled(self.scale);
+        if let Some(n) = self.seq {
+            p.sequence_len = n;
+        }
+        if let Some(s) = self.seed {
+            p.seed = s;
+        }
+        p
+    }
+
+    /// Was an extra flag passed (e.g. `--faces`)?
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.rest.iter().any(|a| a == name)
+    }
+
+    /// Write the figure's main table as CSV if `--csv` was given.
+    pub fn maybe_write_csv(&self, headers: &[&str], rows: &[Vec<String>]) {
+        if let Some(path) = &self.csv {
+            match cor_workload::write_csv(path, headers, rows) {
+                Ok(()) => eprintln!("wrote {}", path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: <bench> [--scale F] [--full] [--seq N] [--seed S] [--csv FILE]\n\
+         reproduces one figure of Jhingran & Stonebraker (ICDE 1990); see DESIGN.md"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// NumTop sweep values used by several figures, scaled to the database
+/// size, clipped and deduplicated.
+pub fn num_top_sweep(parent_card: u64) -> Vec<u64> {
+    let raw = [
+        1u64, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+    ];
+    let mut out: Vec<u64> = raw
+        .iter()
+        .map(|&n| ((n as f64 * parent_card as f64 / 10_000.0).round() as u64).clamp(1, parent_card))
+        .collect();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_top_sweep_scales_and_dedups() {
+        let s = num_top_sweep(10_000);
+        assert_eq!(s.first(), Some(&1));
+        assert_eq!(s.last(), Some(&10_000));
+        let s = num_top_sweep(2_000);
+        assert_eq!(s.last(), Some(&2_000));
+        assert!(
+            s.windows(2).all(|w| w[0] < w[1]),
+            "sorted and unique: {s:?}"
+        );
+        let s = num_top_sweep(10);
+        assert!(!s.is_empty());
+        assert!(s.iter().all(|&n| (1..=10).contains(&n)));
+    }
+}

@@ -1,0 +1,163 @@
+//! Clustering assignments (paper Sec. 3.3).
+//!
+//! The clustering assignment `C ⊆ OS` places every subobject with exactly
+//! one of the objects that reference it. Three regimes fall out of the
+//! sharing factors:
+//!
+//! 1. `ShareFactor = 1` — every subobject has one parent; `C = OS` and
+//!    clustering is ideal.
+//! 2. `OverlapFactor = 1, UseFactor > 1` — whole units are shared; the
+//!    unit is clustered with one parent, "randomly chosen from UseFactor
+//!    possibilities" (the paper's choice in the absence of access-pattern
+//!    knowledge), and the other parents reach it with one random access.
+//! 3. `OverlapFactor > 1` — units overlap, so a unit's subobjects end up
+//!    scattered across several parents' clusters and extra random accesses
+//!    are unavoidable.
+
+use cor_relational::Oid;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Map from subobject OID to the primary key of the parent it is
+/// physically clustered with.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterAssignment {
+    parent_of: HashMap<Oid, u64>,
+}
+
+impl ClusterAssignment {
+    /// Build from explicit `(subobject, parent key)` pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Oid, u64)>) -> Self {
+        ClusterAssignment {
+            parent_of: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Assign every subobject to a uniformly random referencing parent.
+    ///
+    /// `parents` supplies each object's key and unit (its `children`
+    /// list); a subobject referenced by several parents lands with one of
+    /// them chosen uniformly at random, matching Sec. 3.3.
+    pub fn random<R: Rng>(parents: &[(u64, Vec<Oid>)], rng: &mut R) -> Self {
+        let mut referencing: HashMap<Oid, Vec<u64>> = HashMap::new();
+        for (key, children) in parents {
+            for oid in children {
+                referencing.entry(*oid).or_default().push(*key);
+            }
+        }
+        let mut parent_of = HashMap::with_capacity(referencing.len());
+        // Deterministic iteration order so a seeded RNG reproduces the
+        // same assignment: sort subobjects.
+        let mut oids: Vec<Oid> = referencing.keys().copied().collect();
+        oids.sort_unstable();
+        for oid in oids {
+            let candidates = &referencing[&oid];
+            let pick = *candidates.choose(rng).expect("candidate list is non-empty");
+            parent_of.insert(oid, pick);
+        }
+        ClusterAssignment { parent_of }
+    }
+
+    /// The parent key a subobject is clustered with.
+    pub fn parent_of(&self, oid: Oid) -> Option<u64> {
+        self.parent_of.get(&oid).copied()
+    }
+
+    /// Number of assigned subobjects.
+    pub fn len(&self) -> usize {
+        self.parent_of.len()
+    }
+
+    /// True if nothing is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.parent_of.is_empty()
+    }
+
+    /// Fraction of an object's subobjects that are clustered with it —
+    /// diagnostic used in tests and the clustering analysis. Returns
+    /// `None` for an object with no subobjects.
+    pub fn locality(&self, key: u64, children: &[Oid]) -> Option<f64> {
+        if children.is_empty() {
+            return None;
+        }
+        let here = children
+            .iter()
+            .filter(|o| self.parent_of(**o) == Some(key))
+            .count();
+        Some(here as f64 / children.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn c(k: u64) -> Oid {
+        Oid::new(10, k)
+    }
+
+    #[test]
+    fn share_factor_one_is_ideal() {
+        // Each parent has its own disjoint unit: every subobject must be
+        // clustered with its only parent.
+        let parents = vec![(0u64, vec![c(0), c(1)]), (1, vec![c(2), c(3)])];
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = ClusterAssignment::random(&parents, &mut rng);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.parent_of(c(0)), Some(0));
+        assert_eq!(a.parent_of(c(3)), Some(1));
+        assert_eq!(a.locality(0, &parents[0].1), Some(1.0));
+        assert_eq!(a.locality(1, &parents[1].1), Some(1.0));
+    }
+
+    #[test]
+    fn shared_unit_goes_to_exactly_one_parent() {
+        // UseFactor = 3: the same unit under three parents.
+        let unit = vec![c(0), c(1), c(2)];
+        let parents: Vec<(u64, Vec<Oid>)> = (0..3).map(|k| (k, unit.clone())).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        let a = ClusterAssignment::random(&parents, &mut rng);
+        for oid in &unit {
+            let p = a.parent_of(*oid).unwrap();
+            assert!(p < 3);
+        }
+        // Exactly one parent has locality 1 for each subobject; every
+        // subobject is stored exactly once.
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn random_choice_spreads_across_parents() {
+        // Over many shared units, each of the UseFactor parents should
+        // receive some subobjects.
+        let unit: Vec<Oid> = (0..100).map(c).collect();
+        let parents: Vec<(u64, Vec<Oid>)> = (0..4).map(|k| (k, unit.clone())).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = ClusterAssignment::random(&parents, &mut rng);
+        let mut counts = [0usize; 4];
+        for oid in &unit {
+            counts[a.parent_of(*oid).unwrap() as usize] += 1;
+        }
+        assert!(counts.iter().all(|&n| n > 5), "uniform choice: {counts:?}");
+    }
+
+    #[test]
+    fn seeded_assignment_is_reproducible() {
+        let parents = vec![(0u64, vec![c(0), c(1)]), (1, vec![c(0), c(1)])];
+        let a = ClusterAssignment::random(&parents, &mut StdRng::seed_from_u64(5));
+        let b = ClusterAssignment::random(&parents, &mut StdRng::seed_from_u64(5));
+        for k in 0..2 {
+            assert_eq!(a.parent_of(c(k)), b.parent_of(c(k)));
+        }
+    }
+
+    #[test]
+    fn locality_of_childless_object() {
+        let a = ClusterAssignment::default();
+        assert_eq!(a.locality(0, &[]), None);
+        assert!(a.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Invalidation locks (I-locks, Sec. 3.2).
+//!
+//! "Associated with each subobject is a lock called an invalidation lock
+//! (I-lock, for short) for each unit that it belongs to. Consequently, when
+//! a subobject is updated, we invalidate all the (cached) units whose
+//! I-locks are held by the subobject in question."
+//!
+//! The I-lock table is the in-memory analogue of the lock/catalog structure
+//! of \[JHIN88, STON87\]; its maintenance is not charged I/O — only the
+//! disk-resident `Cache` relation accesses are (see `cache` module).
+
+use cor_relational::Oid;
+use std::collections::{HashMap, HashSet};
+
+/// Unit hashkey, the cache identity of a unit.
+pub type HashKey = u64;
+
+/// Table mapping each subobject to the cached units it would invalidate.
+#[derive(Debug, Default)]
+pub struct ILockTable {
+    locks: HashMap<Oid, HashSet<HashKey>>,
+}
+
+impl ILockTable {
+    /// Create an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take I-locks for a freshly cached unit: every member subobject now
+    /// holds a lock naming the unit.
+    pub fn lock_unit(&mut self, hashkey: HashKey, members: &[Oid]) {
+        for &oid in members {
+            self.locks.entry(oid).or_default().insert(hashkey);
+        }
+    }
+
+    /// Release the I-locks of a unit that left the cache (eviction or
+    /// invalidation).
+    pub fn unlock_unit(&mut self, hashkey: HashKey, members: &[Oid]) {
+        for oid in members {
+            if let Some(set) = self.locks.get_mut(oid) {
+                set.remove(&hashkey);
+                if set.is_empty() {
+                    self.locks.remove(oid);
+                }
+            }
+        }
+    }
+
+    /// The cached units an update of `oid` must invalidate.
+    pub fn holders(&self, oid: Oid) -> Vec<HashKey> {
+        self.locks
+            .get(&oid)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Number of subobjects currently holding at least one I-lock.
+    pub fn locked_subobjects(&self) -> usize {
+        self.locks.len()
+    }
+
+    /// Drop everything (cache cleared).
+    pub fn clear(&mut self) {
+        self.locks.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(k: u64) -> Oid {
+        Oid::new(10, k)
+    }
+
+    #[test]
+    fn lock_and_query_holders() {
+        let mut t = ILockTable::new();
+        t.lock_unit(100, &[oid(1), oid(2)]);
+        t.lock_unit(200, &[oid(2), oid(3)]);
+        assert_eq!(t.holders(oid(1)), vec![100]);
+        let mut h2 = t.holders(oid(2));
+        h2.sort_unstable();
+        assert_eq!(h2, vec![100, 200]);
+        assert!(t.holders(oid(9)).is_empty());
+        assert_eq!(t.locked_subobjects(), 3);
+    }
+
+    #[test]
+    fn unlock_removes_only_that_unit() {
+        let mut t = ILockTable::new();
+        t.lock_unit(100, &[oid(1), oid(2)]);
+        t.lock_unit(200, &[oid(2)]);
+        t.unlock_unit(100, &[oid(1), oid(2)]);
+        assert!(t.holders(oid(1)).is_empty());
+        assert_eq!(t.holders(oid(2)), vec![200]);
+        assert_eq!(t.locked_subobjects(), 1);
+    }
+
+    #[test]
+    fn double_lock_is_idempotent() {
+        let mut t = ILockTable::new();
+        t.lock_unit(100, &[oid(1)]);
+        t.lock_unit(100, &[oid(1)]);
+        assert_eq!(t.holders(oid(1)), vec![100]);
+        t.unlock_unit(100, &[oid(1)]);
+        assert!(t.holders(oid(1)).is_empty());
+    }
+
+    #[test]
+    fn clear_empties_table() {
+        let mut t = ILockTable::new();
+        t.lock_unit(1, &[oid(1), oid(2)]);
+        t.clear();
+        assert_eq!(t.locked_subobjects(), 0);
+    }
+
+    #[test]
+    fn unlock_unknown_is_noop() {
+        let mut t = ILockTable::new();
+        t.unlock_unit(5, &[oid(1)]);
+        assert_eq!(t.locked_subobjects(), 0);
+    }
+}

@@ -1,0 +1,450 @@
+//! Multi-level ("multi-dot") queries.
+//!
+//! The paper's example query uses two dots — `group.members.name` — and
+//! notes that "queries involving more than two dots in the target list
+//! require more levels of relationships to be explored" (Sec. 3), citing
+//! the recursion-vs-iteration framing of \[BANC86\]. The VLSI motivation
+//! (cells → paths → rectangles) is exactly a three-dot query.
+//!
+//! A hierarchy is a chain of databases: level `i`'s subobject OIDs name
+//! level `i+1`'s objects (`child OID key = next level's parent key`); the
+//! last database resolves its subobjects normally. Two executors:
+//!
+//! * [`dfs_multilevel`] — recursion: descend per object reference;
+//! * [`bfs_multilevel`] — iteration: one temporary of OIDs per level,
+//!   joined breadth-first, optionally with duplicate elimination between
+//!   levels. The paper observes "the benefits of BFSNODUP will increase
+//!   with an increase in the number of levels explored" — duplicates
+//!   multiply through shared intermediate objects, and eliminating them
+//!   early shrinks every later join (reproduced by the `multilevel`
+//!   bench).
+
+use crate::database::{CorDatabase, PARENT_REL};
+use crate::query::{extract_ret, RetAttr, RetrieveQuery, StrategyOutput};
+use crate::strategies::{self, ExecOptions};
+use crate::{CorError, Strategy};
+use cor_access::{external_sort, merge_join, HeapFile};
+use cor_relational::Oid;
+use std::sync::Arc;
+
+/// `retrieve (L0.children.children...attr) where lo <= L0.OID <= hi`,
+/// descending through `levels.len()` databases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiDotQuery {
+    /// Lower bound on the level-0 object keys.
+    pub lo: u64,
+    /// Upper bound (inclusive).
+    pub hi: u64,
+    /// Attribute projected from the final level's subobjects.
+    pub attr: RetAttr,
+}
+
+/// Validate a hierarchy: every level must be a standard-representation
+/// database, and each level's subobject keys must resolve as the next
+/// level's parent keys (checked lazily during execution; here we check
+/// representations only).
+fn check_levels(levels: &[CorDatabase]) -> Result<(), CorError> {
+    if levels.is_empty() {
+        return Err(CorError::WrongRepresentation("at least one level"));
+    }
+    for db in levels {
+        // Both executors need ParentRel B-trees.
+        db.parent_tree()?;
+    }
+    Ok(())
+}
+
+/// Depth-first (recursive) multi-level retrieval.
+pub fn dfs_multilevel(
+    levels: &[CorDatabase],
+    query: &MultiDotQuery,
+) -> Result<StrategyOutput, CorError> {
+    check_levels(levels)?;
+    let stats = levels[0].pool().stats().clone();
+    let s0 = stats.snapshot();
+    let parents = levels[0].parents_in_range(query.lo, query.hi)?;
+    let s1 = stats.snapshot();
+
+    let mut values = Vec::new();
+    for (_key, children) in &parents {
+        for &oid in children {
+            descend(levels, 0, oid, query.attr, &mut values)?;
+        }
+    }
+    let s2 = stats.snapshot();
+    // ParCost covers only level-0 object access; everything deeper is
+    // subobject exploration. (Each level's own I/O lands on its own pool's
+    // counters; the totals here are correct when levels share a pool and
+    // per-level otherwise — the driver sums per-level stats.)
+    Ok(StrategyOutput {
+        values,
+        par_io: s1.since(&s0),
+        child_io: s2.since(&s1),
+    })
+}
+
+fn descend(
+    levels: &[CorDatabase],
+    level: usize,
+    oid: Oid,
+    attr: RetAttr,
+    values: &mut Vec<i64>,
+) -> Result<(), CorError> {
+    if level + 1 == levels.len() {
+        // `oid` names a subobject of the last database.
+        let rec = levels[level]
+            .fetch_child_record(oid)?
+            .ok_or(CorError::DanglingOid(oid))?;
+        values.push(extract_ret(&rec, attr));
+        return Ok(());
+    }
+    // `oid` names an object of the next database.
+    let next = &levels[level + 1];
+    let rows = next.parents_in_range(oid.key, oid.key)?;
+    let (_, children) = rows.into_iter().next().ok_or(CorError::DanglingOid(oid))?;
+    for child in children {
+        descend(levels, level + 1, child, attr, values)?;
+    }
+    Ok(())
+}
+
+/// Breadth-first (iterative) multi-level retrieval. With `dedup`,
+/// duplicate OIDs are eliminated between levels (the multi-level
+/// BFSNODUP).
+pub fn bfs_multilevel(
+    levels: &[CorDatabase],
+    query: &MultiDotQuery,
+    dedup: bool,
+    opts: &ExecOptions,
+) -> Result<StrategyOutput, CorError> {
+    check_levels(levels)?;
+    let stats = levels[0].pool().stats().clone();
+    let s0 = stats.snapshot();
+    let parents = levels[0].parents_in_range(query.lo, query.hi)?;
+    let s1 = stats.snapshot();
+
+    // Frontier: the subobject OIDs collected at the current level.
+    let mut frontier: Vec<Oid> = parents
+        .iter()
+        .flat_map(|(_, cs)| cs.iter().copied())
+        .collect();
+
+    let mut values = Vec::new();
+    for (level, db) in levels.iter().enumerate() {
+        let last = level + 1 == levels.len();
+        if last {
+            // Resolve the frontier against the final database's ChildRels
+            // using the standard BFS join machinery (handles per-relation
+            // temporaries, plan choice, and dedup).
+            let mut by_rel: std::collections::BTreeMap<u16, Vec<Oid>> = Default::default();
+            for oid in frontier.drain(..) {
+                by_rel.entry(oid.rel).or_default().push(oid);
+            }
+            for (rel, oids) in &by_rel {
+                strategies::bfs_join_fetch(db, *rel, oids, query.attr, dedup, opts, &mut values)?;
+            }
+            break;
+        }
+        // Intermediate level: the frontier names the NEXT database's
+        // objects. Materialize the frontier as a temporary of parent keys,
+        // sort it, and join against the next ParentRel to collect the
+        // level-deeper frontier — merge join for big frontiers, iterative
+        // substitution for small ones (the same optimizer choice as the
+        // single-level BFS, where duplicate elimination directly removes
+        // probes).
+        let next = &levels[level + 1];
+        let temp = HeapFile::create(Arc::clone(next.pool()))?;
+        for oid in frontier.drain(..) {
+            temp.append(&Oid::new(PARENT_REL, oid.key).to_key_bytes())?;
+        }
+        temp.flush()?;
+        let sorted = external_sort(
+            next.pool(),
+            temp.scan().map(|(_, rec)| rec),
+            opts.sort_work_mem,
+            dedup,
+        )?;
+        let tree = next.parent_tree()?;
+        let schema = next.parent_schema().clone();
+        let n = temp.len();
+        let iter_cost = tree.height() as u64 + n.saturating_sub(1);
+        let merge_cost = tree.leaf_pages() as u64 + temp.num_pages() as u64;
+        let collect = |rec: Vec<u8>, frontier: &mut Vec<Oid>| -> Result<(), CorError> {
+            let t = cor_access::decode(&schema, &rec)?;
+            let children = t.get(5).as_oid_list().expect("children column");
+            frontier.extend_from_slice(children);
+            Ok(())
+        };
+        if merge_cost < iter_cost {
+            for (_key, rec) in merge_join(sorted, tree.scan_all()) {
+                collect(rec, &mut frontier)?;
+            }
+        } else {
+            for key in sorted {
+                let rec = tree.get(&key)?.ok_or_else(|| {
+                    CorError::DanglingOid(Oid::from_key_bytes(&key).expect("oid key"))
+                })?;
+                collect(rec, &mut frontier)?;
+            }
+        }
+    }
+    let s2 = stats.snapshot();
+    Ok(StrategyOutput {
+        values,
+        par_io: s1.since(&s0),
+        child_io: s2.since(&s1),
+    })
+}
+
+/// Run a multi-level query under a strategy name (DFS, BFS or BFSNODUP);
+/// other strategies are single-level concepts.
+pub fn run_multilevel(
+    levels: &[CorDatabase],
+    strategy: Strategy,
+    query: &MultiDotQuery,
+    opts: &ExecOptions,
+) -> Result<StrategyOutput, CorError> {
+    match strategy {
+        Strategy::Dfs => dfs_multilevel(levels, query),
+        Strategy::Bfs => bfs_multilevel(levels, query, false, opts),
+        Strategy::BfsNoDup => bfs_multilevel(levels, query, true, opts),
+        other => {
+            // Single-level fallback so one-level hierarchies still accept
+            // every strategy.
+            if levels.len() == 1 {
+                let q = RetrieveQuery {
+                    lo: query.lo,
+                    hi: query.hi,
+                    attr: query.attr,
+                };
+                strategies::run_retrieve(&levels[0], other, &q, opts)
+            } else {
+                Err(CorError::WrongRepresentation(
+                    "DFS/BFS/BFSNODUP for multi-level queries",
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{DatabaseSpec, ObjectSpec, SubobjectSpec, CHILD_REL_BASE};
+    use cor_pagestore::{BufferPool, IoStats, MemDisk};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(
+            Box::new(MemDisk::new()),
+            32,
+            IoStats::new(),
+        ))
+    }
+
+    /// Two-level hierarchy:
+    /// groups (0..3) -> members (paths of people) -> hobbies.
+    /// Level 0: 3 groups each referencing 2 "person" oids (person 1 shared
+    /// by groups 0 and 1).
+    /// Level 1: 4 persons, each referencing hobbies; hobby 0 shared.
+    fn build_levels() -> Vec<CorDatabase> {
+        let c = |k: u64| Oid::new(CHILD_REL_BASE, k);
+        // Level 0: groups -> persons.
+        let level0 = DatabaseSpec {
+            parents: vec![
+                ObjectSpec {
+                    key: 0,
+                    rets: [0; 3],
+                    dummy: "g".into(),
+                    children: vec![c(0), c(1)],
+                },
+                ObjectSpec {
+                    key: 1,
+                    rets: [0; 3],
+                    dummy: "g".into(),
+                    children: vec![c(1), c(2)],
+                },
+                ObjectSpec {
+                    key: 2,
+                    rets: [0; 3],
+                    dummy: "g".into(),
+                    children: vec![c(3)],
+                },
+            ],
+            child_rels: vec![(0..4)
+                .map(|k| SubobjectSpec {
+                    oid: c(k),
+                    rets: [0; 3],
+                    dummy: "p".into(),
+                })
+                .collect()],
+        };
+        // Level 1: persons -> hobbies. Hobby ret1 = 100 * hobby key.
+        let level1 = DatabaseSpec {
+            parents: vec![
+                ObjectSpec {
+                    key: 0,
+                    rets: [0; 3],
+                    dummy: "p".into(),
+                    children: vec![c(0), c(1)],
+                },
+                ObjectSpec {
+                    key: 1,
+                    rets: [0; 3],
+                    dummy: "p".into(),
+                    children: vec![c(0)],
+                },
+                ObjectSpec {
+                    key: 2,
+                    rets: [0; 3],
+                    dummy: "p".into(),
+                    children: vec![c(2)],
+                },
+                ObjectSpec {
+                    key: 3,
+                    rets: [0; 3],
+                    dummy: "p".into(),
+                    children: vec![],
+                },
+            ],
+            child_rels: vec![(0..3)
+                .map(|k| SubobjectSpec {
+                    oid: c(k),
+                    rets: [100 * k as i64, 0, 0],
+                    dummy: "h".into(),
+                })
+                .collect()],
+        };
+        vec![
+            CorDatabase::build_standard(pool(), &level0, None).unwrap(),
+            CorDatabase::build_standard(pool(), &level1, None).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn dfs_two_levels_follows_every_path() {
+        let levels = build_levels();
+        let q = MultiDotQuery {
+            lo: 0,
+            hi: 2,
+            attr: RetAttr::Ret1,
+        };
+        let mut v = dfs_multilevel(&levels, &q).unwrap().values;
+        v.sort_unstable();
+        // Paths: g0->p0->{h0,h1}, g0->p1->{h0}, g1->p1->{h0},
+        // g1->p2->{h2}, g2->p3->{} => values {0,100,0,0,200}.
+        assert_eq!(v, vec![0, 0, 0, 100, 200]);
+    }
+
+    #[test]
+    fn bfs_matches_dfs_multiset() {
+        let levels = build_levels();
+        for (lo, hi) in [(0, 2), (0, 0), (1, 2), (2, 2)] {
+            let q = MultiDotQuery {
+                lo,
+                hi,
+                attr: RetAttr::Ret1,
+            };
+            let mut d = dfs_multilevel(&levels, &q).unwrap().values;
+            let mut b = bfs_multilevel(&levels, &q, false, &ExecOptions::default())
+                .unwrap()
+                .values;
+            d.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(d, b, "range {lo}..={hi}");
+        }
+    }
+
+    #[test]
+    fn nodup_eliminates_shared_paths() {
+        let levels = build_levels();
+        let q = MultiDotQuery {
+            lo: 0,
+            hi: 2,
+            attr: RetAttr::Ret1,
+        };
+        let mut v = bfs_multilevel(&levels, &q, true, &ExecOptions::default())
+            .unwrap()
+            .values;
+        v.sort_unstable();
+        // Dedup between levels: persons {0,1,2,3} once each, hobbies
+        // {0,1,2} once each.
+        assert_eq!(v, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn single_level_multidot_equals_plain_retrieve() {
+        let levels = build_levels();
+        let q = MultiDotQuery {
+            lo: 0,
+            hi: 2,
+            attr: RetAttr::Ret1,
+        };
+        let single = &levels[..1];
+        let mut a = run_multilevel(single, Strategy::Dfs, &q, &ExecOptions::default())
+            .unwrap()
+            .values;
+        let plain = RetrieveQuery {
+            lo: 0,
+            hi: 2,
+            attr: RetAttr::Ret1,
+        };
+        let mut b =
+            strategies::run_retrieve(&levels[0], Strategy::Dfs, &plain, &ExecOptions::default())
+                .unwrap()
+                .values;
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deep_strategies_reject_cached_modes() {
+        let levels = build_levels();
+        let q = MultiDotQuery {
+            lo: 0,
+            hi: 1,
+            attr: RetAttr::Ret1,
+        };
+        assert!(run_multilevel(&levels, Strategy::DfsCache, &q, &ExecOptions::default()).is_err());
+    }
+
+    #[test]
+    fn dangling_intermediate_reference_is_reported() {
+        let c = |k: u64| Oid::new(CHILD_REL_BASE, k);
+        let level0 = DatabaseSpec {
+            parents: vec![ObjectSpec {
+                key: 0,
+                rets: [0; 3],
+                dummy: "g".into(),
+                children: vec![c(99)], // no such person at level 1
+            }],
+            child_rels: vec![vec![SubobjectSpec {
+                oid: c(99),
+                rets: [0; 3],
+                dummy: "p".into(),
+            }]],
+        };
+        let level1 = DatabaseSpec {
+            parents: vec![ObjectSpec {
+                key: 0,
+                rets: [0; 3],
+                dummy: "p".into(),
+                children: vec![],
+            }],
+            child_rels: vec![vec![]],
+        };
+        let levels = vec![
+            CorDatabase::build_standard(pool(), &level0, None).unwrap(),
+            CorDatabase::build_standard(pool(), &level1, None).unwrap(),
+        ];
+        let q = MultiDotQuery {
+            lo: 0,
+            hi: 0,
+            attr: RetAttr::Ret1,
+        };
+        assert!(matches!(
+            dfs_multilevel(&levels, &q),
+            Err(CorError::DanglingOid(_))
+        ));
+    }
+}

@@ -1,0 +1,392 @@
+//! Outside caching for procedural representations (Sec. 2.3, \[JHIN88\]).
+//!
+//! "In outside caching, the relevant information of subobjects is cached
+//! away from the object that references them. These cached values can be
+//! shared with other objects that reference exactly the same set of
+//! subobjects." For procedures, "the same set" means *the same stored
+//! query*: the cache is keyed by the query's hashkey.
+//!
+//! Both cached representations of Fig. 1's procedural column are
+//! supported:
+//!
+//! * **cached OIDs** — the identities of the qualifying subobjects. An
+//!   update invalidates a cached entry only if it changes *membership*
+//!   (the updated tuple enters or leaves the query's result); value-only
+//!   changes stay valid because values are re-fetched on every hit.
+//! * **cached values** — the full result. Any update touching a tuple
+//!   that matches the query (before or after) invalidates.
+
+use crate::cache::{decode_unit_value, encode_unit_value, CacheCounters};
+use crate::procedural::predicate::StoredQuery;
+use cor_access::{AccessError, HashFile};
+use cor_pagestore::BufferPool;
+use cor_relational::{Oid, OID_BYTES};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// What a procedural cache stores per query (the cached-representation
+/// axis of the matrix).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcCachedKind {
+    /// Cache the OIDs of the result.
+    Oids,
+    /// Cache the values (records) of the result.
+    Values,
+}
+
+/// A cached query result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CachedResult {
+    /// Result identities.
+    Oids(Vec<Oid>),
+    /// Result records.
+    Values(Vec<Vec<u8>>),
+}
+
+impl CachedResult {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            CachedResult::Values(records) => {
+                let mut out = vec![b'V'];
+                out.extend_from_slice(&encode_unit_value(records));
+                out
+            }
+            CachedResult::Oids(oids) => {
+                let mut out = Vec::with_capacity(1 + 2 + oids.len() * OID_BYTES);
+                out.push(b'O');
+                out.extend_from_slice(&(oids.len() as u16).to_le_bytes());
+                for o in oids {
+                    out.extend_from_slice(&o.to_key_bytes());
+                }
+                out
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<CachedResult> {
+        match bytes.first()? {
+            b'V' => Some(CachedResult::Values(decode_unit_value(&bytes[1..])?)),
+            b'O' => {
+                let bytes = &bytes[1..];
+                if bytes.len() < 2 {
+                    return None;
+                }
+                let n = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;
+                let mut oids = Vec::with_capacity(n);
+                let mut rest = &bytes[2..];
+                for _ in 0..n {
+                    if rest.len() < OID_BYTES {
+                        return None;
+                    }
+                    oids.push(Oid::from_key_bytes(&rest[..OID_BYTES])?);
+                    rest = &rest[OID_BYTES..];
+                }
+                Some(CachedResult::Oids(oids))
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Meta {
+    query: StoredQuery,
+    kind: ProcCachedKind,
+    tick: u64,
+}
+
+/// Bounded, disk-resident, LRU cache of stored-query results, shared by
+/// every object storing the same query.
+pub struct ProcCache {
+    file: HashFile,
+    capacity: usize,
+    entries: HashMap<u64, Meta>,
+    lru: BTreeMap<u64, u64>,
+    tick: u64,
+    counters: CacheCounters,
+}
+
+impl ProcCache {
+    /// Create an empty cache bounded at `capacity` query results.
+    pub fn new(pool: Arc<BufferPool>, capacity: usize) -> Result<Self, AccessError> {
+        assert!(capacity > 0, "cache capacity must be positive");
+        let file = HashFile::create(pool, (capacity / 2).max(16))?;
+        Ok(ProcCache {
+            file,
+            capacity,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            counters: CacheCounters::default(),
+        })
+    }
+
+    /// Number of cached query results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/maintenance counters.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Presence check through the in-memory directory (no I/O).
+    pub fn is_cached(&self, hashkey: u64) -> bool {
+        self.entries.contains_key(&hashkey)
+    }
+
+    fn touch(&mut self, hashkey: u64) {
+        if let Some(meta) = self.entries.get_mut(&hashkey) {
+            self.lru.remove(&meta.tick);
+            self.tick += 1;
+            meta.tick = self.tick;
+            self.lru.insert(self.tick, hashkey);
+        }
+    }
+
+    /// Probe for a cached result: directory check is free, reading the
+    /// value costs real I/O against the hash relation.
+    pub fn probe(&mut self, hashkey: u64) -> Result<Option<CachedResult>, AccessError> {
+        if !self.entries.contains_key(&hashkey) {
+            self.counters.misses += 1;
+            return Ok(None);
+        }
+        let bytes = self
+            .file
+            .get(&hashkey.to_le_bytes())?
+            .expect("directory and hash relation must agree");
+        self.counters.hits += 1;
+        self.touch(hashkey);
+        Ok(Some(
+            CachedResult::decode(&bytes).expect("cached result must decode"),
+        ))
+    }
+
+    /// Cache a freshly evaluated query result. Returns `false` (caching
+    /// skipped) when the encoded result exceeds what one hash-file record
+    /// can hold — large query results are simply not cacheable, as a page
+    /// bound on cached tuples would dictate.
+    pub fn insert(
+        &mut self,
+        query: &StoredQuery,
+        result: &CachedResult,
+    ) -> Result<bool, AccessError> {
+        let hashkey = query.hashkey();
+        let encoded = result.encode();
+        if encoded.len() + 8 + 2 > cor_pagestore::MAX_RECORD {
+            return Ok(false);
+        }
+        let kind = match result {
+            CachedResult::Oids(_) => ProcCachedKind::Oids,
+            CachedResult::Values(_) => ProcCachedKind::Values,
+        };
+        if self.entries.contains_key(&hashkey) {
+            self.file.put(&hashkey.to_le_bytes(), &encoded)?;
+            self.touch(hashkey);
+            return Ok(true);
+        }
+        while self.entries.len() >= self.capacity {
+            let Some((&tick, _)) = self.lru.iter().next() else {
+                break;
+            };
+            let victim = self.lru.remove(&tick).expect("victim exists");
+            self.entries.remove(&victim);
+            self.file.delete(&victim.to_le_bytes())?;
+            self.counters.evictions += 1;
+        }
+        self.file.put(&hashkey.to_le_bytes(), &encoded)?;
+        self.tick += 1;
+        self.entries.insert(
+            hashkey,
+            Meta {
+                query: query.clone(),
+                kind,
+                tick: self.tick,
+            },
+        );
+        self.lru.insert(self.tick, hashkey);
+        self.counters.insertions += 1;
+        Ok(true)
+    }
+
+    /// A subobject changed from `old_rets` to `new_rets`: invalidate every
+    /// cached query this affects, per the kind-specific rule.
+    pub fn invalidate_for_update(
+        &mut self,
+        oid: Oid,
+        old_rets: &[i64; 3],
+        new_rets: &[i64; 3],
+    ) -> Result<usize, AccessError> {
+        let victims: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, meta)| {
+                let was = meta.query.matches(oid, old_rets);
+                let is = meta.query.matches(oid, new_rets);
+                match meta.kind {
+                    // Values go stale whenever a matching tuple changed.
+                    ProcCachedKind::Values => was || is,
+                    // OID lists go stale only when membership changed.
+                    ProcCachedKind::Oids => was != is,
+                }
+            })
+            .map(|(&hk, _)| hk)
+            .collect();
+        for hk in &victims {
+            let meta = self.entries.remove(hk).expect("victim tracked");
+            self.lru.remove(&meta.tick);
+            self.file.delete(&hk.to_le_bytes())?;
+            self.counters.invalidations += 1;
+        }
+        Ok(victims.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cor_pagestore::{IoStats, MemDisk};
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(
+            Box::new(MemDisk::new()),
+            32,
+            IoStats::new(),
+        ))
+    }
+
+    fn key_query(lo: u64, hi: u64) -> StoredQuery {
+        StoredQuery::KeyRange { rel: 10, lo, hi }
+    }
+
+    fn ret_query(lo: i64, hi: i64) -> StoredQuery {
+        StoredQuery::RetRange {
+            rel: 10,
+            ret_idx: 0,
+            lo,
+            hi,
+        }
+    }
+
+    #[test]
+    fn cached_result_codec_roundtrip() {
+        let v = CachedResult::Values(vec![b"abc".to_vec(), vec![9u8; 50]]);
+        assert_eq!(CachedResult::decode(&v.encode()), Some(v));
+        let o = CachedResult::Oids(vec![Oid::new(10, 1), Oid::new(10, 99)]);
+        assert_eq!(CachedResult::decode(&o.encode()), Some(o));
+        assert_eq!(CachedResult::decode(b""), None);
+        assert_eq!(CachedResult::decode(b"X123"), None);
+    }
+
+    #[test]
+    fn probe_insert_roundtrip() {
+        let mut c = ProcCache::new(pool(), 8).unwrap();
+        let q = key_query(0, 4);
+        assert_eq!(c.probe(q.hashkey()).unwrap(), None);
+        let result = CachedResult::Values(vec![b"r0".to_vec()]);
+        assert!(c.insert(&q, &result).unwrap());
+        assert_eq!(c.probe(q.hashkey()).unwrap(), Some(result));
+        assert!(c.is_cached(q.hashkey()));
+    }
+
+    #[test]
+    fn value_cache_invalidated_by_any_matching_update() {
+        let mut c = ProcCache::new(pool(), 8).unwrap();
+        let q = ret_query(60, 100); // e.g. elders: 60 <= ret1 <= 100
+        c.insert(&q, &CachedResult::Values(vec![b"mary".to_vec()]))
+            .unwrap();
+        // Mary's age changes 62 -> 63: still a member, but the cached
+        // value is stale.
+        let n = c
+            .invalidate_for_update(Oid::new(10, 1), &[62, 0, 0], &[63, 0, 0])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(c.probe(q.hashkey()).unwrap(), None);
+    }
+
+    #[test]
+    fn oid_cache_survives_value_only_updates() {
+        let mut c = ProcCache::new(pool(), 8).unwrap();
+        let q = ret_query(60, 100);
+        let oids = CachedResult::Oids(vec![Oid::new(10, 1)]);
+        c.insert(&q, &oids).unwrap();
+        // 62 -> 63: membership unchanged, OID list stays valid.
+        let n = c
+            .invalidate_for_update(Oid::new(10, 1), &[62, 0, 0], &[63, 0, 0])
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(c.probe(q.hashkey()).unwrap(), Some(oids));
+        // 62 -> 30: Mary leaves the result; the OID list is stale.
+        let n = c
+            .invalidate_for_update(Oid::new(10, 1), &[62, 0, 0], &[30, 0, 0])
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(c.probe(q.hashkey()).unwrap(), None);
+    }
+
+    #[test]
+    fn unrelated_updates_invalidate_nothing() {
+        let mut c = ProcCache::new(pool(), 8).unwrap();
+        c.insert(&key_query(0, 4), &CachedResult::Values(vec![b"x".to_vec()]))
+            .unwrap();
+        // A key outside the range, values irrelevant for KeyRange.
+        let n = c
+            .invalidate_for_update(Oid::new(10, 99), &[1, 1, 1], &[2, 2, 2])
+            .unwrap();
+        assert_eq!(n, 0);
+        // Another relation entirely.
+        let n = c
+            .invalidate_for_update(Oid::new(11, 2), &[1, 1, 1], &[2, 2, 2])
+            .unwrap();
+        assert_eq!(n, 0);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn key_range_cache_invalidated_by_in_range_update() {
+        let mut c = ProcCache::new(pool(), 8).unwrap();
+        let q = key_query(0, 4);
+        c.insert(&q, &CachedResult::Values(vec![b"x".to_vec()]))
+            .unwrap();
+        let n = c
+            .invalidate_for_update(Oid::new(10, 2), &[1, 0, 0], &[5, 0, 0])
+            .unwrap();
+        assert_eq!(
+            n, 1,
+            "value cache over a key range is stale after any in-range update"
+        );
+    }
+
+    #[test]
+    fn capacity_bound_holds() {
+        let mut c = ProcCache::new(pool(), 3).unwrap();
+        for i in 0..10u64 {
+            c.insert(
+                &key_query(i, i + 1),
+                &CachedResult::Values(vec![b"v".to_vec()]),
+            )
+            .unwrap();
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.counters().evictions, 7);
+    }
+
+    #[test]
+    fn oversized_results_are_not_cached() {
+        let mut c = ProcCache::new(pool(), 8).unwrap();
+        // ~2.5 KB of records exceeds a 2 KB page: caching is skipped.
+        let big = CachedResult::Values((0..40).map(|_| vec![1u8; 60]).collect());
+        let q = key_query(0, 1000);
+        assert!(!c.insert(&q, &big).unwrap());
+        assert!(!c.is_cached(q.hashkey()));
+        assert_eq!(c.counters().insertions, 0);
+        // A result that fits is cached normally.
+        let small = CachedResult::Values((0..5).map(|_| vec![1u8; 60]).collect());
+        assert!(c.insert(&key_query(0, 4), &small).unwrap());
+    }
+}

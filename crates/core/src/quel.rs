@@ -1,0 +1,338 @@
+//! A QUEL front-end for the paper's query surface syntax.
+//!
+//! The paper writes its workload in QUEL (the INGRES/POSTGRES query
+//! language), e.g.
+//!
+//! ```text
+//! retrieve (ParentRel.children.ret2) where 100 <= ParentRel.OID <= 149
+//! replace child10 (ret1 = 42) where child10.OID in (3, 7, 9)
+//! ```
+//!
+//! This module parses exactly that dialect into the crate's typed queries:
+//! multi-dot paths (`children.children...retN`) become
+//! [`MultiDotQuery`]s whose depth is the number of `children` hops, and
+//! `replace` statements become [`UpdateQuery`]s (the paper's in-place
+//! ChildRel updates). Stored *procedural* queries have their own parser in
+//! [`crate::procedural::StoredQuery`].
+
+use crate::multilevel::MultiDotQuery;
+use crate::query::{RetAttr, RetrieveQuery, UpdateQuery};
+use cor_relational::{Oid, RelId};
+
+/// A parsed QUEL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuelStatement {
+    /// A two-dot retrieve (`ParentRel.children.retN`).
+    Retrieve(RetrieveQuery),
+    /// A deeper retrieve; `depth` = number of `children` hops (2 hops =
+    /// three-dot query, needs a 2-level hierarchy).
+    RetrieveMulti {
+        /// The range/attribute of the query.
+        query: MultiDotQuery,
+        /// Number of `children` hops in the path.
+        depth: usize,
+    },
+    /// An in-place update of ChildRel tuples (`replace`).
+    Replace {
+        /// The ChildRel targeted.
+        rel: RelId,
+        /// The update to apply.
+        update: UpdateQuery,
+    },
+}
+
+/// Parse errors with positions are overkill for this dialect; a message
+/// suffices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuelError(pub String);
+
+impl std::fmt::Display for QuelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QUEL parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for QuelError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, QuelError> {
+    Err(QuelError(msg.into()))
+}
+
+/// Parse one QUEL statement.
+///
+/// ```
+/// use complexobj::{parse_quel, QuelStatement, RetAttr};
+///
+/// let stmt = parse_quel("retrieve (ParentRel.children.ret2) where 5 <= ParentRel.OID <= 9")
+///     .unwrap();
+/// let QuelStatement::Retrieve(q) = stmt else { unreachable!() };
+/// assert_eq!((q.lo, q.hi, q.attr), (5, 9, RetAttr::Ret2));
+/// ```
+pub fn parse(text: &str) -> Result<QuelStatement, QuelError> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix("retrieve") {
+        parse_retrieve(rest.trim())
+    } else if let Some(rest) = text.strip_prefix("replace") {
+        parse_replace(rest.trim())
+    } else {
+        err("expected 'retrieve' or 'replace'")
+    }
+}
+
+fn parse_attr(name: &str) -> Result<RetAttr, QuelError> {
+    match name {
+        "ret1" => Ok(RetAttr::Ret1),
+        "ret2" => Ok(RetAttr::Ret2),
+        "ret3" => Ok(RetAttr::Ret3),
+        other => err(format!("unknown attribute {other:?} (ret1..ret3)")),
+    }
+}
+
+fn parse_retrieve(rest: &str) -> Result<QuelStatement, QuelError> {
+    // "(ParentRel.children[.children...].retN) where LO <= ParentRel.OID <= HI"
+    let Some(rest) = rest.strip_prefix('(') else {
+        return err("expected '(' after retrieve");
+    };
+    let Some((target, rest)) = rest.split_once(')') else {
+        return err("unclosed target list");
+    };
+    let mut path = target.trim().split('.');
+    if path.next() != Some("ParentRel") {
+        return err("target path must start with ParentRel");
+    }
+    let mut hops = 0usize;
+    let mut attr = None;
+    for part in path {
+        if part == "children" {
+            if attr.is_some() {
+                return err("attribute must terminate the path");
+            }
+            hops += 1;
+        } else {
+            if attr.is_some() {
+                return err("only one attribute allowed");
+            }
+            attr = Some(parse_attr(part)?);
+        }
+    }
+    if hops == 0 {
+        return err("path needs at least one '.children' hop");
+    }
+    let attr = attr.ok_or_else(|| QuelError("path must end in ret1..ret3".into()))?;
+
+    let rest = rest.trim();
+    let Some(cond) = rest.strip_prefix("where") else {
+        return err("expected 'where' clause");
+    };
+    // "LO <= ParentRel.OID <= HI"
+    let mut parts = cond.trim().split(" <= ");
+    let lo: u64 = parts
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| QuelError("bad lower bound".into()))?;
+    if parts.next().map(str::trim) != Some("ParentRel.OID") {
+        return err("where clause must range over ParentRel.OID");
+    }
+    let hi: u64 = parts
+        .next()
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| QuelError("bad upper bound".into()))?;
+    if parts.next().is_some() {
+        return err("too many comparisons");
+    }
+    if lo > hi {
+        return err("empty range: lower bound exceeds upper bound");
+    }
+
+    if hops == 1 {
+        Ok(QuelStatement::Retrieve(RetrieveQuery { lo, hi, attr }))
+    } else {
+        Ok(QuelStatement::RetrieveMulti {
+            query: MultiDotQuery { lo, hi, attr },
+            depth: hops,
+        })
+    }
+}
+
+fn parse_replace(rest: &str) -> Result<QuelStatement, QuelError> {
+    // "childN (ret1 = V) where childN.OID in (K1, K2, ...)"
+    let Some((rel_name, rest)) = rest.split_once('(') else {
+        return err("expected '(' after relation name");
+    };
+    let rel_name = rel_name.trim();
+    let rel: RelId = rel_name
+        .strip_prefix("child")
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| QuelError(format!("expected childN relation, got {rel_name:?}")))?;
+
+    let Some((assign, rest)) = rest.split_once(')') else {
+        return err("unclosed assignment list");
+    };
+    let Some((attr_name, value)) = assign.split_once('=') else {
+        return err("expected 'ret1 = value'");
+    };
+    if attr_name.trim() != "ret1" {
+        return err("only ret1 may be replaced (the paper's updates modify one field)");
+    }
+    let new_ret1: i64 = value
+        .trim()
+        .parse()
+        .map_err(|_| QuelError(format!("bad value {:?}", value.trim())))?;
+
+    let rest = rest.trim();
+    let Some(cond) = rest.strip_prefix("where") else {
+        return err("expected 'where' clause");
+    };
+    let cond = cond.trim();
+    let expected_prefix = format!("{rel_name}.OID in (");
+    let Some(list) = cond.strip_prefix(expected_prefix.as_str()) else {
+        return err(format!("where clause must be '{rel_name}.OID in (...)'"));
+    };
+    let Some(list) = list.strip_suffix(')') else {
+        return err("unclosed OID list");
+    };
+    let mut targets = Vec::new();
+    for item in list.split(',') {
+        let key: u64 = item
+            .trim()
+            .parse()
+            .map_err(|_| QuelError(format!("bad OID {:?}", item.trim())))?;
+        targets.push(Oid::new(rel, key));
+    }
+    if targets.is_empty() {
+        return err("empty OID list");
+    }
+    Ok(QuelStatement::Replace {
+        rel,
+        update: UpdateQuery { targets, new_ret1 },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::CHILD_REL_BASE;
+
+    #[test]
+    fn parse_two_dot_retrieve() {
+        let s =
+            parse("retrieve (ParentRel.children.ret2) where 100 <= ParentRel.OID <= 149").unwrap();
+        assert_eq!(
+            s,
+            QuelStatement::Retrieve(RetrieveQuery {
+                lo: 100,
+                hi: 149,
+                attr: RetAttr::Ret2
+            })
+        );
+    }
+
+    #[test]
+    fn parse_multi_dot_retrieve() {
+        let s = parse(
+            "retrieve (ParentRel.children.children.children.ret1) where 0 <= ParentRel.OID <= 9",
+        )
+        .unwrap();
+        assert_eq!(
+            s,
+            QuelStatement::RetrieveMulti {
+                query: MultiDotQuery {
+                    lo: 0,
+                    hi: 9,
+                    attr: RetAttr::Ret1
+                },
+                depth: 3
+            }
+        );
+    }
+
+    #[test]
+    fn parse_replace() {
+        let s = parse("replace child10 (ret1 = -42) where child10.OID in (3, 7, 9)").unwrap();
+        let QuelStatement::Replace { rel, update } = s else {
+            panic!("not a replace")
+        };
+        assert_eq!(rel, CHILD_REL_BASE);
+        assert_eq!(update.new_ret1, -42);
+        assert_eq!(
+            update.targets,
+            vec![
+                Oid::new(CHILD_REL_BASE, 3),
+                Oid::new(CHILD_REL_BASE, 7),
+                Oid::new(CHILD_REL_BASE, 9)
+            ]
+        );
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let s = parse("  retrieve   (ParentRel.children.ret1)   where  1 <= ParentRel.OID <= 2 ")
+            .unwrap();
+        assert!(matches!(s, QuelStatement::Retrieve(_)));
+        let s = parse("replace child11 ( ret1 = 5 ) where child11.OID in ( 1 )").unwrap();
+        assert!(matches!(s, QuelStatement::Replace { rel: 11, .. }));
+    }
+
+    #[test]
+    fn malformed_statements_are_rejected() {
+        for bad in [
+            "",
+            "select * from t",
+            "retrieve ParentRel.children.ret1 where 1 <= ParentRel.OID <= 2",
+            "retrieve (ParentRel.ret1) where 1 <= ParentRel.OID <= 2",
+            "retrieve (ParentRel.children.age) where 1 <= ParentRel.OID <= 2",
+            "retrieve (ParentRel.children.ret1.children) where 1 <= ParentRel.OID <= 2",
+            "retrieve (ParentRel.children.ret1) where 1 <= person.OID <= 2",
+            "retrieve (ParentRel.children.ret1) where 9 <= ParentRel.OID <= 2",
+            "retrieve (ParentRel.children.ret1)",
+            "replace child10 (ret2 = 5) where child10.OID in (1)",
+            "replace child10 (ret1 = 5) where child11.OID in (1)",
+            "replace child10 (ret1 = 5) where child10.OID in ()",
+            "replace person (ret1 = 5) where person.OID in (1)",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parsed_retrieve_runs_end_to_end() {
+        use crate::database::{CorDatabase, DatabaseSpec, ObjectSpec, SubobjectSpec};
+        use crate::strategies::{run_retrieve, ExecOptions};
+        use cor_pagestore::{BufferPool, IoStats, MemDisk};
+        use std::sync::Arc;
+
+        let c = |k: u64| Oid::new(CHILD_REL_BASE, k);
+        let spec = DatabaseSpec {
+            parents: vec![ObjectSpec {
+                key: 0,
+                rets: [0; 3],
+                dummy: "p".into(),
+                children: vec![c(0), c(1)],
+            }],
+            child_rels: vec![(0..2)
+                .map(|k| SubobjectSpec {
+                    oid: c(k),
+                    rets: [7 * k as i64, 0, 0],
+                    dummy: "c".into(),
+                })
+                .collect()],
+        };
+        let pool = Arc::new(BufferPool::new(
+            Box::new(MemDisk::new()),
+            16,
+            IoStats::new(),
+        ));
+        let db = CorDatabase::build_standard(pool, &spec, None).unwrap();
+
+        let QuelStatement::Retrieve(q) =
+            parse("retrieve (ParentRel.children.ret1) where 0 <= ParentRel.OID <= 0").unwrap()
+        else {
+            panic!("not a retrieve")
+        };
+        let mut v = run_retrieve(&db, crate::Strategy::Dfs, &q, &ExecOptions::default())
+            .unwrap()
+            .values;
+        v.sort_unstable();
+        assert_eq!(v, vec![0, 7]);
+    }
+}

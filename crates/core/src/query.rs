@@ -1,0 +1,175 @@
+//! Queries and their results (paper Sec. 4).
+//!
+//! Retrieve queries take the paper's shape:
+//!
+//! ```text
+//! retrieve (ParentRel.children.attr) where val1 <= ParentRel.OID <= val2
+//! ```
+//!
+//! with `attr` randomly chosen among `ret1..ret3` per query, and updates
+//! "modify a fixed number of tuples of ChildRel in place". In the presence
+//! of clustering both are translated into the equivalent ClusterRel
+//! operations (handled inside [`crate::database::CorDatabase`]).
+
+use crate::database::CorDatabase;
+use crate::CorError;
+use cor_pagestore::IoDelta;
+use cor_relational::Oid;
+
+/// Which retrievable attribute a query projects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetAttr {
+    /// `ret1`
+    Ret1,
+    /// `ret2`
+    Ret2,
+    /// `ret3`
+    Ret3,
+}
+
+impl RetAttr {
+    /// Column index within the ChildRel schema (oid is column 0).
+    pub fn column(self) -> usize {
+        match self {
+            RetAttr::Ret1 => 1,
+            RetAttr::Ret2 => 2,
+            RetAttr::Ret3 => 3,
+        }
+    }
+
+    /// All attributes, for random per-query choice.
+    pub const ALL: [RetAttr; 3] = [RetAttr::Ret1, RetAttr::Ret2, RetAttr::Ret3];
+}
+
+/// `retrieve (ParentRel.children.attr) where lo <= ParentRel.OID <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetrieveQuery {
+    /// Lower OID bound (`val1`).
+    pub lo: u64,
+    /// Upper OID bound (`val2`), inclusive.
+    pub hi: u64,
+    /// Projected attribute.
+    pub attr: RetAttr,
+}
+
+impl RetrieveQuery {
+    /// Number of ParentRel keys selected (the paper's `NumTop`, for dense
+    /// keys).
+    pub fn num_top(&self) -> u64 {
+        self.hi.saturating_sub(self.lo) + 1
+    }
+}
+
+/// An update query: set `ret1` of each target subobject, in place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateQuery {
+    /// Subobjects to modify.
+    pub targets: Vec<Oid>,
+    /// New `ret1` value.
+    pub new_ret1: i64,
+}
+
+/// One query of a sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A retrieve.
+    Retrieve(RetrieveQuery),
+    /// An update.
+    Update(UpdateQuery),
+}
+
+/// Result of running one retrieve under some strategy.
+#[derive(Debug, Clone, Default)]
+pub struct StrategyOutput {
+    /// Projected attribute values, one per (object, subobject) pair —
+    /// shared subobjects appear once per referencing object, exactly as
+    /// the paper's multi-dot query semantics produce.
+    pub values: Vec<i64>,
+    /// I/O charged to accessing the qualifying objects (the paper's
+    /// `ParCost`).
+    pub par_io: IoDelta,
+    /// I/O charged to fetching the subobjects (the paper's `ChildCost`).
+    pub child_io: IoDelta,
+}
+
+impl StrategyOutput {
+    /// `TotCost = ParCost + ChildCost`.
+    pub fn total_io(&self) -> u64 {
+        self.par_io.total() + self.child_io.total()
+    }
+}
+
+/// Extract `ret{1,2,3}` from an encoded ChildRel record without a full
+/// decode. The record layout is `oid (10 B) | ret1 | ret2 | ret3 | dummy`,
+/// with 8-byte little-endian integers.
+pub fn extract_ret(record: &[u8], attr: RetAttr) -> i64 {
+    let off = cor_relational::OID_BYTES + 8 * (attr.column() - 1);
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&record[off..off + 8]);
+    i64::from_le_bytes(b)
+}
+
+/// Apply an update query. Modifies each target subobject in place and, when
+/// `maintain_cache` is set on a cache-bearing database, invalidates every
+/// cached unit holding an I-lock for a modified subobject (Sec. 3.2).
+/// Returns the I/O consumed.
+pub fn apply_update(
+    db: &CorDatabase,
+    update: &UpdateQuery,
+    maintain_cache: bool,
+) -> Result<IoDelta, CorError> {
+    let before = db.pool().stats().snapshot();
+    for &oid in &update.targets {
+        db.update_child_ret(oid, 0, update.new_ret1)?;
+        if maintain_cache && db.has_cache() {
+            db.invalidate_subobject(oid)?;
+        }
+    }
+    Ok(db.pool().stats().snapshot().since(&before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::{child_schema, CHILD_REL_BASE};
+    use cor_access::encode;
+    use cor_relational::{Tuple, Value};
+
+    #[test]
+    fn num_top_counts_inclusive_range() {
+        let q = RetrieveQuery {
+            lo: 10,
+            hi: 19,
+            attr: RetAttr::Ret1,
+        };
+        assert_eq!(q.num_top(), 10);
+        let q = RetrieveQuery {
+            lo: 5,
+            hi: 5,
+            attr: RetAttr::Ret2,
+        };
+        assert_eq!(q.num_top(), 1);
+    }
+
+    #[test]
+    fn extract_ret_matches_full_decode() {
+        let t = Tuple::new(vec![
+            Value::Oid(Oid::new(CHILD_REL_BASE, 77)),
+            Value::Int(-123),
+            Value::Int(456),
+            Value::Int(i64::MIN),
+            Value::Str("pad pad pad".into()),
+        ]);
+        let rec = encode(&child_schema(), &t).unwrap();
+        assert_eq!(extract_ret(&rec, RetAttr::Ret1), -123);
+        assert_eq!(extract_ret(&rec, RetAttr::Ret2), 456);
+        assert_eq!(extract_ret(&rec, RetAttr::Ret3), i64::MIN);
+    }
+
+    #[test]
+    fn ret_attr_columns() {
+        assert_eq!(RetAttr::Ret1.column(), 1);
+        assert_eq!(RetAttr::Ret3.column(), 3);
+        assert_eq!(RetAttr::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,35 @@
+//! DFS (Sec. 3.1, strategy \[1\]).
+//!
+//! "For each OID of 'elders', fetch the corresponding subobject from the
+//! relation person, and return its name." — a nested-loop join between
+//! ParentRel and ChildRel: one index probe per referenced subobject.
+//! Linear in the number of references, so it loses to BFS once NumTop
+//! exceeds a few tens of objects (Fig. 3), but it needs no temporary.
+
+use super::fetch_required;
+use crate::database::CorDatabase;
+use crate::query::{extract_ret, RetrieveQuery, StrategyOutput};
+use crate::CorError;
+
+/// Run a retrieve depth-first.
+pub fn dfs(db: &CorDatabase, query: &RetrieveQuery) -> Result<StrategyOutput, CorError> {
+    let stats = db.pool().stats().clone();
+    let s0 = stats.snapshot();
+    let parents = db.parents_in_range(query.lo, query.hi)?;
+    let s1 = stats.snapshot();
+
+    let mut values = Vec::new();
+    for (_key, children) in &parents {
+        for &oid in children {
+            let rec = fetch_required(db, oid)?;
+            values.push(extract_ret(&rec, query.attr));
+        }
+    }
+    let s2 = stats.snapshot();
+
+    Ok(StrategyOutput {
+        values,
+        par_io: s1.since(&s0),
+        child_io: s2.since(&s1),
+    })
+}

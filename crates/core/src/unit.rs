@@ -1,0 +1,227 @@
+//! Units of subobjects and the sharing algebra (Sec. 3.2–3.3).
+//!
+//! A **unit** is "a collection of subobjects which belong to one relation
+//! and which are referenced by one object". Units are the granule of
+//! caching: "It is best to cache the values of the subobjects of a unit
+//! together in one place, since they will often be needed together."
+//!
+//! Sharing is described by two factors:
+//!
+//! * `UseFactor` — expected number of objects containing the same unit;
+//! * `OverlapFactor` — expected number of units sharing a subobject;
+//! * `ShareFactor = UseFactor × OverlapFactor` — expected number of
+//!   objects sharing a subobject.
+
+use cor_access::fnv1a64;
+use cor_relational::Oid;
+
+/// A unit: the ordered list of subobject OIDs referenced together by an
+/// object. All OIDs belong to one relation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Unit {
+    oids: Vec<Oid>,
+}
+
+impl Unit {
+    /// Build a unit from subobject OIDs (must all share one relation).
+    ///
+    /// # Panics
+    /// Panics if the OIDs span multiple relations — units are
+    /// single-relation by definition.
+    pub fn new(oids: Vec<Oid>) -> Self {
+        if let Some(first) = oids.first() {
+            assert!(
+                oids.iter().all(|o| o.rel == first.rel),
+                "a unit's subobjects must belong to one relation"
+            );
+        }
+        Unit { oids }
+    }
+
+    /// The subobject OIDs, in reference order.
+    pub fn oids(&self) -> &[Oid] {
+        &self.oids
+    }
+
+    /// Number of subobjects (the paper's `SizeUnit` is its expectation).
+    pub fn len(&self) -> usize {
+        self.oids.len()
+    }
+
+    /// True for the empty unit.
+    pub fn is_empty(&self) -> bool {
+        self.oids.is_empty()
+    }
+
+    /// The relation the unit's subobjects live in, if non-empty.
+    pub fn relation(&self) -> Option<u16> {
+        self.oids.first().map(|o| o.rel)
+    }
+
+    /// The cache hashkey: "a function of the concatenation of the OID's in
+    /// that unit" (Sec. 4). Reference order matters — the same set of OIDs
+    /// in a different order is a different unit identity, exactly as a
+    /// concatenation-based hash behaves.
+    pub fn hashkey(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.oids.len() * cor_relational::OID_BYTES);
+        for o in &self.oids {
+            bytes.extend_from_slice(&o.to_key_bytes());
+        }
+        fnv1a64(&bytes)
+    }
+}
+
+/// Compute hashkey directly from a `children` OID slice without building a
+/// [`Unit`] (hot path in the caching strategies).
+pub fn hashkey_of(oids: &[Oid]) -> u64 {
+    let mut bytes = Vec::with_capacity(oids.len() * cor_relational::OID_BYTES);
+    for o in oids {
+        bytes.extend_from_slice(&o.to_key_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// The sharing parameters of Sec. 3.3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharingFactors {
+    /// Expected number of objects containing the same unit.
+    pub use_factor: f64,
+    /// Expected number of units sharing a subobject.
+    pub overlap_factor: f64,
+}
+
+impl SharingFactors {
+    /// `ShareFactor = UseFactor × OverlapFactor`.
+    pub fn share_factor(&self) -> f64 {
+        self.use_factor * self.overlap_factor
+    }
+}
+
+/// Measure the observed sharing factors of an object → unit assignment.
+///
+/// * `assignments[i]` is the unit index used by object `i`;
+/// * `units[u]` is the subobject OID list of unit `u`.
+///
+/// Returns observed (UseFactor, OverlapFactor) as averages over used units
+/// and referenced subobjects respectively. Used by generator tests to
+/// check that synthetic databases hit the requested factors.
+pub fn measure_sharing(assignments: &[usize], units: &[Unit]) -> SharingFactors {
+    use std::collections::HashMap;
+    let mut unit_uses: HashMap<usize, u64> = HashMap::new();
+    for &u in assignments {
+        *unit_uses.entry(u).or_insert(0) += 1;
+    }
+    let used_units: Vec<usize> = unit_uses.keys().copied().collect();
+    let use_factor = if used_units.is_empty() {
+        0.0
+    } else {
+        unit_uses.values().sum::<u64>() as f64 / used_units.len() as f64
+    };
+
+    let mut sub_units: HashMap<Oid, u64> = HashMap::new();
+    for &u in &used_units {
+        for &oid in units[u].oids() {
+            *sub_units.entry(oid).or_insert(0) += 1;
+        }
+    }
+    let overlap_factor = if sub_units.is_empty() {
+        0.0
+    } else {
+        sub_units.values().sum::<u64>() as f64 / sub_units.len() as f64
+    };
+
+    SharingFactors {
+        use_factor,
+        overlap_factor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oid(k: u64) -> Oid {
+        Oid::new(10, k)
+    }
+
+    #[test]
+    fn unit_basics() {
+        let u = Unit::new(vec![oid(3), oid(1), oid(2)]);
+        assert_eq!(u.len(), 3);
+        assert_eq!(u.relation(), Some(10));
+        assert!(!u.is_empty());
+        assert!(Unit::new(vec![]).is_empty());
+        assert_eq!(Unit::new(vec![]).relation(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "one relation")]
+    fn mixed_relation_unit_panics() {
+        Unit::new(vec![Oid::new(10, 1), Oid::new(11, 1)]);
+    }
+
+    #[test]
+    fn hashkey_depends_on_order_and_content() {
+        let a = Unit::new(vec![oid(1), oid(2)]);
+        let b = Unit::new(vec![oid(2), oid(1)]);
+        let c = Unit::new(vec![oid(1), oid(2)]);
+        assert_eq!(a.hashkey(), c.hashkey());
+        assert_ne!(
+            a.hashkey(),
+            b.hashkey(),
+            "concatenation hash is order-sensitive"
+        );
+        assert_eq!(a.hashkey(), hashkey_of(&[oid(1), oid(2)]));
+    }
+
+    #[test]
+    fn share_factor_is_product() {
+        let f = SharingFactors {
+            use_factor: 5.0,
+            overlap_factor: 2.0,
+        };
+        assert_eq!(f.share_factor(), 10.0);
+    }
+
+    #[test]
+    fn measure_ideal_clustering_case() {
+        // ShareFactor = 1: each object its own unit, units disjoint.
+        let units = vec![
+            Unit::new(vec![oid(0), oid(1)]),
+            Unit::new(vec![oid(2), oid(3)]),
+        ];
+        let f = measure_sharing(&[0, 1], &units);
+        assert_eq!(f.use_factor, 1.0);
+        assert_eq!(f.overlap_factor, 1.0);
+    }
+
+    #[test]
+    fn measure_use_factor_case() {
+        // Two objects share unit 0 entirely: UseFactor 2, Overlap 1.
+        let units = vec![Unit::new(vec![oid(0), oid(1)])];
+        let f = measure_sharing(&[0, 0], &units);
+        assert_eq!(f.use_factor, 2.0);
+        assert_eq!(f.overlap_factor, 1.0);
+        assert_eq!(f.share_factor(), 2.0);
+    }
+
+    #[test]
+    fn measure_overlap_factor_case() {
+        // Paper Sec 3.3 case [3]: overlapping units, UseFactor 1.
+        let units = vec![
+            Unit::new(vec![oid(0), oid(1), oid(2)]),
+            Unit::new(vec![oid(1), oid(2), oid(3)]),
+        ];
+        let f = measure_sharing(&[0, 1], &units);
+        assert_eq!(f.use_factor, 1.0);
+        // oids 1,2 in two units; 0,3 in one: mean 6/4 = 1.5.
+        assert_eq!(f.overlap_factor, 1.5);
+    }
+
+    #[test]
+    fn measure_empty() {
+        let f = measure_sharing(&[], &[]);
+        assert_eq!(f.use_factor, 0.0);
+        assert_eq!(f.overlap_factor, 0.0);
+    }
+}

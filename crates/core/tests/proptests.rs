@@ -1,0 +1,162 @@
+//! Property tests for the paper's core machinery: the unit cache against
+//! a model with a staleness invariant, QUEL round-trips, and clustering
+//! assignment properties.
+
+use complexobj::procedural::StoredQuery;
+use complexobj::{parse_quel, ClusterAssignment, QuelStatement, UnitCache};
+use cor_pagestore::{BufferPool, IoStats, MemDisk};
+use cor_relational::Oid;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(
+        Box::new(MemDisk::new()),
+        32,
+        IoStats::new(),
+    ))
+}
+
+#[derive(Debug, Clone)]
+enum CacheOp {
+    /// Insert unit `u` with a value tagged by `version`.
+    Insert(u8),
+    /// Probe unit `u`.
+    Probe(u8),
+    /// Update subobject `s` (invalidate everything containing it).
+    Update(u8),
+}
+
+fn arb_cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        3 => (0u8..24).prop_map(CacheOp::Insert),
+        3 => (0u8..24).prop_map(CacheOp::Probe),
+        1 => (0u8..48).prop_map(CacheOp::Update),
+    ]
+}
+
+/// Unit `u` contains subobjects {2u, 2u+1}.
+fn members(u: u8) -> Vec<Oid> {
+    vec![Oid::new(10, 2 * u as u64), Oid::new(10, 2 * u as u64 + 1)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The unit cache never serves a value written before the latest
+    /// update of any member subobject, and never exceeds capacity.
+    #[test]
+    fn unit_cache_matches_model(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec(arb_cache_op(), 1..80),
+    ) {
+        let mut cache = UnitCache::new(pool(), capacity).unwrap();
+        // Model: what value each unit would hold if still cached, plus a
+        // monotonically increasing version counter.
+        let mut version = 0u64;
+        let mut stored: HashMap<u8, u64> = HashMap::new(); // unit -> version at insert
+
+        for op in ops {
+            match op {
+                CacheOp::Insert(u) => {
+                    version += 1;
+                    let tag = version.to_le_bytes().to_vec();
+                    cache.insert(u as u64, &members(u), &[tag]).unwrap();
+                    stored.insert(u, version);
+                }
+                CacheOp::Probe(u) => {
+                    let got = cache.probe(u as u64).unwrap();
+                    if let Some(records) = got {
+                        // Whatever is served must be the most recent insert
+                        // for that unit (evictions may have dropped it, but
+                        // a stale value must never come back).
+                        let v = u64::from_le_bytes(records[0].as_slice().try_into().unwrap());
+                        prop_assert_eq!(Some(&v), stored.get(&u), "unit {} stale", u);
+                    }
+                }
+                CacheOp::Update(s) => {
+                    let oid = Oid::new(10, s as u64);
+                    cache.invalidate_subobject(oid).unwrap();
+                    // Model: any unit containing s is gone.
+                    stored.retain(|&u, _| !members(u).contains(&oid));
+                }
+            }
+            prop_assert!(cache.len() <= capacity, "capacity exceeded");
+        }
+    }
+
+    /// Stored-query QUEL text round-trips for arbitrary bounds.
+    #[test]
+    fn stored_query_quel_roundtrip(
+        rel in 10u16..20,
+        a in any::<u64>(),
+        b in any::<u64>(),
+        ia in any::<i64>(),
+        ib in any::<i64>(),
+        ret_idx in 0usize..3,
+    ) {
+        let kq = StoredQuery::KeyRange { rel, lo: a.min(b), hi: a.max(b) };
+        prop_assert_eq!(StoredQuery::parse_quel(&kq.to_quel()).unwrap(), kq);
+        let rq = StoredQuery::RetRange { rel, ret_idx, lo: ia.min(ib), hi: ia.max(ib) };
+        prop_assert_eq!(StoredQuery::parse_quel(&rq.to_quel()).unwrap(), rq);
+    }
+
+    /// Top-level QUEL retrieve statements round-trip through formatting.
+    #[test]
+    fn quel_retrieve_roundtrip(lo in 0u64..10_000, span in 0u64..10_000, attr in 1usize..=3, hops in 1usize..4) {
+        let hi = lo + span;
+        let path = "children.".repeat(hops);
+        let text = format!("retrieve (ParentRel.{path}ret{attr}) where {lo} <= ParentRel.OID <= {hi}");
+        let stmt = parse_quel(&text).unwrap();
+        match stmt {
+            QuelStatement::Retrieve(q) => {
+                prop_assert_eq!(hops, 1);
+                prop_assert_eq!((q.lo, q.hi), (lo, hi));
+                prop_assert_eq!(q.attr.column(), attr);
+            }
+            QuelStatement::RetrieveMulti { query, depth } => {
+                prop_assert_eq!(depth, hops);
+                prop_assert_eq!((query.lo, query.hi), (lo, hi));
+                prop_assert_eq!(query.attr.column(), attr);
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+
+    /// Random clustering assignments place every referenced subobject with
+    /// exactly one of its referencing parents.
+    #[test]
+    fn cluster_assignment_is_total_and_valid(
+        seed in any::<u64>(),
+        refs in proptest::collection::vec((0u64..30, 0u64..40), 1..120),
+    ) {
+        // Build parent -> children lists from the (parent, child) pairs.
+        let mut by_parent: HashMap<u64, Vec<Oid>> = HashMap::new();
+        for (p, c) in &refs {
+            by_parent.entry(*p).or_default().push(Oid::new(10, *c));
+        }
+        let parents: Vec<(u64, Vec<Oid>)> = by_parent.into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let assignment = ClusterAssignment::random(&parents, &mut rng);
+
+        let mut referencing: HashMap<Oid, Vec<u64>> = HashMap::new();
+        for (p, cs) in &parents {
+            for c in cs {
+                referencing.entry(*c).or_default().push(*p);
+            }
+        }
+        for (oid, candidates) in &referencing {
+            let chosen = assignment.parent_of(*oid);
+            prop_assert!(chosen.is_some(), "subobject {oid} unassigned");
+            prop_assert!(
+                candidates.contains(&chosen.unwrap()),
+                "subobject {} assigned to a non-referencing parent",
+                oid
+            );
+        }
+        prop_assert_eq!(assignment.len(), referencing.len());
+    }
+}

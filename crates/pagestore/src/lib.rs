@@ -1,0 +1,31 @@
+//! # cor-pagestore
+//!
+//! Page-storage substrate for the complex-object representation study
+//! (Jhingran & Stonebraker, ICDE 1990). The paper ran its experiments on
+//! commercial INGRES, which it used purely as a page-I/O engine: 2 KB data
+//! pages behind a 100-page main-memory buffer, with the *number of page
+//! transfers* as the performance yardstick.
+//!
+//! This crate rebuilds exactly that substrate:
+//!
+//! * [`page`] — 2 KB slotted pages holding variable-length records;
+//! * [`disk`] — page stores ([`disk::MemDisk`] for exact, noise-free
+//!   transfer counting; [`disk::FileDisk`] for real files);
+//! * [`buffer`] — an LRU buffer pool that counts every transfer crossing
+//!   its boundary;
+//! * [`stats`] — shared I/O counters with snapshot/delta support, used to
+//!   split query cost into the paper's `ParCost` and `ChildCost`.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod disk;
+pub mod page;
+pub mod stats;
+
+pub use buffer::{BufferError, BufferPool, ReplacementPolicy, DEFAULT_POOL_PAGES};
+pub use disk::{DiskError, DiskManager, FileDisk, MemDisk};
+pub use page::{
+    PageBuf, PageError, PageId, PageMut, PageView, SlotId, MAX_RECORD, NO_PAGE, PAGE_SIZE,
+};
+pub use stats::{IoDelta, IoSnapshot, IoStats};

@@ -1,0 +1,219 @@
+//! I/O statistics.
+//!
+//! The paper's performance yardstick is *average I/O traffic per query*,
+//! measured through INGRES system counters. We reproduce the yardstick by
+//! counting every physical page transfer that crosses the buffer pool
+//! boundary: a read when a page is faulted in from the disk manager, a write
+//! when a dirty page is evicted or flushed.
+//!
+//! Counters are atomic so that a single [`IoStats`] handle can be shared
+//! between the buffer pool and a measurement driver, and so parallel
+//! experiment sweeps can keep per-database statistics without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared atomic counters for physical page I/O.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl IoStats {
+    /// Create a fresh, zeroed counter set behind an [`Arc`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record one physical page read.
+    #[inline]
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one physical page write.
+    #[inline]
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one page allocation (page appended to the store).
+    #[inline]
+    pub fn record_allocation(&self) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Physical page reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Physical page writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Pages allocated so far.
+    pub fn allocations(&self) -> u64 {
+        self.allocations.load(Ordering::Relaxed)
+    }
+
+    /// Total I/O (reads + writes) — the paper's cost metric.
+    pub fn total_io(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads(),
+            writes: self.writes(),
+            allocations: self.allocations(),
+        }
+    }
+
+    /// Reset all counters to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of the counters, used to attribute I/O to phases
+/// (the paper splits query cost into `ParCost` and `ChildCost`, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Physical reads at snapshot time.
+    pub reads: u64,
+    /// Physical writes at snapshot time.
+    pub writes: u64,
+    /// Allocations at snapshot time.
+    pub allocations: u64,
+}
+
+impl IoSnapshot {
+    /// Total I/O at snapshot time.
+    pub fn total_io(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// I/O performed since an earlier snapshot.
+    pub fn since(&self, earlier: &IoSnapshot) -> IoDelta {
+        IoDelta {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+        }
+    }
+}
+
+/// The difference between two snapshots: the I/O charged to one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoDelta {
+    /// Reads in the interval.
+    pub reads: u64,
+    /// Writes in the interval.
+    pub writes: u64,
+}
+
+impl IoDelta {
+    /// Total I/O in the interval.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+impl std::ops::Add for IoDelta {
+    type Output = IoDelta;
+    fn add(self, rhs: IoDelta) -> IoDelta {
+        IoDelta {
+            reads: self.reads + rhs.reads,
+            writes: self.writes + rhs.writes,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoDelta {
+    fn add_assign(&mut self, rhs: IoDelta) {
+        self.reads += rhs.reads;
+        self.writes += rhs.writes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        s.record_allocation();
+        assert_eq!(s.reads(), 2);
+        assert_eq!(s.writes(), 1);
+        assert_eq!(s.allocations(), 1);
+        assert_eq!(s.total_io(), 3);
+    }
+
+    #[test]
+    fn snapshot_delta_attributes_phase_io() {
+        let s = IoStats::new();
+        s.record_read();
+        let before = s.snapshot();
+        s.record_read();
+        s.record_write();
+        let after = s.snapshot();
+        let delta = after.since(&before);
+        assert_eq!(delta.reads, 1);
+        assert_eq!(delta.writes, 1);
+        assert_eq!(delta.total(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_write();
+        s.reset();
+        assert_eq!(s.total_io(), 0);
+        assert_eq!(s.allocations(), 0);
+    }
+
+    #[test]
+    fn deltas_add() {
+        let a = IoDelta {
+            reads: 1,
+            writes: 2,
+        };
+        let b = IoDelta {
+            reads: 3,
+            writes: 4,
+        };
+        let c = a + b;
+        assert_eq!(c.reads, 4);
+        assert_eq!(c.writes, 6);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn since_saturates_rather_than_underflowing() {
+        let later = IoSnapshot {
+            reads: 1,
+            writes: 1,
+            allocations: 0,
+        };
+        let earlier = IoSnapshot {
+            reads: 5,
+            writes: 5,
+            allocations: 0,
+        };
+        let d = later.since(&earlier);
+        assert_eq!(d.total(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the page store: slotted pages against a vector
+//! model, the buffer pool against a write-through model.
+
+use cor_pagestore::{BufferPool, IoStats, MemDisk, PageMut, PageView, SlotId, PAGE_SIZE};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum PageOp {
+    Insert(Vec<u8>),
+    Delete(usize),
+    Update(usize, Vec<u8>),
+}
+
+fn arb_page_op() -> impl Strategy<Value = PageOp> {
+    prop_oneof![
+        3 => proptest::collection::vec(any::<u8>(), 0..300).prop_map(PageOp::Insert),
+        1 => (0usize..40).prop_map(PageOp::Delete),
+        1 => ((0usize..40), proptest::collection::vec(any::<u8>(), 0..300))
+            .prop_map(|(i, d)| PageOp::Update(i, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// A slotted page behaves like a map from slot to record under any
+    /// sequence of inserts, deletes and updates.
+    #[test]
+    fn slotted_page_matches_model(ops in proptest::collection::vec(arb_page_op(), 1..80)) {
+        let mut buf = [0u8; PAGE_SIZE];
+        let mut page = PageMut::new(&mut buf);
+        page.init();
+        let mut model: HashMap<SlotId, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                PageOp::Insert(data) => {
+                    if let Ok(slot) = page.insert(&data) {
+                        // A granted slot must not clobber a live record.
+                        prop_assert!(!model.contains_key(&slot), "slot {slot} reused while live");
+                        model.insert(slot, data);
+                    }
+                }
+                PageOp::Delete(i) => {
+                    let slots: Vec<SlotId> = model.keys().copied().collect();
+                    if let Some(&slot) = slots.get(i % slots.len().max(1)) {
+                        prop_assert!(page.delete(slot).is_ok());
+                        model.remove(&slot);
+                    }
+                }
+                PageOp::Update(i, data) => {
+                    let slots: Vec<SlotId> = model.keys().copied().collect();
+                    if let Some(&slot) = slots.get(i % slots.len().max(1)) {
+                        if page.update(slot, &data).is_ok() {
+                            model.insert(slot, data);
+                        }
+                    }
+                }
+            }
+            // Every model record is readable and equal.
+            for (slot, data) in &model {
+                prop_assert_eq!(page.view().record(*slot), Some(data.as_slice()));
+            }
+        }
+        // The iterator agrees with the model exactly.
+        let seen: HashMap<SlotId, Vec<u8>> =
+            page.view().records().map(|(s, r)| (s, r.to_vec())).collect();
+        prop_assert_eq!(seen, model);
+    }
+
+    /// Compaction preserves all live records.
+    #[test]
+    fn compaction_preserves_records(records in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..120), 1..12)
+    ) {
+        let mut buf = [0u8; PAGE_SIZE];
+        let mut page = PageMut::new(&mut buf);
+        page.init();
+        let mut live = Vec::new();
+        for r in &records {
+            if let Ok(slot) = page.insert(r) {
+                live.push((slot, r.clone()));
+            }
+        }
+        page.compact();
+        for (slot, r) in &live {
+            prop_assert_eq!(page.view().record(*slot), Some(r.as_slice()));
+        }
+    }
+
+    /// The buffer pool is a faithful cache: data written through it is
+    /// always read back identically, whatever the eviction pressure.
+    #[test]
+    fn buffer_pool_is_transparent(
+        capacity in 1usize..8,
+        writes in proptest::collection::vec((0usize..16, any::<u8>()), 1..60),
+    ) {
+        let pool = BufferPool::new(Box::new(MemDisk::new()), capacity, IoStats::new());
+        let pids: Vec<_> = (0..16).map(|_| pool.allocate_page().unwrap()).collect();
+        for &pid in &pids {
+            pool.write(pid, |mut p| p.init()).unwrap();
+        }
+        let mut model: HashMap<u32, u8> = HashMap::new();
+        for (i, byte) in writes {
+            let pid = pids[i];
+            pool.write(pid, |mut p| {
+                let view = PageView::new(p.bytes_mut());
+                let _ = view;
+                // Store the byte in the page's flags word.
+                p.set_flags(byte as u32);
+            })
+            .unwrap();
+            model.insert(pid, byte);
+            // Read back some page and check against the model.
+            for (&mpid, &mbyte) in &model {
+                let got = pool.read(mpid, |p| p.flags()).unwrap();
+                prop_assert_eq!(got, mbyte as u32, "page {} corrupted", mpid);
+            }
+        }
+    }
+
+    /// I/O monotonicity: rereading a just-read page is free; the number of
+    /// physical reads never exceeds the number of logical reads.
+    #[test]
+    fn physical_reads_bounded_by_logical(
+        capacity in 2usize..8,
+        accesses in proptest::collection::vec(0usize..12, 1..50),
+    ) {
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Box::new(MemDisk::new()), capacity, Arc::clone(&stats));
+        let pids: Vec<_> = (0..12).map(|_| pool.allocate_page().unwrap()).collect();
+        pool.flush_and_clear().unwrap();
+        stats.reset();
+        for &i in &accesses {
+            pool.read(pids[i], |_| ()).unwrap();
+        }
+        prop_assert!(stats.reads() <= accesses.len() as u64);
+        // Double access back-to-back is free.
+        let before = stats.reads();
+        pool.read(pids[accesses[0]], |_| ()).unwrap();
+        pool.read(pids[accesses[0]], |_| ()).unwrap();
+        prop_assert!(stats.reads() <= before + 1);
+    }
+}

@@ -1,0 +1,19 @@
+//! # cor-relational
+//!
+//! Minimal relational data model shared by every layer of the complex-object
+//! representation study: object identifiers ([`Oid`]), typed values,
+//! schemas/tuples, and selection predicates.
+//!
+//! Storage structures live in `cor-access`; this crate is pure data model.
+
+#![warn(missing_docs)]
+
+pub mod oid;
+pub mod predicate;
+pub mod schema;
+pub mod value;
+
+pub use oid::{Oid, RelId, OID_BYTES};
+pub use predicate::{CmpOp, Predicate};
+pub use schema::{Column, Schema, Tuple};
+pub use value::{Value, ValueType};

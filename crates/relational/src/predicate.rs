@@ -1,0 +1,156 @@
+//! Simple selection predicates.
+//!
+//! The paper's retrieve queries are range selections on `ParentRel.OID`
+//! (`val1 <= ParentRel.OID <= val2`); examples also use equality and
+//! comparison predicates on attributes (e.g. `person.age >= 60`). This
+//! module provides a small composable predicate tree covering those shapes.
+
+use crate::schema::Tuple;
+use crate::value::Value;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// A predicate over tuples.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// Always true (full scan).
+    True,
+    /// Compare column `col` against a constant.
+    Cmp {
+        /// Column index.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Constant operand.
+        value: Value,
+    },
+    /// Both sides must hold.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Either side must hold.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `col op value` shorthand.
+    pub fn cmp(col: usize, op: CmpOp, value: impl Into<Value>) -> Self {
+        Predicate::Cmp {
+            col,
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// `lo <= col <= hi` shorthand (the paper's OID-range selections).
+    pub fn between(col: usize, lo: impl Into<Value>, hi: impl Into<Value>) -> Self {
+        Predicate::And(
+            Box::new(Predicate::cmp(col, CmpOp::Ge, lo)),
+            Box::new(Predicate::cmp(col, CmpOp::Le, hi)),
+        )
+    }
+
+    /// Conjunction shorthand.
+    pub fn and(self, rhs: Predicate) -> Self {
+        Predicate::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// Disjunction shorthand.
+    pub fn or(self, rhs: Predicate) -> Self {
+        Predicate::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluate against a tuple. Comparisons between values of different
+    /// types are false (mirroring a strictly-typed system; queries in this
+    /// workspace are always well-typed).
+    pub fn eval(&self, tuple: &Tuple) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Cmp { col, op, value } => {
+                let lhs = tuple.get(*col);
+                if lhs.value_type() != value.value_type() {
+                    return false;
+                }
+                op.eval(lhs.cmp(value))
+            }
+            Predicate::And(a, b) => a.eval(tuple) && b.eval(tuple),
+            Predicate::Or(a, b) => a.eval(tuple) || b.eval(tuple),
+            Predicate::Not(p) => !p.eval(tuple),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(age: i64, name: &str) -> Tuple {
+        Tuple::new(vec![Value::Int(age), Value::from(name)])
+    }
+
+    #[test]
+    fn comparisons() {
+        let t = row(62, "Mary");
+        assert!(Predicate::cmp(0, CmpOp::Ge, 60).eval(&t));
+        assert!(!Predicate::cmp(0, CmpOp::Lt, 60).eval(&t));
+        assert!(Predicate::cmp(1, CmpOp::Eq, "Mary").eval(&t));
+        assert!(Predicate::cmp(1, CmpOp::Ne, "Paul").eval(&t));
+    }
+
+    #[test]
+    fn between_matches_paper_range_queries() {
+        let p = Predicate::between(0, 10, 20);
+        assert!(!p.eval(&row(9, "")));
+        assert!(p.eval(&row(10, "")));
+        assert!(p.eval(&row(20, "")));
+        assert!(!p.eval(&row(21, "")));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let elders_or_children =
+            Predicate::cmp(0, CmpOp::Ge, 60).or(Predicate::cmp(0, CmpOp::Le, 15));
+        assert!(elders_or_children.eval(&row(62, "")));
+        assert!(elders_or_children.eval(&row(8, "")));
+        assert!(!elders_or_children.eval(&row(30, "")));
+
+        let not = Predicate::Not(Box::new(Predicate::True));
+        assert!(!not.eval(&row(0, "")));
+    }
+
+    #[test]
+    fn type_mismatch_is_false() {
+        let t = row(1, "x");
+        assert!(!Predicate::cmp(0, CmpOp::Eq, "1").eval(&t));
+        assert!(!Predicate::cmp(1, CmpOp::Eq, 1).eval(&t));
+    }
+}

@@ -1,0 +1,190 @@
+//! Typed attribute values.
+//!
+//! The paper's relations use integer fields (`ret1`, `ret2`, `ret3`),
+//! blank-compressed character fields (`dummy`, `value`), and a `children`
+//! field holding a list of OIDs. [`Value`] covers exactly those shapes.
+
+use crate::oid::Oid;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// Variable-length string (the "blank-compressed" character field).
+    Str,
+    /// A single object identifier.
+    Oid,
+    /// A list of object identifiers (the `children` attribute).
+    OidList,
+    /// Raw bytes (inside-cached results, opaque payloads).
+    Bytes,
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Integer value.
+    Int(i64),
+    /// String value.
+    Str(String),
+    /// Object identifier value.
+    Oid(Oid),
+    /// OID-list value.
+    OidList(Vec<Oid>),
+    /// Raw byte payload.
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Str(_) => ValueType::Str,
+            Value::Oid(_) => ValueType::Oid,
+            Value::OidList(_) => ValueType::OidList,
+            Value::Bytes(_) => ValueType::Bytes,
+        }
+    }
+
+    /// Integer contents, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// OID contents, if this is a [`Value::Oid`].
+    pub fn as_oid(&self) -> Option<Oid> {
+        match self {
+            Value::Oid(o) => Some(*o),
+            _ => None,
+        }
+    }
+
+    /// OID-list contents, if this is a [`Value::OidList`].
+    pub fn as_oid_list(&self) -> Option<&[Oid]> {
+        match self {
+            Value::OidList(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Byte contents, if this is a [`Value::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Oid> for Value {
+    fn from(v: Oid) -> Self {
+        Value::Oid(v)
+    }
+}
+
+impl From<Vec<Oid>> for Value {
+    fn from(v: Vec<Oid>) -> Self {
+        Value::OidList(v)
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Oid(o) => write!(f, "{o}"),
+            Value::OidList(v) => {
+                write!(f, "[")?;
+                for (i, o) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "{o}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::Int(5).as_str(), None);
+        assert_eq!(Value::from("hi").as_str(), Some("hi"));
+        let oid = Oid::new(1, 2);
+        assert_eq!(Value::from(oid).as_oid(), Some(oid));
+        assert_eq!(Value::from(vec![oid]).as_oid_list(), Some(&[oid][..]));
+    }
+
+    #[test]
+    fn value_types() {
+        assert_eq!(Value::Int(0).value_type(), ValueType::Int);
+        assert_eq!(Value::from("x").value_type(), ValueType::Str);
+        assert_eq!(Value::from(Oid::new(0, 0)).value_type(), ValueType::Oid);
+        assert_eq!(
+            Value::from(Vec::<Oid>::new()).value_type(),
+            ValueType::OidList
+        );
+        assert_eq!(Value::from(Vec::<u8>::new()).value_type(), ValueType::Bytes);
+    }
+
+    #[test]
+    fn bytes_accessor_and_type() {
+        let v = Value::Bytes(vec![1, 2, 3]);
+        assert_eq!(v.value_type(), ValueType::Bytes);
+        assert_eq!(v.as_bytes(), Some(&[1u8, 2, 3][..]));
+        assert_eq!(v.as_int(), None);
+        assert_eq!(Value::from(vec![9u8]).as_bytes(), Some(&[9u8][..]));
+        assert_eq!(Value::Bytes(vec![0u8; 5]).to_string(), "<5 bytes>");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = Value::OidList(vec![Oid::new(1, 2), Oid::new(1, 3)]);
+        assert_eq!(v.to_string(), "[1:2 1:3]");
+    }
+}

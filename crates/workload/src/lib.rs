@@ -1,0 +1,54 @@
+//! # cor-workload
+//!
+//! The experiment harness of the reproduction: paper-parameterized database
+//! generation ([`dbgen`]), query-sequence generation ([`seqgen`]), the
+//! measuring driver ([`driver`]), experiment-point runners and parallel
+//! sweeps ([`experiment`]), and plain-text reporting ([`report`]).
+//!
+//! The defaults in [`Params::paper_default`] reproduce Sec. 4 of the paper;
+//! [`Params::scaled`] shrinks everything proportionally for quick runs.
+//!
+//! ```
+//! use complexobj::Strategy;
+//! use cor_workload::{run_point, Params};
+//!
+//! let params = Params {
+//!     parent_card: 200,
+//!     num_top: 10,
+//!     sequence_len: 8,
+//!     size_cache: 20,
+//!     buffer_pages: 16,
+//!     ..Params::paper_default()
+//! };
+//! let result = run_point(&params, Strategy::Bfs).unwrap();
+//! assert_eq!(result.retrieves, 8);
+//! assert!(result.avg_io_per_query() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dbgen;
+pub mod driver;
+pub mod experiment;
+pub mod hierarchy;
+pub mod matrix;
+pub mod params;
+pub mod report;
+pub mod seqgen;
+
+pub use dbgen::{build_for_strategy, generate, make_pool, rng_for, GeneratedDb, SeedStream};
+pub use driver::{run_sequence, run_sequence_trace, QueryTrace, RunResult};
+pub use experiment::{
+    best_strategy, compare_strategies, default_threads, parallel_map, run_point, run_point_with,
+};
+pub use hierarchy::{
+    build_hierarchy, generate_hierarchy_specs, snapshot_hierarchy, total_hierarchy_io,
+    HierarchyParams,
+};
+pub use matrix::{generate_matrix, run_matrix_point, MatrixRunResult, MatrixSpec, MatrixSystem};
+pub use params::Params;
+pub use report::{fnum, format_ascii_plot, format_region_map, format_table, write_csv};
+pub use seqgen::{
+    generate_mixed_sequence, generate_sequence, generate_sequence_with, random_retrieve,
+    random_update,
+};

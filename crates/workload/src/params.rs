@@ -1,0 +1,224 @@
+//! Experiment parameters (paper Sec. 4).
+//!
+//! Defaults reproduce the paper's setup: 10,000 ParentRel tuples of ~200
+//! bytes, `SizeUnit = 5`, `|ChildRel| = 50,000 / ShareFactor` (eqn. 1),
+//! `NumUnits = 10,000 / UseFactor`, a 100-page buffer, `SizeCache = 1000`
+//! units (~10% of the database) and sequences of ~1000 retrieve queries.
+//!
+//! Experiments can run at a reduced [`Params::scaled`] size: the paper
+//! itself notes "the results for larger database sizes can be obtained
+//! from scaling ... provided a proportionally larger cache and main memory
+//! buffer is used", and the scaling here shrinks ParentRel, SizeCache and
+//! the buffer by the same factor.
+
+use serde::{Deserialize, Serialize};
+
+/// All knobs of one experiment point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// |ParentRel| — fixed at 10,000 in the paper.
+    pub parent_card: u64,
+    /// Expected subobjects per unit (fixed at 5).
+    pub size_unit: usize,
+    /// Expected objects sharing a unit (1..50, default 5).
+    pub use_factor: u32,
+    /// Expected units sharing a subobject (1 except in Sec. 6.1).
+    pub overlap_factor: u32,
+    /// Number of ChildRel relations (1 except in Sec. 6.2).
+    pub num_child_rels: usize,
+    /// Probability that a query in the sequence is an update.
+    pub pr_update: f64,
+    /// ParentRel tuples selected per retrieve (`val2 - val1 + 1`).
+    pub num_top: u64,
+    /// Maximum cached units.
+    pub size_cache: usize,
+    /// Buffer pool size in pages.
+    pub buffer_pages: usize,
+    /// Queries per measured sequence.
+    pub sequence_len: usize,
+    /// ChildRel tuples modified per update query.
+    pub update_batch: usize,
+    /// Pad length making ParentRel tuples ~200 bytes.
+    pub parent_dummy_len: usize,
+    /// Pad length making ChildRel tuples ~100 bytes.
+    pub child_dummy_len: usize,
+    /// Master RNG seed (database, sequence and clustering derive from it).
+    pub seed: u64,
+}
+
+impl Params {
+    /// The paper's full-scale defaults.
+    pub fn paper_default() -> Self {
+        Params {
+            parent_card: 10_000,
+            size_unit: 5,
+            use_factor: 5,
+            overlap_factor: 1,
+            num_child_rels: 1,
+            pr_update: 0.0,
+            num_top: 100,
+            size_cache: 1000,
+            buffer_pages: 100,
+            sequence_len: 1000,
+            update_batch: 10,
+            // oid(10) + 3*8 + (2 + len) + children(2 + 5*10) => ~200 B.
+            parent_dummy_len: 110,
+            // oid(10) + 3*8 + (2 + len) => ~100 B.
+            child_dummy_len: 64,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A proportionally scaled-down configuration: ParentRel, SizeCache,
+    /// the buffer and the sequence length shrink together so the relative
+    /// behaviour of the strategies is preserved.
+    pub fn scaled(factor: f64) -> Self {
+        let p = Self::paper_default();
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor in (0, 1]");
+        let scale_u64 = |v: u64| ((v as f64 * factor).round() as u64).max(1);
+        let scale_usize = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        Params {
+            parent_card: scale_u64(p.parent_card),
+            size_cache: scale_usize(p.size_cache),
+            buffer_pages: scale_usize(p.buffer_pages).max(8),
+            sequence_len: scale_usize(p.sequence_len).max(20),
+            num_top: scale_u64(p.num_top),
+            ..p
+        }
+    }
+
+    /// `ShareFactor = UseFactor × OverlapFactor`.
+    pub fn share_factor(&self) -> u32 {
+        self.use_factor * self.overlap_factor
+    }
+
+    /// Eqn. (1): `|ChildRel| = |ParentRel| × SizeUnit / ShareFactor`
+    /// (summed across the `NumChildRel` relations).
+    pub fn child_card(&self) -> u64 {
+        (self.parent_card * self.size_unit as u64 / self.share_factor() as u64).max(1)
+    }
+
+    /// `NumUnits = |ParentRel| / UseFactor`.
+    pub fn num_units(&self) -> u64 {
+        (self.parent_card / self.use_factor as u64).max(1)
+    }
+
+    /// Largest admissible `lo` for a retrieve with this `num_top`.
+    pub fn max_lo(&self) -> u64 {
+        self.parent_card.saturating_sub(self.num_top)
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.parent_card == 0 {
+            return Err("parent_card must be positive".into());
+        }
+        if self.size_unit == 0 {
+            return Err("size_unit must be positive".into());
+        }
+        if self.use_factor == 0 || self.overlap_factor == 0 {
+            return Err("sharing factors must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.pr_update) {
+            return Err(format!("pr_update {} outside [0,1]", self.pr_update));
+        }
+        if self.num_top == 0 || self.num_top > self.parent_card {
+            return Err(format!(
+                "num_top {} outside 1..={}",
+                self.num_top, self.parent_card
+            ));
+        }
+        if self.num_child_rels == 0 {
+            return Err("num_child_rels must be positive".into());
+        }
+        let per_rel = self.child_card() / self.num_child_rels as u64;
+        if (per_rel as usize) < self.size_unit {
+            return Err(format!(
+                "each ChildRel holds {per_rel} subobjects; units of {} cannot be drawn",
+                self.size_unit
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_4() {
+        let p = Params::paper_default();
+        assert_eq!(p.parent_card, 10_000);
+        assert_eq!(p.size_unit, 5);
+        assert_eq!(p.size_cache, 1000);
+        assert_eq!(p.buffer_pages, 100);
+        assert_eq!(p.share_factor(), 5);
+        assert_eq!(p.child_card(), 10_000); // 50,000 / 5
+        assert_eq!(p.num_units(), 2_000);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn equation_one_holds_across_share_factors() {
+        for (uf, of) in [(1, 1), (5, 1), (1, 5), (5, 5), (50, 1)] {
+            let p = Params {
+                use_factor: uf,
+                overlap_factor: of,
+                ..Params::paper_default()
+            };
+            assert_eq!(
+                p.child_card(),
+                50_000 / (uf as u64 * of as u64),
+                "uf={uf} of={of}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_proportions() {
+        let p = Params::scaled(0.2);
+        assert_eq!(p.parent_card, 2000);
+        assert_eq!(p.size_cache, 200);
+        assert_eq!(p.buffer_pages, 20);
+        assert_eq!(p.child_card(), 2000);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut p = Params::paper_default();
+        p.num_top = 0;
+        assert!(p.validate().is_err());
+        let mut p = Params::paper_default();
+        p.num_top = p.parent_card + 1;
+        assert!(p.validate().is_err());
+        let mut p = Params::paper_default();
+        p.pr_update = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = Params::paper_default();
+        p.num_child_rels = 100_000;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn max_lo_bounds_query_generation() {
+        let p = Params {
+            num_top: 10_000,
+            ..Params::paper_default()
+        };
+        assert_eq!(p.max_lo(), 0);
+        let p = Params {
+            num_top: 1,
+            ..Params::paper_default()
+        };
+        assert_eq!(p.max_lo(), 9_999);
+    }
+}

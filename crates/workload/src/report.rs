@@ -1,0 +1,306 @@
+//! Plain-text reporting for the figure benches: fixed-width tables, series
+//! and the ASCII region maps used to render Figure 4's faces.
+
+/// Render a fixed-width table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity must match headers");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Write a table as CSV (same headers/rows as [`format_table`]), for
+/// re-plotting figure data outside this repository.
+pub fn write_csv(
+    path: &std::path::Path,
+    headers: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut out = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "{}", headers.join(","))?;
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row arity must match headers");
+        let quoted: Vec<String> = row
+            .iter()
+            .map(|c| {
+                if c.contains(',') || c.contains('"') {
+                    format!("\"{}\"", c.replace('"', "\"\""))
+                } else {
+                    c.clone()
+                }
+            })
+            .collect();
+        writeln!(out, "{}", quoted.join(","))?;
+    }
+    out.flush()
+}
+
+/// Format a float with sensible experiment precision.
+pub fn fnum(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Render series as an ASCII scatter plot (optionally log-scaled), the
+/// terminal cousin of the paper's figures. Each series is `(label_char,
+/// points)`; points with non-positive coordinates are skipped under log
+/// scales.
+pub fn format_ascii_plot(
+    title: &str,
+    series: &[(char, Vec<(f64, f64)>)],
+    log_x: bool,
+    log_y: bool,
+    width: usize,
+    height: usize,
+) -> String {
+    let tx = |v: f64| if log_x { v.ln() } else { v };
+    let ty = |v: f64| if log_y { v.ln() } else { v };
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for (_, pts) in series {
+        for &(x, y) in pts {
+            if (log_x && x <= 0.0) || (log_y && y <= 0.0) {
+                continue;
+            }
+            xs.push(tx(x));
+            ys.push(ty(y));
+        }
+    }
+    if xs.is_empty() {
+        return format!("{title}\n(no plottable points)\n");
+    }
+    let (x0, x1) = xs
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let (y0, y1) = ys
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+    let xr = (x1 - x0).max(1e-9);
+    let yr = (y1 - y0).max(1e-9);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (label, pts) in series {
+        for &(x, y) in pts {
+            if (log_x && x <= 0.0) || (log_y && y <= 0.0) {
+                continue;
+            }
+            let cx = (((tx(x) - x0) / xr) * (width - 1) as f64).round() as usize;
+            let cy = (((ty(y) - y0) / yr) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            // Later series win collisions; mark overlaps with '*'.
+            grid[row][cx] = if grid[row][cx] == ' ' || grid[row][cx] == *label {
+                *label
+            } else {
+                '*'
+            };
+        }
+    }
+
+    let mut out = format!("{title}\n");
+    let y_hi = if log_y { y1.exp() } else { y1 };
+    let y_lo = if log_y { y0.exp() } else { y0 };
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{:>9} ", fnum(y_hi))
+        } else if i == height - 1 {
+            format!("{:>9} ", fnum(y_lo))
+        } else {
+            " ".repeat(10)
+        };
+        out.push_str(&label);
+        out.push('|');
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    let x_lo = if log_x { x0.exp() } else { x0 };
+    let x_hi = if log_x { x1.exp() } else { x1 };
+    out.push_str(&format!("{}+{}\n", " ".repeat(10), "-".repeat(width)));
+    let lo_label = fnum(x_lo);
+    let hi_label = format!("{:>w$}", fnum(x_hi), w = width - lo_label.len());
+    out.push_str(&format!("{}{lo_label}{hi_label}\n", " ".repeat(11)));
+    if log_x || log_y {
+        out.push_str(&format!(
+            "{}(log {} scale)\n",
+            " ".repeat(11),
+            match (log_x, log_y) {
+                (true, true) => "x/y",
+                (true, false) => "x",
+                _ => "y",
+            }
+        ));
+    }
+    out
+}
+
+/// Render an ASCII map of winners over a 2-D grid: one character per cell,
+/// rows labelled by `row_labels` (printed top-down), columns by
+/// `col_labels`. Used for the Fig. 4 face projections.
+pub fn format_region_map(
+    title: &str,
+    col_axis: &str,
+    row_axis: &str,
+    col_labels: &[String],
+    row_labels: &[String],
+    cells: &[Vec<char>],
+) -> String {
+    assert_eq!(cells.len(), row_labels.len());
+    let label_w = row_labels
+        .iter()
+        .map(|l| l.len())
+        .max()
+        .unwrap_or(0)
+        .max(row_axis.len());
+    let mut out = format!("{title}\n");
+    out.push_str(&format!("{:>label_w$} | {col_axis} ->\n", row_axis));
+    for (r, row) in cells.iter().enumerate() {
+        assert_eq!(row.len(), col_labels.len());
+        out.push_str(&format!("{:>label_w$} | ", row_labels[r]));
+        for &c in row {
+            out.push(c);
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{:>label_w$} +-{}\n",
+        "",
+        "--".repeat(col_labels.len())
+    ));
+    out.push_str(&format!(
+        "{:>label_w$}   cols: {}\n",
+        "",
+        col_labels.join(" ")
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = format_table(
+            &["NumTop", "DFS", "BFS"],
+            &[
+                vec!["1".into(), "12.3".into(), "15.0".into()],
+                vec!["10000".into(), "50000".into(), "800".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("NumTop"));
+        assert!(lines[1].starts_with('-'));
+        // All rows have the same width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_ragged_rows() {
+        format_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_quoting() {
+        let dir = std::env::temp_dir().join(format!("cor-csv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            &["a", "b"],
+            &[
+                vec!["1".into(), "plain".into()],
+                vec!["2".into(), "has,comma".into()],
+                vec!["3".into(), "has\"quote".into()],
+            ],
+        )
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,b\n1,plain\n2,\"has,comma\"\n3,\"has\"\"quote\"\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fnum_scales_precision() {
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(42.25), "42.2");
+        assert_eq!(fnum(1.234), "1.23");
+    }
+
+    #[test]
+    fn ascii_plot_places_extremes() {
+        let series = vec![
+            ('D', vec![(1.0, 10.0), (100.0, 1000.0)]),
+            ('B', vec![(1.0, 12.0), (100.0, 50.0)]),
+        ];
+        let plot = format_ascii_plot("fig", &series, true, true, 40, 10);
+        assert!(plot.contains("fig"));
+        assert!(plot.contains('D'));
+        assert!(plot.contains('B'));
+        assert!(plot.contains("(log x/y scale)"));
+        // Extremes are labelled.
+        assert!(plot.contains("1000"));
+        assert!(plot.contains("10"));
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty_and_degenerate() {
+        let plot = format_ascii_plot("empty", &[('x', vec![])], true, true, 20, 5);
+        assert!(plot.contains("no plottable points"));
+        // A single point must not divide by zero.
+        let plot = format_ascii_plot("one", &[('x', vec![(5.0, 5.0)])], false, false, 20, 5);
+        assert!(plot.contains('x'));
+        // Non-positive points are skipped under log scales.
+        let plot = format_ascii_plot("neg", &[('x', vec![(-1.0, 3.0)])], true, false, 20, 5);
+        assert!(plot.contains("no plottable points"));
+    }
+
+    #[test]
+    fn region_map_renders() {
+        let m = format_region_map(
+            "winners",
+            "NumTop",
+            "ShareFactor",
+            &["1".into(), "100".into()],
+            &["25".into(), "1".into()],
+            &[vec!['C', 'B'], vec!['L', 'L']],
+        );
+        assert!(m.contains("C B"));
+        assert!(m.contains("L L"));
+        assert!(m.contains("ShareFactor"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Error-path behaviour across the crates: errors carry useful messages,
+//! chain their sources, and the library fails loudly rather than silently
+//! on misuse.
+
+use complexobj::database::{CorDatabase, DatabaseSpec, ObjectSpec, SubobjectSpec, CHILD_REL_BASE};
+use complexobj::procedural::{QuelParseError, StoredQuery};
+use complexobj::strategies::{run_retrieve, ExecOptions};
+use complexobj::{parse_quel, CorError, RetAttr, RetrieveQuery, Strategy};
+use cor_access::{AccessError, BTreeFile, CatalogError};
+use cor_pagestore::{BufferError, BufferPool, DiskError, IoStats, MemDisk};
+use cor_relational::Oid;
+use std::error::Error;
+use std::sync::Arc;
+
+fn pool() -> Arc<BufferPool> {
+    Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()))
+}
+
+#[test]
+fn error_messages_are_informative() {
+    assert!(DiskError::BadPage(7).to_string().contains("7"));
+    assert!(BufferError::NoFreeFrames.to_string().contains("pinned"));
+    assert!(AccessError::BadKeyLen(3).to_string().contains("3"));
+    assert!(AccessError::EntryTooLarge.to_string().contains("large"));
+    assert!(AccessError::UnsortedBulkLoad
+        .to_string()
+        .contains("ascending"));
+    assert!(CorError::NoCache.to_string().contains("cache"));
+    assert!(CorError::DanglingOid(Oid::new(10, 5))
+        .to_string()
+        .contains("10:5"));
+    assert!(CorError::UnknownRelation(99).to_string().contains("99"));
+    assert!(CorError::WrongRepresentation("clustered")
+        .to_string()
+        .contains("clustered"));
+    assert!(CatalogError::NotFound("person".into())
+        .to_string()
+        .contains("person"));
+    assert!(QuelParseError::UnknownAttribute("age".into())
+        .to_string()
+        .contains("age"));
+}
+
+#[test]
+fn error_sources_chain() {
+    // DiskError -> BufferError -> AccessError -> CorError.
+    let cor: CorError = AccessError::Buffer(BufferError::Disk(DiskError::BadPage(3))).into();
+    let access = cor.source().expect("CorError chains to AccessError");
+    assert!(access.to_string().contains("buffer"));
+    let buffer = access.source().expect("AccessError chains to BufferError");
+    assert!(buffer.to_string().contains("disk"));
+    let disk = buffer.source().expect("BufferError chains to DiskError");
+    assert!(disk.to_string().contains("3"));
+}
+
+#[test]
+fn quel_errors_name_the_problem() {
+    let err = parse_quel("select 1").unwrap_err();
+    assert!(err.to_string().contains("retrieve"), "{err}");
+    let err =
+        parse_quel("retrieve (ParentRel.children.ret9) where 1 <= ParentRel.OID <= 2").unwrap_err();
+    assert!(err.to_string().contains("ret9"), "{err}");
+    let err =
+        StoredQuery::parse_quel("retrieve (childX.all) where 0 <= childX.OID <= 1").unwrap_err();
+    assert!(err.to_string().to_lowercase().contains("relation"), "{err}");
+}
+
+#[test]
+fn strategy_on_wrong_representation_fails_loudly() {
+    let c = |k: u64| Oid::new(CHILD_REL_BASE, k);
+    let spec = DatabaseSpec {
+        parents: vec![ObjectSpec {
+            key: 0,
+            rets: [0; 3],
+            dummy: "p".into(),
+            children: vec![c(0)],
+        }],
+        child_rels: vec![vec![SubobjectSpec {
+            oid: c(0),
+            rets: [0; 3],
+            dummy: "c".into(),
+        }]],
+    };
+    let db = CorDatabase::build_standard(pool(), &spec, None).unwrap();
+    let q = RetrieveQuery {
+        lo: 0,
+        hi: 0,
+        attr: RetAttr::Ret1,
+    };
+    let opts = ExecOptions::default();
+    assert!(matches!(
+        run_retrieve(&db, Strategy::DfsClust, &q, &opts),
+        Err(CorError::WrongRepresentation(_))
+    ));
+    assert!(matches!(
+        run_retrieve(&db, Strategy::DfsCache, &q, &opts),
+        Err(CorError::NoCache)
+    ));
+}
+
+#[test]
+fn dangling_reference_is_reported_not_ignored() {
+    let c = |k: u64| Oid::new(CHILD_REL_BASE, k);
+    // Parent references child 99, which does not exist.
+    let spec = DatabaseSpec {
+        parents: vec![ObjectSpec {
+            key: 0,
+            rets: [0; 3],
+            dummy: "p".into(),
+            children: vec![c(99)],
+        }],
+        child_rels: vec![vec![SubobjectSpec {
+            oid: c(0),
+            rets: [0; 3],
+            dummy: "c".into(),
+        }]],
+    };
+    let db = CorDatabase::build_standard(pool(), &spec, None).unwrap();
+    let q = RetrieveQuery {
+        lo: 0,
+        hi: 0,
+        attr: RetAttr::Ret1,
+    };
+    for s in [Strategy::Dfs, Strategy::Bfs] {
+        let err = run_retrieve(&db, s, &q, &ExecOptions::default()).unwrap_err();
+        assert!(
+            matches!(err, CorError::DanglingOid(o) if o == c(99)),
+            "{s} must surface the dangling OID, got {err}"
+        );
+    }
+}
+
+#[test]
+fn btree_misuse_is_rejected_with_key_length() {
+    let tree = BTreeFile::create(pool(), 8).unwrap();
+    let err = tree.get(&[0u8; 5]).unwrap_err();
+    assert!(matches!(err, AccessError::BadKeyLen(5)));
+    assert!(matches!(
+        BTreeFile::create(pool(), 0).map(|_| ()),
+        Err(AccessError::BadKeyLen(0))
+    ));
+    assert!(matches!(
+        BTreeFile::create(pool(), 65).map(|_| ()),
+        Err(AccessError::BadKeyLen(65))
+    ));
+}

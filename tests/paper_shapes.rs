@@ -1,0 +1,256 @@
+//! The paper's qualitative results as assertions.
+//!
+//! The figure benches print `[OK]`/`[MISMATCH]` for a human; this test
+//! pins the same shape claims in CI at a small scale, so a regression in
+//! any strategy's cost model fails the build. Absolute I/O counts are
+//! never asserted — only orderings and trends, which is what the
+//! reproduction owes the paper.
+
+use complexobj::Strategy;
+use cor_workload::{run_point, Params};
+
+fn base() -> Params {
+    Params {
+        parent_card: 1000,
+        size_cache: 100,
+        buffer_pages: 16,
+        sequence_len: 40,
+        ..Params::paper_default()
+    }
+}
+
+fn cost(p: &Params, s: Strategy) -> f64 {
+    run_point(p, s).expect("point runs").avg_retrieve_io()
+}
+
+/// Figure 3: DFS beats BFS at NumTop = 1 (temporary formation cost), BFS
+/// beats DFS decisively at large NumTop.
+#[test]
+fn fig3_dfs_bfs_crossover() {
+    let lo = Params {
+        num_top: 1,
+        pr_update: 0.0,
+        ..base()
+    };
+    assert!(
+        cost(&lo, Strategy::Dfs) <= cost(&lo, Strategy::Bfs),
+        "at NumTop=1 DFS must not lose to BFS"
+    );
+    let hi = Params {
+        num_top: 400,
+        pr_update: 0.0,
+        ..base()
+    };
+    let dfs = cost(&hi, Strategy::Dfs);
+    let bfs = cost(&hi, Strategy::Bfs);
+    assert!(
+        dfs > 2.0 * bfs,
+        "at NumTop=400 DFS ({dfs}) must lose big to BFS ({bfs})"
+    );
+}
+
+/// Figure 3: BFSNODUP is never much better than BFS at ShareFactor 5.
+#[test]
+fn fig3_nodup_is_marginal() {
+    for num_top in [10, 100, 500] {
+        let p = Params {
+            num_top,
+            pr_update: 0.0,
+            ..base()
+        };
+        let bfs = cost(&p, Strategy::Bfs);
+        let nodup = cost(&p, Strategy::BfsNoDup);
+        assert!(
+            nodup > 0.5 * bfs && nodup < 1.3 * bfs,
+            "NumTop={num_top}: BFSNODUP {nodup} vs BFS {bfs} out of the marginal band"
+        );
+    }
+}
+
+/// Figure 4 / Sec. 5.2: at ShareFactor = 1 clustering is ideal and beats
+/// both BFS and DFSCACHE.
+#[test]
+fn fig4_clustering_ideal_at_sharefactor_one() {
+    let p = Params {
+        use_factor: 1,
+        overlap_factor: 1,
+        num_top: 20,
+        pr_update: 0.0,
+        ..base()
+    };
+    let clust = cost(&p, Strategy::DfsClust);
+    assert!(
+        clust < cost(&p, Strategy::Bfs),
+        "DFSCLUST must beat BFS at ShareFactor 1"
+    );
+    assert!(
+        clust < cost(&p, Strategy::DfsCache),
+        "DFSCLUST must beat DFSCACHE at ShareFactor 1"
+    );
+}
+
+/// Figure 4 / Sec. 5.2.1: at high sharing and large NumTop, BFS beats
+/// clustering.
+#[test]
+fn fig4_bfs_beats_clustering_under_sharing() {
+    let p = Params {
+        use_factor: 10,
+        overlap_factor: 1,
+        num_top: 200,
+        pr_update: 0.0,
+        ..base()
+    };
+    assert!(
+        cost(&p, Strategy::Bfs) < cost(&p, Strategy::DfsClust),
+        "BFS must beat DFSCLUST at ShareFactor 10, NumTop 200"
+    );
+}
+
+/// Figure 5 trends: DFSCLUST's ParCost rises as ShareFactor falls, its
+/// ChildCost falls; BFS's ChildCost falls as ShareFactor rises.
+#[test]
+fn fig5_cost_breakup_trends() {
+    let at = |uf: u32, s: Strategy| {
+        let p = Params {
+            use_factor: uf,
+            num_top: 50,
+            pr_update: 0.0,
+            ..base()
+        };
+        let r = run_point(&p, s).expect("runs");
+        (r.avg_par_cost(), r.avg_child_cost())
+    };
+    let (clu_par_1, clu_child_1) = at(1, Strategy::DfsClust);
+    let (clu_par_10, clu_child_10) = at(10, Strategy::DfsClust);
+    assert!(
+        clu_par_1 > clu_par_10,
+        "DFSCLUST ParCost must rise as ShareFactor falls"
+    );
+    assert!(
+        clu_child_1 < clu_child_10,
+        "DFSCLUST ChildCost must fall as ShareFactor falls"
+    );
+    let (_, bfs_child_1) = at(1, Strategy::Bfs);
+    let (_, bfs_child_10) = at(10, Strategy::Bfs);
+    assert!(
+        bfs_child_1 > bfs_child_10,
+        "BFS ChildCost must fall as ShareFactor rises (eqn 1)"
+    );
+}
+
+/// Figure 7: realizing ShareFactor 5 through OverlapFactor 5 degrades
+/// clustering relative to realizing it through UseFactor 5.
+#[test]
+fn fig7_overlap_degrades_clustering() {
+    let use_based = Params {
+        use_factor: 5,
+        overlap_factor: 1,
+        num_top: 50,
+        pr_update: 0.0,
+        ..base()
+    };
+    let overlap_based = Params {
+        use_factor: 1,
+        overlap_factor: 5,
+        num_top: 50,
+        pr_update: 0.0,
+        ..base()
+    };
+    let ratio_use = cost(&use_based, Strategy::DfsClust) / cost(&use_based, Strategy::Bfs);
+    let ratio_overlap =
+        cost(&overlap_based, Strategy::DfsClust) / cost(&overlap_based, Strategy::Bfs);
+    assert!(
+        ratio_overlap > ratio_use,
+        "overlap-realized sharing ({ratio_overlap:.2}) must hurt clustering more \
+         than use-realized sharing ({ratio_use:.2})"
+    );
+}
+
+/// Sec. 5.2.1: high update frequency sinks caching (invalidation +
+/// shrunken cache), so BFS beats DFSCACHE there; at zero updates and low
+/// NumTop with high sharing, caching wins.
+#[test]
+fn fig4_update_frequency_flips_caching() {
+    let hot = Params {
+        use_factor: 10,
+        num_top: 20,
+        pr_update: 0.8,
+        sequence_len: 80,
+        ..base()
+    };
+    let calm = Params {
+        use_factor: 10,
+        num_top: 20,
+        pr_update: 0.0,
+        sequence_len: 80,
+        ..base()
+    };
+    let hot_ratio = {
+        let c = run_point(&hot, Strategy::DfsCache)
+            .unwrap()
+            .avg_io_per_query();
+        let b = run_point(&hot, Strategy::Bfs).unwrap().avg_io_per_query();
+        c / b
+    };
+    let calm_ratio = {
+        let c = run_point(&calm, Strategy::DfsCache)
+            .unwrap()
+            .avg_io_per_query();
+        let b = run_point(&calm, Strategy::Bfs).unwrap().avg_io_per_query();
+        c / b
+    };
+    assert!(
+        calm_ratio < hot_ratio,
+        "caching must be relatively better without updates (calm {calm_ratio:.2} vs hot {hot_ratio:.2})"
+    );
+    assert!(
+        calm_ratio < 1.0,
+        "with high sharing, low NumTop and no updates, DFSCACHE must win"
+    );
+}
+
+/// Sec. 6.2: NumChildRel barely moves any strategy while it is far below
+/// NumTop.
+#[test]
+fn sec62_numchildrel_is_benign() {
+    for s in [Strategy::Dfs, Strategy::Bfs] {
+        let one = Params {
+            num_child_rels: 1,
+            num_top: 40,
+            pr_update: 0.0,
+            ..base()
+        };
+        let five = Params {
+            num_child_rels: 5,
+            num_top: 40,
+            pr_update: 0.0,
+            ..base()
+        };
+        let (a, b) = (cost(&one, s), cost(&five, s));
+        let ratio = if a > b { a / b } else { b / a };
+        assert!(
+            ratio < 1.6,
+            "{s}: NumChildRel 1 vs 5 changed cost by x{ratio:.2}"
+        );
+    }
+}
+
+/// Sec. 5.3: SMART is never much worse than the better of BFS and
+/// DFSCACHE at either extreme of NumTop.
+#[test]
+fn sec53_smart_tracks_the_best() {
+    for num_top in [5u64, 400] {
+        let p = Params {
+            num_top,
+            pr_update: 0.0,
+            use_factor: 10,
+            ..base()
+        };
+        let smart = cost(&p, Strategy::Smart);
+        let best = cost(&p, Strategy::Bfs).min(cost(&p, Strategy::DfsCache));
+        assert!(
+            smart <= best * 1.4,
+            "NumTop={num_top}: SMART {smart} vs best pure {best}"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Long-running stress tests, `#[ignore]`d by default. Run with:
+//!
+//! ```text
+//! cargo test --release --test stress -- --ignored
+//! ```
+//!
+//! These replay paper-scale workloads across every strategy and
+//! representation, checking answer agreement throughout — the heavyweight
+//! version of the default-suite equivalence tests.
+
+use complexobj::strategies::run_retrieve;
+use complexobj::{apply_update, ExecOptions, Query, Strategy};
+use cor_workload::{
+    build_for_strategy, generate, generate_matrix, generate_sequence, run_matrix_point,
+    MatrixSystem, Params,
+};
+
+/// Full paper-scale database, all five equivalent strategies, 100 mixed
+/// queries replayed in lockstep.
+#[test]
+#[ignore = "paper-scale stress run (~minutes); run explicitly"]
+fn full_scale_strategy_equivalence_under_updates() {
+    let p = Params {
+        pr_update: 0.2,
+        num_top: 200,
+        sequence_len: 100,
+        ..Params::paper_default()
+    };
+    let generated = generate(&p);
+    let sequence = generate_sequence(&p);
+    let strategies = [
+        Strategy::Dfs,
+        Strategy::Bfs,
+        Strategy::DfsCache,
+        Strategy::DfsClust,
+        Strategy::Smart,
+    ];
+    let dbs: Vec<_> = strategies
+        .iter()
+        .map(|&s| build_for_strategy(&p, &generated, s).expect("db builds"))
+        .collect();
+    let opts = ExecOptions::default();
+
+    for (i, q) in sequence.iter().enumerate() {
+        match q {
+            Query::Retrieve(r) => {
+                let mut reference: Option<Vec<i64>> = None;
+                for (s, db) in strategies.iter().zip(&dbs) {
+                    let mut v = run_retrieve(db, *s, r, &opts).expect("runs").values;
+                    v.sort_unstable();
+                    match &reference {
+                        None => reference = Some(v),
+                        Some(expect) => assert_eq!(&v, expect, "{s} diverged at query {i}"),
+                    }
+                }
+            }
+            Query::Update(u) => {
+                for db in &dbs {
+                    apply_update(db, u, db.has_cache()).expect("update applies");
+                }
+            }
+        }
+    }
+}
+
+/// Every representation-matrix system at 0.5 scale over an update-heavy
+/// sequence, cross-checked on returned value counts.
+#[test]
+#[ignore = "matrix stress run (~minutes); run explicitly"]
+fn half_scale_matrix_systems_agree() {
+    let p = Params {
+        pr_update: 0.3,
+        num_top: 40,
+        sequence_len: 120,
+        ..Params::scaled(0.5)
+    };
+    let spec = generate_matrix(&p);
+    let mut expected: Option<u64> = None;
+    for system in MatrixSystem::ALL {
+        let r = run_matrix_point(&p, &spec, system).expect("system runs");
+        match expected {
+            None => expected = Some(r.values_returned),
+            Some(e) => {
+                assert_eq!(
+                    r.values_returned,
+                    e,
+                    "{} returned a different count",
+                    system.name()
+                )
+            }
+        }
+    }
+}
+
+/// Buffer-pool soak: a paper-scale DFSCACHE run with a pathologically tiny
+/// buffer must still answer correctly (thrash, not corrupt).
+#[test]
+#[ignore = "thrash soak (~minutes); run explicitly"]
+fn tiny_buffer_thrash_soak() {
+    let p = Params {
+        buffer_pages: 8,
+        pr_update: 0.1,
+        num_top: 100,
+        sequence_len: 60,
+        ..Params::paper_default()
+    };
+    let generated = generate(&p);
+    let sequence = generate_sequence(&p);
+    let cached = build_for_strategy(&p, &generated, Strategy::DfsCache).unwrap();
+    let plain = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+    let opts = ExecOptions::default();
+    for q in &sequence {
+        match q {
+            Query::Retrieve(r) => {
+                let mut a = run_retrieve(&cached, Strategy::DfsCache, r, &opts)
+                    .unwrap()
+                    .values;
+                let mut b = run_retrieve(&plain, Strategy::Dfs, r, &opts)
+                    .unwrap()
+                    .values;
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b);
+            }
+            Query::Update(u) => {
+                apply_update(&cached, u, true).unwrap();
+                apply_update(&plain, u, false).unwrap();
+            }
+        }
+    }
+}
