@@ -25,9 +25,9 @@
 //! workloads never shrink relations ("in our environment there are no
 //! insertions or deletions"), but a production library must.
 
+use crate::sync_cell::SyncCell;
 use crate::AccessError;
 use cor_pagestore::{BufferPool, PageId, NO_PAGE, PAGE_SIZE};
-use std::cell::Cell;
 use std::sync::Arc;
 
 /// A materialized `(key, value)` entry list.
@@ -292,7 +292,7 @@ enum Fast {
 /// use cor_pagestore::{BufferPool, IoStats, MemDisk};
 /// use std::sync::Arc;
 ///
-/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let pool = Arc::new(BufferPool::builder().capacity(8).build());
 /// let tree = BTreeFile::create(pool, 8).unwrap();
 /// tree.insert(&7u64.to_be_bytes(), b"seven").unwrap();
 /// assert_eq!(tree.get(&7u64.to_be_bytes()).unwrap().unwrap(), b"seven");
@@ -301,11 +301,11 @@ enum Fast {
 pub struct BTreeFile {
     pool: Arc<BufferPool>,
     key_len: usize,
-    root: Cell<PageId>,
-    first_leaf: Cell<PageId>,
-    len: Cell<u64>,
-    height: Cell<u32>,
-    leaf_pages: Cell<u32>,
+    root: SyncCell<PageId>,
+    first_leaf: SyncCell<PageId>,
+    len: SyncCell<u64>,
+    height: SyncCell<u32>,
+    leaf_pages: SyncCell<u32>,
 }
 
 impl BTreeFile {
@@ -319,11 +319,11 @@ impl BTreeFile {
         Ok(BTreeFile {
             pool,
             key_len,
-            root: Cell::new(root),
-            first_leaf: Cell::new(root),
-            len: Cell::new(0),
-            height: Cell::new(1),
-            leaf_pages: Cell::new(1),
+            root: SyncCell::new(root),
+            first_leaf: SyncCell::new(root),
+            len: SyncCell::new(0),
+            height: SyncCell::new(1),
+            leaf_pages: SyncCell::new(1),
         })
     }
 
@@ -424,11 +424,11 @@ impl BTreeFile {
         Ok(BTreeFile {
             pool,
             key_len,
-            root: Cell::new(root),
-            first_leaf: Cell::new(first_leaf),
-            len: Cell::new(total),
-            height: Cell::new(height),
-            leaf_pages: Cell::new(leaf_pages),
+            root: SyncCell::new(root),
+            first_leaf: SyncCell::new(first_leaf),
+            len: SyncCell::new(total),
+            height: SyncCell::new(height),
+            leaf_pages: SyncCell::new(leaf_pages),
         })
     }
 
@@ -460,11 +460,11 @@ impl BTreeFile {
         Ok(BTreeFile {
             pool,
             key_len: meta.key_len as usize,
-            root: Cell::new(meta.root),
-            first_leaf: Cell::new(meta.first_leaf),
-            len: Cell::new(meta.len),
-            height: Cell::new(meta.height),
-            leaf_pages: Cell::new(meta.leaf_pages),
+            root: SyncCell::new(meta.root),
+            first_leaf: SyncCell::new(meta.first_leaf),
+            len: SyncCell::new(meta.len),
+            height: SyncCell::new(meta.height),
+            leaf_pages: SyncCell::new(meta.leaf_pages),
         })
     }
 
@@ -1188,15 +1188,11 @@ impl Iterator for BTreeRange {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
+
     use std::collections::BTreeMap;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     fn key8(k: u64) -> Vec<u8> {

@@ -101,7 +101,7 @@ impl From<cor_pagestore::BufferError> for CatalogError {
 /// use cor_pagestore::{BufferPool, IoStats, MemDisk};
 /// use std::sync::Arc;
 ///
-/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let pool = Arc::new(BufferPool::builder().capacity(8).build());
 /// let catalog = Catalog::create(Arc::clone(&pool)).unwrap(); // lands on page 0
 /// let tree = BTreeFile::create(Arc::clone(&pool), 8).unwrap();
 /// tree.insert(&1u64.to_be_bytes(), b"v").unwrap();
@@ -393,14 +393,10 @@ fn split_record(rec: &[u8]) -> Option<(&str, u8, &[u8])> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{FileDisk, IoStats, MemDisk};
+    use cor_pagestore::FileDisk;
 
     fn mem_pool() -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            16,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(16).build())
     }
 
     fn key8(k: u64) -> Vec<u8> {
@@ -495,7 +491,12 @@ mod tests {
 
         {
             let disk = FileDisk::open(&path).unwrap();
-            let pool = Arc::new(BufferPool::new(Box::new(disk), 16, IoStats::new()));
+            let pool = Arc::new(
+                BufferPool::builder()
+                    .disk(Box::new(disk))
+                    .capacity(16)
+                    .build(),
+            );
             let cat = Catalog::create(Arc::clone(&pool)).unwrap();
             let tree = BTreeFile::create(Arc::clone(&pool), 8).unwrap();
             for k in 0..500u64 {
@@ -507,7 +508,12 @@ mod tests {
         } // process "exits"
 
         let disk = FileDisk::open(&path).unwrap();
-        let pool = Arc::new(BufferPool::new(Box::new(disk), 16, IoStats::new()));
+        let pool = Arc::new(
+            BufferPool::builder()
+                .disk(Box::new(disk))
+                .capacity(16)
+                .build(),
+        );
         let cat = Catalog::open(Arc::clone(&pool)).unwrap();
         let tree = cat.open_btree("persons").unwrap();
         assert_eq!(tree.len(), 500);

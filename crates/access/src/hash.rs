@@ -42,7 +42,7 @@ pub struct HashMeta {
 /// use cor_pagestore::{BufferPool, IoStats, MemDisk};
 /// use std::sync::Arc;
 ///
-/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let pool = Arc::new(BufferPool::builder().capacity(8).build());
 /// let cache = HashFile::create(pool, 4).unwrap();
 /// cache.put(b"hashkey", b"cached unit").unwrap();
 /// assert_eq!(cache.get(b"hashkey").unwrap().unwrap(), b"cached unit");
@@ -51,7 +51,7 @@ pub struct HashMeta {
 pub struct HashFile {
     pool: Arc<BufferPool>,
     buckets: Vec<PageId>,
-    len: std::cell::Cell<u64>,
+    len: crate::sync_cell::SyncCell<u64>,
 }
 
 fn encode_record(key: &[u8], value: &[u8]) -> Vec<u8> {
@@ -86,7 +86,7 @@ impl HashFile {
         Ok(HashFile {
             pool,
             buckets,
-            len: std::cell::Cell::new(0),
+            len: crate::sync_cell::SyncCell::new(0),
         })
     }
 
@@ -116,7 +116,7 @@ impl HashFile {
         HashFile {
             pool,
             buckets: (meta.first_bucket..meta.first_bucket + meta.num_buckets).collect(),
-            len: std::cell::Cell::new(meta.len),
+            len: crate::sync_cell::SyncCell::new(meta.len),
         }
     }
 
@@ -239,15 +239,11 @@ impl HashFile {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
+
     use std::collections::HashMap;
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     #[test]

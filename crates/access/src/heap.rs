@@ -37,7 +37,7 @@ pub struct HeapMeta {
 /// use cor_pagestore::{BufferPool, IoStats, MemDisk};
 /// use std::sync::Arc;
 ///
-/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let pool = Arc::new(BufferPool::builder().capacity(8).build());
 /// let temp = HeapFile::create(pool).unwrap();
 /// temp.append(b"oid-1").unwrap();
 /// temp.append(b"oid-2").unwrap();
@@ -46,9 +46,9 @@ pub struct HeapMeta {
 pub struct HeapFile {
     pool: Arc<BufferPool>,
     first: PageId,
-    last: std::cell::Cell<PageId>,
-    len: std::cell::Cell<u64>,
-    pages: std::cell::Cell<u32>,
+    last: crate::sync_cell::SyncCell<PageId>,
+    len: crate::sync_cell::SyncCell<u64>,
+    pages: crate::sync_cell::SyncCell<u32>,
 }
 
 impl HeapFile {
@@ -59,9 +59,9 @@ impl HeapFile {
         Ok(HeapFile {
             pool,
             first,
-            last: std::cell::Cell::new(first),
-            len: std::cell::Cell::new(0),
-            pages: std::cell::Cell::new(1),
+            last: crate::sync_cell::SyncCell::new(first),
+            len: crate::sync_cell::SyncCell::new(0),
+            pages: crate::sync_cell::SyncCell::new(1),
         })
     }
 
@@ -85,9 +85,9 @@ impl HeapFile {
         HeapFile {
             pool,
             first: meta.first,
-            last: std::cell::Cell::new(meta.last),
-            len: std::cell::Cell::new(meta.len),
-            pages: std::cell::Cell::new(meta.pages),
+            last: crate::sync_cell::SyncCell::new(meta.last),
+            len: crate::sync_cell::SyncCell::new(meta.len),
+            pages: crate::sync_cell::SyncCell::new(meta.pages),
         }
     }
 
@@ -215,14 +215,9 @@ impl Iterator for HeapScan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     #[test]

@@ -77,14 +77,9 @@ impl IsamIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     fn key8(k: u64) -> Vec<u8> {

@@ -90,7 +90,7 @@ pub fn iterative_substitution<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{BufferPool, IoStats, MemDisk};
+    use cor_pagestore::BufferPool;
     use std::sync::Arc;
 
     fn keyed(keys: &[u64]) -> Vec<Vec<u8>> {
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn iterative_substitution_probes_tree() {
-        let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+        let pool = Arc::new(BufferPool::builder().capacity(8).build());
         let tree = BTreeFile::bulk_load(pool, 8, entries(&[1, 2, 3, 4, 5]), 0.9).unwrap();
         let keys = keyed(&[2, 4, 9]);
         let out: Vec<_> = iterative_substitution(keys.into_iter(), &tree)

@@ -24,6 +24,7 @@ pub mod join;
 pub mod record;
 pub mod scan;
 pub mod sort;
+mod sync_cell;
 
 pub use btree::{BTreeFile, BTreeMeta, BTreeRange, DEFAULT_FILL, MAX_BTREE_ENTRY};
 pub use catalog::{Catalog, CatalogError, FileMeta};

@@ -21,7 +21,7 @@ use cor_relational::{Predicate, Schema, Tuple};
 /// use std::sync::Arc;
 ///
 /// let schema = Schema::new(&[("name", ValueType::Str), ("age", ValueType::Int)]);
-/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let pool = Arc::new(BufferPool::builder().capacity(8).build());
 /// let person = BTreeFile::create(pool, 8).unwrap();
 /// for (i, (name, age)) in [("Mary", 62i64), ("Jill", 8)].iter().enumerate() {
 ///     let t = Tuple::new(vec![Value::from(*name), Value::Int(*age)]);
@@ -65,17 +65,13 @@ pub fn count_where(
 mod tests {
     use super::*;
     use crate::record::encode;
-    use cor_pagestore::{BufferPool, IoStats, MemDisk};
+    use cor_pagestore::BufferPool;
     use cor_relational::{CmpOp, Value, ValueType};
     use std::sync::Arc;
 
     fn person_tree() -> (BTreeFile, Schema) {
         let schema = Schema::new(&[("name", ValueType::Str), ("age", ValueType::Int)]);
-        let pool = Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            16,
-            IoStats::new(),
-        ));
+        let pool = Arc::new(BufferPool::builder().capacity(16).build());
         let tree = BTreeFile::create(pool, 8).unwrap();
         for (i, (name, age)) in [
             ("John", 62i64),

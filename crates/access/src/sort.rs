@@ -31,7 +31,7 @@ pub const DEFAULT_WORK_MEM: usize = 32 * cor_pagestore::PAGE_SIZE;
 /// use cor_pagestore::{BufferPool, IoStats, MemDisk};
 /// use std::sync::Arc;
 ///
-/// let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()));
+/// let pool = Arc::new(BufferPool::builder().capacity(8).build());
 /// let records = vec![b"b".to_vec(), b"a".to_vec(), b"a".to_vec()];
 /// let sorted: Vec<_> = external_sort(&pool, records.into_iter(), DEFAULT_WORK_MEM, true)
 ///     .unwrap()
@@ -152,14 +152,9 @@ impl Iterator for MergeRuns {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     fn scrambled(n: u64) -> Vec<Vec<u8>> {

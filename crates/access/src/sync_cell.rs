@@ -1,0 +1,91 @@
+//! A `Sync` drop-in for the `Cell`s holding access-method metadata.
+//!
+//! The files in this crate keep small mutable bookkeeping fields (root
+//! page, lengths, page counts) behind interior mutability so reads take
+//! `&self`. With the sharded buffer pool serving several query streams at
+//! once, the files themselves must be `Sync`; `SyncCell` keeps the exact
+//! `Cell` API (`new`/`get`/`set`) but stores the value in an atomic.
+//!
+//! Ordering is `Relaxed` throughout: each field is an independent counter
+//! or page pointer, and cross-field consistency during a structural change
+//! (e.g. a root split updating `root` and `height`) is already only
+//! guaranteed to writers — concurrent readers may observe the old root,
+//! which remains a valid entry point because splits never free it.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Values that fit losslessly in a `u64` slot.
+pub trait AtomicRepr: Copy {
+    /// Widen into the backing word.
+    fn to_bits(self) -> u64;
+    /// Narrow back out of the backing word.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! atomic_repr {
+    ($($t:ty),*) => {$(
+        impl AtomicRepr for $t {
+            #[inline]
+            fn to_bits(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+atomic_repr!(u32, u64);
+
+/// A `Cell<T>` that is `Sync` for the integer types the access methods
+/// use as metadata.
+#[derive(Debug, Default)]
+pub struct SyncCell<T: AtomicRepr> {
+    bits: AtomicU64,
+    _marker: PhantomData<T>,
+}
+
+impl<T: AtomicRepr> SyncCell<T> {
+    /// Wrap an initial value.
+    pub fn new(value: T) -> Self {
+        SyncCell {
+            bits: AtomicU64::new(value.to_bits()),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Read the current value.
+    #[inline]
+    pub fn get(&self) -> T {
+        T::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Replace the value.
+    #[inline]
+    pub fn set(&self, value: T) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let c = SyncCell::new(7u32);
+        assert_eq!(c.get(), 7);
+        c.set(u32::MAX);
+        assert_eq!(c.get(), u32::MAX);
+        let w = SyncCell::new(u64::MAX - 1);
+        assert_eq!(w.get(), u64::MAX - 1);
+    }
+
+    #[test]
+    fn is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<SyncCell<u64>>();
+    }
+}

@@ -3,18 +3,14 @@
 //! round-trips.
 
 use cor_access::{decode, encode, external_sort, BTreeFile, HashFile};
-use cor_pagestore::{BufferPool, IoStats, MemDisk};
+use cor_pagestore::BufferPool;
 use cor_relational::{Oid, Schema, Tuple, Value, ValueType};
 use proptest::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 fn pool(frames: usize) -> Arc<BufferPool> {
-    Arc::new(BufferPool::new(
-        Box::new(MemDisk::new()),
-        frames,
-        IoStats::new(),
-    ))
+    Arc::new(BufferPool::builder().capacity(frames).build())
 }
 
 fn key8(k: u64) -> Vec<u8> {

@@ -1,0 +1,144 @@
+//! Multi-threaded buffer pool benchmarks: page-access throughput of the
+//! lock-striped pool under the classic access patterns at 1–16 threads.
+//!
+//! Three workloads, each measured at shards = 1 (the paper's single
+//! global buffer) and shards = 8:
+//!
+//! * **seq_scan** — every thread scans the whole store in order; the
+//!   store is 4x the pool so most accesses miss and evict.
+//! * **repeated** — every thread hammers a small resident hot set; all
+//!   hits, so the frame-table latch is the only cost and the shard
+//!   speedup is visible directly.
+//! * **random_k** — every thread reads uniformly random pages (its own
+//!   seed); a hit/miss mix that approximates index-probe traffic.
+//!
+//! Reported throughput is total page accesses per second across all
+//! threads (one `iter` = every thread completing its op quota).
+//!
+//! ```text
+//! cargo bench -p cor-bench --bench pool
+//! ```
+
+use cor_pagestore::{BufferPool, PageId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Pool pages. Small enough that seq_scan thrashes, large enough that
+/// the repeated hot set stays resident in every shard configuration.
+const CAPACITY: usize = 128;
+/// Backing store pages (4x the pool: a sequential scan always misses).
+const NUM_PAGES: usize = 512;
+/// Hot-set size for the repeated-access workload (fits in the pool).
+const HOT_SET: usize = 32;
+/// Page reads each thread performs per measured iteration.
+const OPS_PER_THREAD: usize = 1_000;
+
+const THREAD_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+const SHARD_COUNTS: [usize; 2] = [1, 8];
+
+/// Build a pool with `shards` shards over a fresh in-memory store and
+/// fill `NUM_PAGES` pages with one record each.
+fn build_pool(shards: usize) -> (Arc<BufferPool>, Vec<PageId>) {
+    let pool = Arc::new(
+        BufferPool::builder()
+            .capacity(CAPACITY)
+            .shards(shards)
+            .build(),
+    );
+    let pids: Vec<PageId> = (0..NUM_PAGES)
+        .map(|i| {
+            let pid = pool.allocate_page().expect("store extends");
+            pool.write(pid, |mut p| {
+                p.init();
+                p.insert(&(i as u64).to_le_bytes()).expect("record fits");
+            })
+            .expect("page writes");
+            pid
+        })
+        .collect();
+    (pool, pids)
+}
+
+/// Run `threads` workers, each reading the pages `plan` yields for its
+/// index, and return the number of records seen (a live result so the
+/// reads cannot be optimized away).
+fn run_workers(
+    pool: &BufferPool,
+    threads: usize,
+    plan: impl Fn(usize) -> Vec<PageId> + Sync,
+) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let plan = &plan;
+                scope.spawn(move || {
+                    let mut seen = 0usize;
+                    for pid in plan(t) {
+                        seen += pool
+                            .read(pid, |view| view.live_count())
+                            .expect("page reads");
+                    }
+                    seen
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .sum()
+    })
+}
+
+/// Sequential scan: thread `t` starts at a stagger offset and walks the
+/// whole store in order, wrapping around.
+fn seq_plan(pids: &[PageId], t: usize) -> Vec<PageId> {
+    let stagger = (t * pids.len()) / 16;
+    (0..OPS_PER_THREAD)
+        .map(|i| pids[(stagger + i) % pids.len()])
+        .collect()
+}
+
+/// Repeated access: every thread loops over the same small hot set.
+fn hot_plan(pids: &[PageId], _t: usize) -> Vec<PageId> {
+    (0..OPS_PER_THREAD).map(|i| pids[i % HOT_SET]).collect()
+}
+
+/// Random-K: thread `t` reads uniformly random pages from its own
+/// deterministic stream.
+fn random_plan(pids: &[PageId], t: usize) -> Vec<PageId> {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE + t as u64);
+    (0..OPS_PER_THREAD)
+        .map(|_| pids[rng.random_range(0..pids.len())])
+        .collect()
+}
+
+fn bench_workload(
+    c: &mut Criterion,
+    name: &str,
+    plan: impl Fn(&[PageId], usize) -> Vec<PageId> + Sync,
+) {
+    let mut g = c.benchmark_group(name);
+    for shards in SHARD_COUNTS {
+        let (pool, pids) = build_pool(shards);
+        for threads in THREAD_COUNTS {
+            g.throughput(Throughput::Elements((threads * OPS_PER_THREAD) as u64));
+            g.bench_function(
+                BenchmarkId::new(format!("s{shards}"), format!("x{threads}")),
+                |b| b.iter(|| black_box(run_workers(&pool, threads, |t| plan(&pids, t)))),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_pool(c: &mut Criterion) {
+    bench_workload(c, "pool_seq_scan", seq_plan);
+    bench_workload(c, "pool_repeated", hot_plan);
+    bench_workload(c, "pool_random_k", random_plan);
+}
+
+criterion_group!(pool, bench_pool);
+criterion_main!(pool);

@@ -3,9 +3,8 @@
 //! values. The figure binaries measure I/O; these measure CPU+structure
 //! overheads at a small scale where everything is memory-resident.
 
-use complexobj::strategies::run_retrieve;
 use complexobj::{ExecOptions, RetAttr, RetrieveQuery, Strategy};
-use cor_workload::{build_for_strategy, generate, Params};
+use cor_workload::{generate, Engine, Params};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -23,12 +22,11 @@ fn params() -> Params {
 fn bench_strategies(c: &mut Criterion) {
     let p = params();
     let generated = generate(&p);
-    let opts = ExecOptions::default();
 
     let mut g = c.benchmark_group("retrieve");
     for num_top in [1u64, 20, 200] {
         for strategy in Strategy::ALL {
-            let db = build_for_strategy(&p, &generated, strategy).expect("db builds");
+            let engine = Engine::for_strategy(&p, &generated, strategy).expect("engine builds");
             let query = RetrieveQuery {
                 lo: 100,
                 hi: 100 + num_top - 1,
@@ -41,7 +39,8 @@ fn bench_strategies(c: &mut Criterion) {
                 |b, q| {
                     b.iter(|| {
                         black_box(
-                            run_retrieve(&db, strategy, q, &opts)
+                            engine
+                                .retrieve(strategy, q)
                                 .expect("query runs")
                                 .values
                                 .len(),
@@ -64,7 +63,7 @@ fn bench_updates(c: &mut Criterion) {
         ("with_cache_invalidation", Strategy::DfsCache, true),
         ("clustered", Strategy::DfsClust, false),
     ] {
-        let db = build_for_strategy(&p, &generated, strategy).expect("db builds");
+        let engine = Engine::for_strategy(&p, &generated, strategy).expect("engine builds");
         if maintain {
             // Warm the cache so invalidations actually happen.
             let q = RetrieveQuery {
@@ -72,7 +71,7 @@ fn bench_updates(c: &mut Criterion) {
                 hi: 400,
                 attr: RetAttr::Ret1,
             };
-            run_retrieve(&db, strategy, &q, &ExecOptions::default()).unwrap();
+            engine.retrieve(strategy, &q).unwrap();
         }
         let update = complexobj::UpdateQuery {
             targets: (0..10)
@@ -82,14 +81,14 @@ fn bench_updates(c: &mut Criterion) {
         };
         g.throughput(Throughput::Elements(update.targets.len() as u64));
         g.bench_function(name, |b| {
-            b.iter(|| black_box(complexobj::apply_update(&db, &update, maintain).unwrap()))
+            b.iter(|| black_box(engine.update(&update).unwrap()))
         });
     }
     g.finish();
 }
 
 fn bench_representations(c: &mut Criterion) {
-    use complexobj::procedural::{run_proc_retrieve, ProcCaching, ProcDatabase};
+    use complexobj::procedural::ProcCaching;
     use complexobj::ValueDatabase;
     use cor_workload::{generate_matrix, make_pool};
 
@@ -114,22 +113,32 @@ fn bench_representations(c: &mut Criterion) {
         b.iter(|| black_box(value_db.run_retrieve(&query).unwrap().values.len()))
     });
 
-    let proc_db = ProcDatabase::build(make_pool(&p), &spec.proc_spec, ProcCaching::None).unwrap();
+    let proc_db = Engine::builder()
+        .pool_pages(p.buffer_pages)
+        .build_procedural(&spec.proc_spec, ProcCaching::None)
+        .unwrap();
     g.bench_function("procedural_exec", |b| {
-        b.iter(|| black_box(run_proc_retrieve(&proc_db, &query).unwrap().values.len()))
+        b.iter(|| {
+            black_box(
+                proc_db
+                    .retrieve(Strategy::Dfs, &query)
+                    .unwrap()
+                    .values
+                    .len(),
+            )
+        })
     });
 
-    let proc_cached = ProcDatabase::build(
-        make_pool(&p),
-        &spec.proc_spec,
-        ProcCaching::OutsideValues(p.size_cache),
-    )
-    .unwrap();
-    run_proc_retrieve(&proc_cached, &query).unwrap(); // warm
+    let proc_cached = Engine::builder()
+        .pool_pages(p.buffer_pages)
+        .build_procedural(&spec.proc_spec, ProcCaching::OutsideValues(p.size_cache))
+        .unwrap();
+    proc_cached.retrieve(Strategy::Dfs, &query).unwrap(); // warm
     g.bench_function("procedural_cached", |b| {
         b.iter(|| {
             black_box(
-                run_proc_retrieve(&proc_cached, &query)
+                proc_cached
+                    .retrieve(Strategy::Dfs, &query)
                     .unwrap()
                     .values
                     .len(),

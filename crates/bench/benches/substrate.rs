@@ -2,7 +2,7 @@
 //! whose I/O costs the figure reproductions are built from.
 
 use cor_access::{external_sort, BTreeFile, HashFile, HeapFile, IsamIndex, DEFAULT_FILL};
-use cor_pagestore::{BufferPool, IoStats, MemDisk, PageMut, PAGE_SIZE};
+use cor_pagestore::{BufferPool, PageMut, PAGE_SIZE};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -10,11 +10,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 
 fn pool(frames: usize) -> Arc<BufferPool> {
-    Arc::new(BufferPool::new(
-        Box::new(MemDisk::new()),
-        frames,
-        IoStats::new(),
-    ))
+    Arc::new(BufferPool::builder().capacity(frames).build())
 }
 
 fn key8(k: u64) -> Vec<u8> {

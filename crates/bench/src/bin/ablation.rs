@@ -12,11 +12,10 @@
 //! cargo run -p cor-bench --release --bin ablation [--scale F]
 //! ```
 
-use complexobj::{CacheConfig, CorDatabase, EvictionPolicy, ExecOptions, JoinChoice, Strategy};
+use complexobj::{CacheConfig, EvictionPolicy, ExecOptions, JoinChoice, Strategy};
 use cor_bench::{num_top_sweep, BenchConfig};
 use cor_workload::{
-    default_threads, fnum, format_table, generate, generate_sequence, make_pool, parallel_map,
-    run_sequence, Params,
+    default_threads, fnum, format_table, generate, generate_sequence, parallel_map, Engine, Params,
 };
 
 fn main() {
@@ -32,8 +31,7 @@ fn main() {
 /// policy; the claim to defend is that the *strategy ordering* (who wins)
 /// does not hinge on our choice of LRU.
 fn buffer_policy_ablation(cfg: &BenchConfig, base: &Params) {
-    use cor_pagestore::{BufferPool, IoStats, MemDisk, ReplacementPolicy};
-    use std::sync::Arc;
+    use cor_pagestore::ReplacementPolicy;
 
     println!(
         "\nAblation 3 — buffer replacement policy (scale {})\n",
@@ -56,14 +54,12 @@ fn buffer_policy_ablation(cfg: &BenchConfig, base: &Params) {
     ] {
         let mut costs = Vec::new();
         for strategy in [Strategy::Dfs, Strategy::Bfs] {
-            let pool = Arc::new(BufferPool::with_policy(
-                Box::new(MemDisk::new()),
-                p.buffer_pages,
-                IoStats::new(),
-                policy,
-            ));
-            let db = CorDatabase::build_standard(pool, &generated.spec, None).expect("db builds");
-            let r = run_sequence(&db, strategy, &sequence, &ExecOptions::default()).expect("run");
+            let engine = Engine::builder()
+                .pool_pages(p.buffer_pages)
+                .policy(policy)
+                .build(&generated.spec)
+                .expect("engine builds");
+            let r = engine.run_sequence(strategy, &sequence).expect("run");
             costs.push(r.avg_retrieve_io());
         }
         winners.push(if costs[0] < costs[1] { "DFS" } else { "BFS" });
@@ -98,19 +94,19 @@ fn cache_policy_ablation(cfg: &BenchConfig, base: &Params) {
         ("LRU", EvictionPolicy::Lru),
         ("Random", EvictionPolicy::Random),
     ] {
-        let pool = make_pool(&p);
-        let db = CorDatabase::build_standard(
-            pool,
-            &generated.spec,
-            Some(CacheConfig {
+        let engine = Engine::builder()
+            .pool_pages(p.buffer_pages)
+            .shards(p.shards)
+            .cache(CacheConfig {
                 capacity: p.size_cache,
                 policy,
                 ..CacheConfig::default()
-            }),
-        )
-        .expect("db builds");
-        let r =
-            run_sequence(&db, Strategy::DfsCache, &sequence, &ExecOptions::default()).expect("run");
+            })
+            .build(&generated.spec)
+            .expect("engine builds");
+        let r = engine
+            .run_sequence(Strategy::DfsCache, &sequence)
+            .expect("run");
         let c = r.cache.expect("cache counters");
         let hit_rate = c.hits as f64 / (c.hits + c.misses).max(1) as f64;
         rows.push(vec![
@@ -161,13 +157,15 @@ fn join_choice_ablation(cfg: &BenchConfig, base: &Params) {
             ..base.clone()
         };
         let generated = generate(&p);
-        let db = cor_workload::build_for_strategy(&p, &generated, Strategy::Bfs).expect("db");
+        let engine = Engine::for_strategy(&p, &generated, Strategy::Bfs)
+            .expect("engine builds")
+            .with_options(ExecOptions {
+                join: c,
+                ..ExecOptions::default()
+            });
         let sequence = generate_sequence(&p);
-        let opts = ExecOptions {
-            join: c,
-            ..ExecOptions::default()
-        };
-        run_sequence(&db, Strategy::Bfs, &sequence, &opts)
+        engine
+            .run_sequence(Strategy::Bfs, &sequence)
             .expect("run")
             .avg_retrieve_io()
     });

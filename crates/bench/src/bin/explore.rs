@@ -10,10 +10,9 @@
 //!     --query "retrieve (ParentRel.children.ret2) where 100 <= ParentRel.OID <= 149"
 //! ```
 
-use complexobj::strategies::run_retrieve;
-use complexobj::{parse_quel, ExecOptions, QuelStatement, Strategy};
+use complexobj::{parse_quel, QuelStatement, Strategy};
 use cor_bench::BenchConfig;
-use cor_workload::{build_for_strategy, fnum, generate, run_point};
+use cor_workload::{fnum, generate, run_point, Engine};
 
 fn main() {
     let cfg = BenchConfig::from_args();
@@ -70,10 +69,11 @@ fn main() {
                 let generated = generate(&params);
                 println!("{:<10} {:>9} {:>9} {:>9}  values", "strategy", "ParCost", "ChildCost", "total");
                 for s in strategies {
-                    let db = build_for_strategy(&params, &generated, s)
+                    let engine = Engine::for_strategy(&params, &generated, s)
                         .unwrap_or_else(|e| die(&format!("{s} build failed: {e}")));
-                    db.pool().flush_and_clear().ok();
-                    let out = run_retrieve(&db, s, &q, &ExecOptions::default())
+                    engine.pool().flush_and_clear().ok();
+                    let out = engine
+                        .retrieve(s, &q)
                         .unwrap_or_else(|e| die(&format!("{s} failed: {e}")));
                     println!(
                         "{:<10} {:>9} {:>9} {:>9}  {}",

@@ -16,26 +16,25 @@
 //! cargo run -p cor-bench --release --bin insideout [--scale F]
 //! ```
 
-use complexobj::{CacheConfig, CachePlacement, CorDatabase, ExecOptions, Strategy};
+use complexobj::{CacheConfig, CachePlacement, Strategy};
 use cor_bench::BenchConfig;
-use cor_workload::{
-    fnum, format_table, generate, generate_sequence, make_pool, run_sequence, Params,
-};
+use cor_workload::{fnum, format_table, generate, generate_sequence, Engine, Params};
 
 fn run(p: &Params, placement: CachePlacement, capacity: usize) -> f64 {
     let generated = generate(p);
-    let db = CorDatabase::build_standard(
-        make_pool(p),
-        &generated.spec,
-        Some(CacheConfig {
+    let engine = Engine::builder()
+        .pool_pages(p.buffer_pages)
+        .shards(p.shards)
+        .cache(CacheConfig {
             capacity,
             placement,
             ..CacheConfig::default()
-        }),
-    )
-    .expect("db builds");
+        })
+        .build(&generated.spec)
+        .expect("engine builds");
     let sequence = generate_sequence(p);
-    run_sequence(&db, Strategy::DfsCache, &sequence, &ExecOptions::default())
+    engine
+        .run_sequence(Strategy::DfsCache, &sequence)
         .expect("run")
         .avg_io_per_query()
 }

@@ -13,11 +13,12 @@
 //! cargo run -p cor-bench --release --bin multilevel [--scale F]
 //! ```
 
-use complexobj::multilevel::{run_multilevel, MultiDotQuery};
-use complexobj::{ExecOptions, RetAttr, Strategy};
+use complexobj::multilevel::MultiDotQuery;
+use complexobj::{RetAttr, Strategy};
 use cor_bench::BenchConfig;
 use cor_workload::{
-    build_hierarchy, fnum, format_table, snapshot_hierarchy, total_hierarchy_io, HierarchyParams,
+    build_hierarchy, fnum, format_table, snapshot_hierarchy, total_hierarchy_io, Engine,
+    HierarchyParams,
 };
 
 fn main() {
@@ -47,14 +48,14 @@ fn main() {
             seed: 7 + levels as u64,
             ..HierarchyParams::default()
         };
-        let dbs = build_hierarchy(&hp).expect("hierarchy builds");
+        let engine = Engine::from_levels(build_hierarchy(&hp).expect("hierarchy builds"));
 
         let mut costs = Vec::new();
         for s in strategies {
-            for db in &dbs {
+            for db in engine.levels() {
                 db.pool().flush_and_clear().expect("cold start");
             }
-            let before = snapshot_hierarchy(&dbs);
+            let before = snapshot_hierarchy(engine.levels());
             let mut values = 0u64;
             for i in 0..queries as u64 {
                 let lo = (i * 97) % (top_card - num_top);
@@ -63,10 +64,10 @@ fn main() {
                     hi: lo + num_top - 1,
                     attr: RetAttr::Ret1,
                 };
-                let out = run_multilevel(&dbs, s, &q, &ExecOptions::default()).expect("runs");
+                let out = engine.retrieve_multilevel(s, &q).expect("runs");
                 values += out.values.len() as u64;
             }
-            let io = total_hierarchy_io(&dbs, &before) as f64 / queries as f64;
+            let io = total_hierarchy_io(engine.levels(), &before) as f64 / queries as f64;
             costs.push((io, values));
         }
         let ratio = costs[2].0 / costs[1].0;

@@ -17,9 +17,7 @@
 
 use complexobj::{ExecOptions, Strategy};
 use cor_bench::BenchConfig;
-use cor_workload::{
-    build_for_strategy, fnum, format_table, generate, generate_mixed_sequence, run_sequence_trace,
-};
+use cor_workload::{fnum, format_table, generate, generate_mixed_sequence, Engine};
 use std::collections::BTreeMap;
 
 /// Find the NumTop band where DFSCACHE stops beating BFS and return a
@@ -89,8 +87,10 @@ fn main() {
     let mut buckets: Vec<BTreeMap<u64, (u64, u64)>> = vec![BTreeMap::new(); strategies.len()];
     let mut totals = Vec::new();
     for (j, &s) in strategies.iter().enumerate() {
-        let db = build_for_strategy(&base, &generated, s).expect("db builds");
-        let (result, trace) = run_sequence_trace(&db, s, &sequence, &opts).expect("run");
+        let engine = Engine::for_strategy(&base, &generated, s)
+            .expect("engine builds")
+            .with_options(opts);
+        let (result, trace) = engine.run_sequence_trace(s, &sequence).expect("run");
         for t in &trace {
             if !t.is_update {
                 let e = buckets[j].entry(t.num_top).or_insert((0, 0));
@@ -135,12 +135,15 @@ fn main() {
     println!("threshold sensitivity (overall avg I/O per query under the same mix):");
     let mut sens_rows = Vec::new();
     for &n in &candidates {
-        let db = build_for_strategy(&base, &generated, Strategy::Smart).expect("db builds");
-        let o = ExecOptions {
-            smart_threshold: n,
-            ..ExecOptions::default()
-        };
-        let (result, _) = run_sequence_trace(&db, Strategy::Smart, &sequence, &o).expect("run");
+        let engine = Engine::for_strategy(&base, &generated, Strategy::Smart)
+            .expect("engine builds")
+            .with_options(ExecOptions {
+                smart_threshold: n,
+                ..ExecOptions::default()
+            });
+        let (result, _) = engine
+            .run_sequence_trace(Strategy::Smart, &sequence)
+            .expect("run");
         sens_rows.push(vec![n.to_string(), fnum(result.avg_io_per_query())]);
     }
     println!("{}", format_table(&["N", "avg I/O"], &sens_rows));

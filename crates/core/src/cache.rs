@@ -315,14 +315,9 @@ impl UnitCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     fn oid(k: u64) -> Oid {

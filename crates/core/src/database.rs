@@ -23,7 +23,7 @@ use crate::CorError;
 use cor_access::{decode, encode, BTreeFile, IsamIndex, DEFAULT_FILL};
 use cor_pagestore::BufferPool;
 use cor_relational::{Oid, RelId, Schema, Tuple, Value, ValueType};
-use std::cell::{RefCell, RefMut};
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -95,6 +95,34 @@ pub struct DatabaseSpec {
 }
 
 impl DatabaseSpec {
+    /// A tiny hand-built example database — 4 objects over one ChildRel
+    /// of 6 subobjects, objects 0 and 1 sharing a unit — for doc examples
+    /// and smoke tests. Real experiments generate specs from
+    /// `cor-workload`'s parameterized generator.
+    pub fn tiny() -> DatabaseSpec {
+        let c = |k: u64| Oid::new(CHILD_REL_BASE, k);
+        let child = |k: u64| SubobjectSpec {
+            oid: c(k),
+            rets: [k as i64 * 10, k as i64 * 100, k as i64 * 1000],
+            dummy: "x".repeat(20),
+        };
+        DatabaseSpec {
+            parents: (0..4u64)
+                .map(|key| ObjectSpec {
+                    key,
+                    rets: [key as i64; 3],
+                    dummy: "p".repeat(30),
+                    children: match key {
+                        0 | 1 => vec![c(0), c(1)],
+                        2 => vec![c(2), c(3)],
+                        _ => vec![c(4), c(5)],
+                    },
+                })
+                .collect(),
+            child_rels: vec![(0..6).map(child).collect()],
+        }
+    }
+
     fn parent_tuple(&self, o: &ObjectSpec) -> Tuple {
         Tuple::new(vec![
             Value::Oid(Oid::new(PARENT_REL, o.key)),
@@ -213,8 +241,8 @@ struct InsideOidCache {
 pub struct CorDatabase {
     pool: Arc<BufferPool>,
     storage: Storage,
-    cache: Option<RefCell<UnitCache>>,
-    inside: Option<RefCell<InsideOidCache>>,
+    cache: Option<Mutex<UnitCache>>,
+    inside: Option<Mutex<InsideOidCache>>,
     parent_schema: Schema,
     child_schema: Schema,
     parent_count: u64,
@@ -263,7 +291,7 @@ impl CorDatabase {
         let mut inside = None;
         match cache {
             Some(cfg) if cfg.placement == CachePlacement::Outside => {
-                outside = Some(RefCell::new(UnitCache::with_policy(
+                outside = Some(Mutex::new(UnitCache::with_policy(
                     Arc::clone(&pool),
                     cfg.capacity,
                     cfg.policy,
@@ -277,7 +305,7 @@ impl CorDatabase {
                         registry.entry(c).or_default().push(o.key);
                     }
                 }
-                inside = Some(RefCell::new(InsideOidCache {
+                inside = Some(Mutex::new(InsideOidCache {
                     capacity: cfg.capacity,
                     holders: LruSet::default(),
                     registry,
@@ -434,32 +462,32 @@ impl CorDatabase {
     /// Borrow the outside cache mutably. Errors when the database has no
     /// cache or an inside-placed one (SMART and the outside strategies
     /// need this placement).
-    pub fn cache_mut(&self) -> Result<RefMut<'_, UnitCache>, CorError> {
+    pub fn cache_mut(&self) -> Result<MutexGuard<'_, UnitCache>, CorError> {
         self.cache
             .as_ref()
-            .map(|c| c.borrow_mut())
+            .map(|c| c.lock())
             .ok_or(CorError::NoCache)
     }
 
     /// Hit/miss/maintenance counters of whichever cache is attached.
     pub fn cache_counters(&self) -> Option<CacheCounters> {
         if let Some(c) = &self.cache {
-            return Some(c.borrow().counters());
+            return Some(c.lock().counters());
         }
-        self.inside.as_ref().map(|c| c.borrow().counters)
+        self.inside.as_ref().map(|c| c.lock().counters)
     }
 
     /// Invalidate whatever cached state an update of `oid` poisons —
     /// outside: I-locked units; inside: every referencing parent's copy.
     pub fn invalidate_subobject(&self, oid: Oid) -> Result<usize, CorError> {
         if let Some(c) = &self.cache {
-            return Ok(c.borrow_mut().invalidate_subobject(oid)?);
+            return Ok(c.lock().invalidate_subobject(oid)?);
         }
         let Some(state) = &self.inside else {
             return Ok(0);
         };
         let victims: Vec<u64> = {
-            let st = state.borrow();
+            let st = state.lock();
             st.registry
                 .get(&oid)
                 .map(|parents| {
@@ -473,7 +501,7 @@ impl CorDatabase {
         };
         for pk in &victims {
             self.inside_clear(*pk)?;
-            let mut st = state.borrow_mut();
+            let mut st = state.lock();
             st.holders.remove(*pk);
             st.counters.invalidations += 1;
         }
@@ -511,7 +539,7 @@ impl CorDatabase {
     /// Record an inside-cache hit (LRU touch + counter).
     pub fn inside_touch(&self, key: u64) {
         if let Some(state) = &self.inside {
-            let mut st = state.borrow_mut();
+            let mut st = state.lock();
             if st.holders.contains(key) {
                 st.holders.touch(key);
                 st.counters.hits += 1;
@@ -522,7 +550,7 @@ impl CorDatabase {
     /// Record an inside-cache miss.
     pub fn inside_miss(&self) {
         if let Some(state) = &self.inside {
-            state.borrow_mut().counters.misses += 1;
+            state.lock().counters.misses += 1;
         }
     }
 
@@ -538,19 +566,19 @@ impl CorDatabase {
         }
         loop {
             let victim = {
-                let st = state.borrow();
+                let st = state.lock();
                 (st.holders.len() >= st.capacity)
                     .then(|| st.holders.lru_victim())
                     .flatten()
             };
             let Some(victim) = victim else { break };
             self.inside_clear(victim)?;
-            let mut st = state.borrow_mut();
+            let mut st = state.lock();
             st.holders.remove(victim);
             st.counters.evictions += 1;
         }
         self.inside_write(key, Some(&payload))?;
-        let mut st = state.borrow_mut();
+        let mut st = state.lock();
         st.holders.touch(key);
         st.counters.insertions += 1;
         Ok(())
@@ -722,14 +750,9 @@ impl CorDatabase {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
 
     pub(crate) fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     /// Tiny hand-built spec: 4 parents, one ChildRel of 6 subobjects.

@@ -23,7 +23,7 @@
 //! ```
 //! use complexobj::database::{CorDatabase, DatabaseSpec, ObjectSpec, SubobjectSpec, CHILD_REL_BASE};
 //! use complexobj::query::{RetAttr, RetrieveQuery};
-//! use complexobj::strategies::{run_retrieve, ExecOptions};
+//! use complexobj::strategies::{execute_retrieve, ExecOptions};
 //! use complexobj::Strategy;
 //! use cor_pagestore::{BufferPool, IoStats, MemDisk};
 //! use cor_relational::Oid;
@@ -40,11 +40,11 @@
 //!         .map(|k| SubobjectSpec { oid: c(k), rets: [10 * k as i64, 0, 0], dummy: "p".into() })
 //!         .collect()],
 //! };
-//! let pool = Arc::new(BufferPool::new(Box::new(MemDisk::new()), 100, IoStats::new()));
+//! let pool = Arc::new(BufferPool::builder().capacity(100).build());
 //! let db = CorDatabase::build_standard(pool, &spec, None).unwrap();
 //!
 //! let query = RetrieveQuery { lo: 0, hi: 1, attr: RetAttr::Ret1 };
-//! let out = run_retrieve(&db, Strategy::Dfs, &query, &ExecOptions::default()).unwrap();
+//! let out = execute_retrieve(&db, Strategy::Dfs, &query, &ExecOptions::default()).unwrap();
 //! let mut values = out.values.clone();
 //! values.sort();
 //! assert_eq!(values, vec![0, 10, 10]); // the shared subobject appears twice
@@ -70,10 +70,14 @@ pub use cluster::ClusterAssignment;
 pub use database::{CacheConfig, CorDatabase, DatabaseSpec, ObjectSpec, Storage, SubobjectSpec};
 pub use ilock::{HashKey, ILockTable};
 pub use matrix::{CachePlacement, CachedRepr, PrimaryRepr, ReprPoint, Strategy};
-pub use multilevel::{bfs_multilevel, dfs_multilevel, run_multilevel, MultiDotQuery};
+#[allow(deprecated)]
+pub use multilevel::run_multilevel;
+pub use multilevel::{bfs_multilevel, dfs_multilevel, execute_multilevel, MultiDotQuery};
 pub use quel::{parse as parse_quel, QuelError, QuelStatement};
 pub use query::{apply_update, Query, RetAttr, RetrieveQuery, StrategyOutput, UpdateQuery};
-pub use strategies::{run_retrieve, ExecOptions, JoinChoice};
+#[allow(deprecated)]
+pub use strategies::run_retrieve;
+pub use strategies::{execute_retrieve, ExecOptions, JoinChoice};
 pub use unit::{hashkey_of, measure_sharing, SharingFactors, Unit};
 pub use valuebased::{value_parent_schema, ValueDatabase, VALUE_PARENT_REL};
 

@@ -198,7 +198,9 @@ pub fn bfs_multilevel(
 
 /// Run a multi-level query under a strategy name (DFS, BFS or BFSNODUP);
 /// other strategies are single-level concepts.
-pub fn run_multilevel(
+///
+/// This is the low-level dispatch behind `cor::Engine::retrieve_multilevel`.
+pub fn execute_multilevel(
     levels: &[CorDatabase],
     strategy: Strategy,
     query: &MultiDotQuery,
@@ -217,7 +219,7 @@ pub fn run_multilevel(
                     hi: query.hi,
                     attr: query.attr,
                 };
-                strategies::run_retrieve(&levels[0], other, &q, opts)
+                strategies::execute_retrieve(&levels[0], other, &q, opts)
             } else {
                 Err(CorError::WrongRepresentation(
                     "DFS/BFS/BFSNODUP for multi-level queries",
@@ -227,18 +229,28 @@ pub fn run_multilevel(
     }
 }
 
+/// Former name of [`execute_multilevel`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `cor::Engine::retrieve_multilevel` (or `multilevel::execute_multilevel`) instead"
+)]
+pub fn run_multilevel(
+    levels: &[CorDatabase],
+    strategy: Strategy,
+    query: &MultiDotQuery,
+    opts: &ExecOptions,
+) -> Result<StrategyOutput, CorError> {
+    execute_multilevel(levels, strategy, query, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::database::{DatabaseSpec, ObjectSpec, SubobjectSpec, CHILD_REL_BASE};
-    use cor_pagestore::{BufferPool, IoStats, MemDisk};
+    use cor_pagestore::BufferPool;
 
     fn pool() -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            32,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(32).build())
     }
 
     /// Two-level hierarchy:
@@ -380,7 +392,7 @@ mod tests {
             attr: RetAttr::Ret1,
         };
         let single = &levels[..1];
-        let mut a = run_multilevel(single, Strategy::Dfs, &q, &ExecOptions::default())
+        let mut a = execute_multilevel(single, Strategy::Dfs, &q, &ExecOptions::default())
             .unwrap()
             .values;
         let plain = RetrieveQuery {
@@ -388,10 +400,14 @@ mod tests {
             hi: 2,
             attr: RetAttr::Ret1,
         };
-        let mut b =
-            strategies::run_retrieve(&levels[0], Strategy::Dfs, &plain, &ExecOptions::default())
-                .unwrap()
-                .values;
+        let mut b = strategies::execute_retrieve(
+            &levels[0],
+            Strategy::Dfs,
+            &plain,
+            &ExecOptions::default(),
+        )
+        .unwrap()
+        .values;
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
@@ -405,7 +421,9 @@ mod tests {
             hi: 1,
             attr: RetAttr::Ret1,
         };
-        assert!(run_multilevel(&levels, Strategy::DfsCache, &q, &ExecOptions::default()).is_err());
+        assert!(
+            execute_multilevel(&levels, Strategy::DfsCache, &q, &ExecOptions::default()).is_err()
+        );
     }
 
     #[test]

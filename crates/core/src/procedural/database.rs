@@ -17,7 +17,7 @@ use crate::CorError;
 use cor_access::{decode, encode, BTreeFile, DEFAULT_FILL};
 use cor_pagestore::BufferPool;
 use cor_relational::{Oid, RelId, Schema, Tuple, Value, ValueType};
-use std::cell::RefCell;
+use parking_lot::{Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -95,13 +95,13 @@ pub struct ProcDatabase {
     parent: BTreeFile,
     children: Vec<BTreeFile>,
     caching: ProcCaching,
-    outside: Option<RefCell<ProcCache>>,
+    outside: Option<Mutex<ProcCache>>,
     /// Inside caching bookkeeping: which parents hold a cached copy (LRU
     /// over parents), and which parents store which query (invalidation
     /// fan-out).
-    inside_cached: RefCell<LruSet>,
+    inside_cached: Mutex<LruSet>,
     by_query: HashMap<u64, (StoredQuery, Vec<u64>)>,
-    inside_counters: RefCell<CacheCounters>,
+    inside_counters: Mutex<CacheCounters>,
     parent_schema: Schema,
     parent_count: u64,
 }
@@ -166,7 +166,7 @@ impl ProcDatabase {
 
         let outside = match caching {
             ProcCaching::OutsideValues(cap) | ProcCaching::OutsideOids(cap) => {
-                Some(RefCell::new(ProcCache::new(Arc::clone(&pool), cap)?))
+                Some(Mutex::new(ProcCache::new(Arc::clone(&pool), cap)?))
             }
             _ => None,
         };
@@ -177,9 +177,9 @@ impl ProcDatabase {
             children,
             caching,
             outside,
-            inside_cached: RefCell::new(LruSet::default()),
+            inside_cached: Mutex::new(LruSet::default()),
             by_query,
-            inside_counters: RefCell::new(CacheCounters::default()),
+            inside_counters: Mutex::new(CacheCounters::default()),
             parent_schema: pschema,
             parent_count: spec.parents.len() as u64,
         })
@@ -203,18 +203,18 @@ impl ProcDatabase {
     /// Cache counters: the outside cache's, or the inside bookkeeping's.
     pub fn cache_counters(&self) -> CacheCounters {
         match &self.outside {
-            Some(c) => c.borrow().counters(),
-            None => *self.inside_counters.borrow(),
+            Some(c) => c.lock().counters(),
+            None => *self.inside_counters.lock(),
         }
     }
 
     /// Borrow the outside cache (panics if the mode has none — callers
     /// dispatch on [`Self::caching`]).
-    pub(crate) fn outside_cache(&self) -> std::cell::RefMut<'_, ProcCache> {
+    pub(crate) fn outside_cache(&self) -> MutexGuard<'_, ProcCache> {
         self.outside
             .as_ref()
             .expect("outside cache configured")
-            .borrow_mut()
+            .lock()
     }
 
     /// The ChildRel B-tree for `rel`.
@@ -294,13 +294,13 @@ impl ProcDatabase {
             // Result too large to inline next to the tuple: skip caching.
             return Ok(());
         }
-        while self.inside_cached.borrow().len() >= capacity {
-            let Some(victim) = self.inside_cached.borrow().lru_victim() else {
+        while self.inside_cached.lock().len() >= capacity {
+            let Some(victim) = self.inside_cached.lock().lru_victim() else {
                 break;
             };
             self.inside_clear(victim)?;
-            self.inside_cached.borrow_mut().remove(victim);
-            self.inside_counters.borrow_mut().evictions += 1;
+            self.inside_cached.lock().remove(victim);
+            self.inside_counters.lock().evictions += 1;
         }
         let pkey = Oid::new(PROC_PARENT_REL, key).to_key_bytes();
         let Some(rec) = self.parent.get(&pkey)? else {
@@ -310,18 +310,18 @@ impl ProcDatabase {
         t.set(6, Value::Bytes(payload));
         self.parent
             .update(&pkey, &encode(&self.parent_schema, &t)?)?;
-        self.inside_cached.borrow_mut().touch(key);
-        self.inside_counters.borrow_mut().insertions += 1;
+        self.inside_cached.lock().touch(key);
+        self.inside_counters.lock().insertions += 1;
         Ok(())
     }
 
     /// Record an inside-cache hit for LRU purposes (called by the executor
     /// when a scanned parent carried a cached copy).
     pub fn inside_touch(&self, key: u64) {
-        let mut lru = self.inside_cached.borrow_mut();
+        let mut lru = self.inside_cached.lock();
         if lru.contains(key) {
             lru.touch(key);
-            self.inside_counters.borrow_mut().hits += 1;
+            self.inside_counters.lock().hits += 1;
         }
     }
 
@@ -334,7 +334,7 @@ impl ProcDatabase {
         t.set(6, Value::Bytes(Vec::new()));
         self.parent
             .update(&pkey, &encode(&self.parent_schema, &t)?)?;
-        self.inside_counters.borrow_mut().invalidations += 1;
+        self.inside_counters.lock().invalidations += 1;
         Ok(())
     }
 
@@ -374,7 +374,7 @@ impl ProcDatabase {
                 for (query, parent_keys) in self.by_query.values() {
                     if query.matches(oid, &old_rets) || query.matches(oid, &new_rets) {
                         for &pk in parent_keys {
-                            if self.inside_cached.borrow().contains(pk) {
+                            if self.inside_cached.lock().contains(pk) {
                                 victims.push(pk);
                             }
                         }
@@ -382,7 +382,7 @@ impl ProcDatabase {
                 }
                 for pk in victims {
                     self.inside_clear(pk)?;
-                    self.inside_cached.borrow_mut().remove(pk);
+                    self.inside_cached.lock().remove(pk);
                 }
             }
         }
@@ -400,14 +400,9 @@ pub(crate) fn tiny_spec() -> ProcDatabaseSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     pub(crate) fn tiny_spec() -> ProcDatabaseSpec {

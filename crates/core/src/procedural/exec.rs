@@ -16,9 +16,24 @@ use crate::CorError;
 use cor_pagestore::IoDelta;
 use cor_relational::Oid;
 
+/// Former name of [`execute_proc_retrieve`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `cor::Engine::retrieve` on a procedural engine (or `procedural::execute_proc_retrieve`) instead"
+)]
+pub fn run_proc_retrieve(
+    db: &ProcDatabase,
+    query: &RetrieveQuery,
+) -> Result<StrategyOutput, CorError> {
+    execute_proc_retrieve(db, query)
+}
+
 /// Run one retrieve over a procedural database under its configured
 /// caching mode.
-pub fn run_proc_retrieve(
+///
+/// This is the low-level dispatch behind `cor::Engine::retrieve` for
+/// procedural engines.
+pub fn execute_proc_retrieve(
     db: &ProcDatabase,
     query: &RetrieveQuery,
 ) -> Result<StrategyOutput, CorError> {
@@ -135,15 +150,11 @@ mod tests {
     use crate::database::CHILD_REL_BASE;
     use crate::procedural::database::tiny_spec;
     use crate::query::RetAttr;
-    use cor_pagestore::{BufferPool, IoStats, MemDisk};
+    use cor_pagestore::BufferPool;
     use std::sync::Arc;
 
     fn pool() -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            32,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(32).build())
     }
 
     fn run(db: &ProcDatabase, lo: u64, hi: u64) -> Vec<i64> {
@@ -152,7 +163,7 @@ mod tests {
             hi,
             attr: RetAttr::Ret1,
         };
-        let mut v = run_proc_retrieve(db, &q).unwrap().values;
+        let mut v = execute_proc_retrieve(db, &q).unwrap().values;
         v.sort_unstable();
         v
     }

@@ -19,6 +19,8 @@ pub use database::{
     proc_parent_schema, ProcCaching, ProcDatabase, ProcDatabaseSpec, ProcObjectSpec, ProcParentRow,
     PROC_PARENT_REL,
 };
-pub use exec::{apply_proc_update, run_proc_retrieve};
+#[allow(deprecated)]
+pub use exec::run_proc_retrieve;
+pub use exec::{apply_proc_update, execute_proc_retrieve};
 pub use pcache::{CachedResult, ProcCache, ProcCachedKind};
 pub use predicate::{QuelParseError, StoredQuery};

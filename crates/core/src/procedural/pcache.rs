@@ -250,14 +250,9 @@ impl ProcCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cor_pagestore::{IoStats, MemDisk};
 
     fn pool() -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            32,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(32).build())
     }
 
     fn key_query(lo: u64, hi: u64) -> StoredQuery {

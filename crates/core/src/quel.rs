@@ -297,8 +297,8 @@ mod tests {
     #[test]
     fn parsed_retrieve_runs_end_to_end() {
         use crate::database::{CorDatabase, DatabaseSpec, ObjectSpec, SubobjectSpec};
-        use crate::strategies::{run_retrieve, ExecOptions};
-        use cor_pagestore::{BufferPool, IoStats, MemDisk};
+        use crate::strategies::{execute_retrieve, ExecOptions};
+        use cor_pagestore::BufferPool;
         use std::sync::Arc;
 
         let c = |k: u64| Oid::new(CHILD_REL_BASE, k);
@@ -317,11 +317,7 @@ mod tests {
                 })
                 .collect()],
         };
-        let pool = Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            16,
-            IoStats::new(),
-        ));
+        let pool = Arc::new(BufferPool::builder().capacity(16).build());
         let db = CorDatabase::build_standard(pool, &spec, None).unwrap();
 
         let QuelStatement::Retrieve(q) =
@@ -329,7 +325,7 @@ mod tests {
         else {
             panic!("not a retrieve")
         };
-        let mut v = run_retrieve(&db, crate::Strategy::Dfs, &q, &ExecOptions::default())
+        let mut v = execute_retrieve(&db, crate::Strategy::Dfs, &q, &ExecOptions::default())
             .unwrap()
             .values;
         v.sort_unstable();

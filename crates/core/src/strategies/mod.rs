@@ -67,7 +67,10 @@ impl Default for ExecOptions {
 }
 
 /// Run one retrieve query under `strategy`.
-pub fn run_retrieve(
+///
+/// This is the low-level dispatch behind `cor::Engine::retrieve`; the
+/// engine is the documented entry point for applications.
+pub fn execute_retrieve(
     db: &CorDatabase,
     strategy: Strategy,
     query: &RetrieveQuery,
@@ -81,6 +84,20 @@ pub fn run_retrieve(
         Strategy::DfsClust => dfs_clust(db, query),
         Strategy::Smart => smart(db, query, opts),
     }
+}
+
+/// Former name of [`execute_retrieve`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `cor::Engine::retrieve` (or `strategies::execute_retrieve`) instead"
+)]
+pub fn run_retrieve(
+    db: &CorDatabase,
+    strategy: Strategy,
+    query: &RetrieveQuery,
+    opts: &ExecOptions,
+) -> Result<StrategyOutput, CorError> {
+    execute_retrieve(db, strategy, query, opts)
 }
 
 /// Shared helper: fetch one subobject record or fail loudly — the paper's
@@ -115,7 +132,7 @@ pub fn run_all_supported(
             }
             true
         })
-        .map(|s| (*s, run_retrieve(db, *s, query, opts)))
+        .map(|s| (*s, execute_retrieve(db, *s, query, opts)))
         .collect()
 }
 
@@ -127,7 +144,7 @@ mod tests {
     };
     use crate::query::{RetAttr, RetrieveQuery, UpdateQuery};
     use crate::ClusterAssignment;
-    use cor_pagestore::{BufferPool, IoStats, MemDisk};
+    use cor_pagestore::BufferPool;
     use cor_relational::Oid;
     use std::sync::Arc;
 
@@ -165,11 +182,7 @@ mod tests {
     }
 
     fn pool() -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            16,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(16).build())
     }
 
     #[test]

@@ -203,14 +203,9 @@ mod tests {
     use super::*;
     use crate::database::{ObjectSpec, CHILD_REL_BASE};
     use crate::query::RetAttr;
-    use cor_pagestore::{IoStats, MemDisk};
 
     fn pool(frames: usize) -> Arc<BufferPool> {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            frames,
-            IoStats::new(),
-        ))
+        Arc::new(BufferPool::builder().capacity(frames).build())
     }
 
     fn tiny_spec() -> DatabaseSpec {

@@ -4,7 +4,7 @@
 
 use complexobj::procedural::StoredQuery;
 use complexobj::{parse_quel, ClusterAssignment, QuelStatement, UnitCache};
-use cor_pagestore::{BufferPool, IoStats, MemDisk};
+use cor_pagestore::BufferPool;
 use cor_relational::Oid;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -13,11 +13,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 fn pool() -> Arc<BufferPool> {
-    Arc::new(BufferPool::new(
-        Box::new(MemDisk::new()),
-        32,
-        IoStats::new(),
-    ))
+    Arc::new(BufferPool::builder().capacity(32).build())
 }
 
 #[derive(Debug, Clone)]

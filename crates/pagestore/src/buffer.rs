@@ -1,4 +1,4 @@
-//! LRU buffer pool.
+//! Sharded buffer pool.
 //!
 //! The paper fixes "a main memory buffer size of 100 INGRES data pages"
 //! for every experiment; [`DEFAULT_POOL_PAGES`] mirrors that. All access
@@ -12,37 +12,40 @@
 //! descent pins a parent while reading a child); pinning the *same* page for
 //! write while it is already pinned deadlocks, and no access method in this
 //! workspace does so.
+//!
+//! # Concurrency
+//!
+//! The pool is lock-striped: frames are partitioned into `shards` stripes
+//! and a page id is deterministically homed to one stripe, so operations
+//! on pages of different stripes never contend on a lock. With
+//! `shards = 1` (the default) the pool makes exactly the same eviction
+//! decisions, in the same order, as the original unsharded pool — the
+//! paper's single-threaded I/O counts are preserved bit-for-bit. Larger
+//! shard counts trade that global LRU order for parallelism: each shard
+//! runs the replacement policy over its own frames, like per-stripe LRU
+//! in a production cache. [`IoStats`] counters are atomic, so totals stay
+//! exact under any thread count.
 
-use crate::disk::{DiskError, DiskManager};
-use crate::page::{PageBuf, PageId, PageMut, PageView, PAGE_SIZE};
+use crate::disk::{DiskError, DiskManager, MemDisk};
+use crate::page::{PageId, PageMut, PageView};
+use crate::policy::ReplacementPolicy;
+use crate::shard::Shard;
 use crate::stats::IoStats;
-use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Buffer size used throughout the paper's experiments (100 pages).
 pub const DEFAULT_POOL_PAGES: usize = 100;
 
-/// Frame replacement policy. The paper does not name INGRES 5.0's policy;
-/// LRU is the era-appropriate default, and the alternatives exist for the
-/// ablation bench (strategy orderings should not hinge on the policy).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ReplacementPolicy {
-    /// Evict the least recently used unpinned frame (default).
-    #[default]
-    Lru,
-    /// Evict the earliest-loaded unpinned frame.
-    Fifo,
-    /// Second-chance clock over reference bits.
-    Clock,
-}
-
 /// Errors from buffer-pool operations.
 #[derive(Debug)]
 pub enum BufferError {
-    /// Every frame is pinned; no victim is available.
-    NoFreeFrames,
+    /// Every candidate frame is pinned; no victim is available.
+    NoFreeFrames {
+        /// The page that needed a frame.
+        pid: PageId,
+        /// How many frames of the page's shard were pinned.
+        pinned: usize,
+    },
     /// A page was freed while pinned.
     PagePinned(PageId),
     /// The underlying disk manager failed.
@@ -52,7 +55,10 @@ pub enum BufferError {
 impl std::fmt::Display for BufferError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BufferError::NoFreeFrames => write!(f, "all buffer frames are pinned"),
+            BufferError::NoFreeFrames { pid, pinned } => write!(
+                f,
+                "no frame for page {pid}: all {pinned} candidate frames are pinned"
+            ),
             BufferError::PagePinned(p) => write!(f, "page {p} freed while pinned"),
             BufferError::Disk(e) => write!(f, "disk error: {e}"),
         }
@@ -74,37 +80,98 @@ impl From<DiskError> for BufferError {
     }
 }
 
-struct FrameData {
-    page_id: PageId,
-    dirty: bool,
-    data: Box<PageBuf>,
-}
-
-struct Frame {
-    pin_count: AtomicUsize,
-    state: RwLock<FrameData>,
-}
-
-struct Inner {
-    /// page id -> frame index, for resident pages.
-    page_table: HashMap<PageId, usize>,
-    /// Freed pages available for reuse by `allocate_page`.
-    free_list: Vec<PageId>,
-    /// LRU: last-touch tick; FIFO: load tick (`0` = never used).
-    last_used: Vec<u64>,
-    /// Clock reference bits.
-    ref_bits: Vec<bool>,
-    /// Clock hand.
-    hand: usize,
-    tick: u64,
-}
-
-/// A bounded page cache with pluggable replacement and I/O accounting.
+/// Configures and creates a [`BufferPool`]; obtained from
+/// [`BufferPool::builder`].
 ///
 /// ```
-/// use cor_pagestore::{BufferPool, IoStats, MemDisk};
+/// use cor_pagestore::{BufferPool, ReplacementPolicy};
 ///
-/// let pool = BufferPool::new(Box::new(MemDisk::new()), 100, IoStats::new());
+/// let pool = BufferPool::builder()
+///     .capacity(100)
+///     .shards(4)
+///     .policy(ReplacementPolicy::Clock)
+///     .build();
+/// assert_eq!(pool.capacity(), 100);
+/// assert_eq!(pool.shards(), 4);
+/// ```
+pub struct BufferPoolBuilder {
+    disk: Option<Box<dyn DiskManager>>,
+    capacity: usize,
+    policy: ReplacementPolicy,
+    shards: usize,
+    stats: Option<Arc<IoStats>>,
+}
+
+impl BufferPoolBuilder {
+    /// Total number of frames across all shards (default
+    /// [`DEFAULT_POOL_PAGES`]).
+    pub fn capacity(mut self, capacity: usize) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Replacement policy (default LRU).
+    pub fn policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of lock stripes (default 1, which reproduces the paper's
+    /// single global LRU exactly).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// I/O counters to aggregate into (default: fresh [`IoStats`]).
+    pub fn stats(mut self, stats: Arc<IoStats>) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Disk manager backing the pool (default: a fresh in-memory
+    /// [`MemDisk`]).
+    pub fn disk(mut self, disk: Box<dyn DiskManager>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Panics
+    ///
+    /// If `capacity` is zero, `shards` is zero, or `capacity < shards`
+    /// (every shard needs at least one frame).
+    pub fn build(self) -> BufferPool {
+        assert!(self.capacity > 0, "buffer pool needs at least one frame");
+        assert!(self.shards > 0, "buffer pool needs at least one shard");
+        assert!(
+            self.capacity >= self.shards,
+            "capacity {} cannot be split over {} shards",
+            self.capacity,
+            self.shards
+        );
+        let base = self.capacity / self.shards;
+        let extra = self.capacity % self.shards;
+        let shards: Vec<Shard> = (0..self.shards)
+            .map(|i| Shard::new(base + usize::from(i < extra)))
+            .collect();
+        BufferPool {
+            disk: self.disk.unwrap_or_else(|| Box::new(MemDisk::new())),
+            stats: self.stats.unwrap_or_default(),
+            policy: self.policy,
+            shards,
+        }
+    }
+}
+
+/// A bounded page cache with pluggable replacement, lock striping, and
+/// I/O accounting.
+///
+/// ```
+/// use cor_pagestore::BufferPool;
+///
+/// let pool = BufferPool::builder().capacity(100).build();
 /// let pid = pool.allocate_page().unwrap();
 /// pool.write(pid, |mut page| {
 ///     page.init();
@@ -118,50 +185,47 @@ struct Inner {
 pub struct BufferPool {
     disk: Box<dyn DiskManager>,
     stats: Arc<IoStats>,
-    frames: Vec<Frame>,
     policy: ReplacementPolicy,
-    inner: Mutex<Inner>,
+    shards: Vec<Shard>,
 }
 
 impl BufferPool {
-    /// Create a pool of `capacity` frames over `disk`, counting I/O into
-    /// `stats`.
-    pub fn new(disk: Box<dyn DiskManager>, capacity: usize, stats: Arc<IoStats>) -> Self {
-        Self::with_policy(disk, capacity, stats, ReplacementPolicy::Lru)
+    /// Start configuring a pool.
+    pub fn builder() -> BufferPoolBuilder {
+        BufferPoolBuilder {
+            disk: None,
+            capacity: DEFAULT_POOL_PAGES,
+            policy: ReplacementPolicy::default(),
+            shards: 1,
+            stats: None,
+        }
     }
 
-    /// Create a pool with an explicit replacement policy.
+    /// Create a single-shard LRU pool of `capacity` frames over `disk`,
+    /// counting I/O into `stats`.
+    #[deprecated(since = "0.2.0", note = "use `BufferPool::builder()` instead")]
+    pub fn new(disk: Box<dyn DiskManager>, capacity: usize, stats: Arc<IoStats>) -> Self {
+        Self::builder()
+            .disk(disk)
+            .capacity(capacity)
+            .stats(stats)
+            .build()
+    }
+
+    /// Create a single-shard pool with an explicit replacement policy.
+    #[deprecated(since = "0.2.0", note = "use `BufferPool::builder()` instead")]
     pub fn with_policy(
         disk: Box<dyn DiskManager>,
         capacity: usize,
         stats: Arc<IoStats>,
         policy: ReplacementPolicy,
     ) -> Self {
-        assert!(capacity > 0, "buffer pool needs at least one frame");
-        let frames = (0..capacity)
-            .map(|_| Frame {
-                pin_count: AtomicUsize::new(0),
-                state: RwLock::new(FrameData {
-                    page_id: PageId::MAX,
-                    dirty: false,
-                    data: Box::new([0u8; PAGE_SIZE]),
-                }),
-            })
-            .collect();
-        BufferPool {
-            disk,
-            stats,
-            frames,
-            policy,
-            inner: Mutex::new(Inner {
-                page_table: HashMap::new(),
-                free_list: Vec::new(),
-                last_used: vec![0; capacity],
-                ref_bits: vec![false; capacity],
-                hand: 0,
-                tick: 0,
-            }),
-        }
+        Self::builder()
+            .disk(disk)
+            .capacity(capacity)
+            .stats(stats)
+            .policy(policy)
+            .build()
     }
 
     /// The configured replacement policy.
@@ -174,9 +238,14 @@ impl BufferPool {
         &self.stats
     }
 
-    /// Number of frames.
+    /// Total number of frames across all shards.
     pub fn capacity(&self) -> usize {
-        self.frames.len()
+        self.shards.iter().map(Shard::capacity).sum()
+    }
+
+    /// Number of lock stripes.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
     }
 
     /// Number of pages in the underlying store.
@@ -184,34 +253,35 @@ impl BufferPool {
         self.disk.num_pages()
     }
 
+    /// The shard a page id is homed to. With one shard this is free of
+    /// arithmetic, keeping the single-shard pool on the unsharded code
+    /// path.
+    fn shard_of(&self, pid: PageId) -> &Shard {
+        let n = self.shards.len();
+        if n == 1 {
+            &self.shards[0]
+        } else {
+            // Multiply-shift mixes the low bits of sequentially
+            // allocated page ids before the modulo.
+            let h = (pid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+            &self.shards[(h % n as u64) as usize]
+        }
+    }
+
     /// Allocate a zeroed page — recycling a previously freed page when one
     /// is available, extending the store otherwise. The page is brought
     /// into the pool dirty without a physical read (it has no prior
     /// contents worth fetching).
     pub fn allocate_page(&self) -> Result<PageId, BufferError> {
-        let recycled = self.inner.lock().free_list.pop();
+        let recycled = self.shards.iter().find_map(Shard::pop_free);
         let pid = match recycled {
             Some(pid) => pid,
             None => self.disk.allocate_page()?,
         };
         self.stats.record_allocation();
-        let frame_idx = {
-            let mut inner = self.inner.lock();
-            let idx = self.acquire_frame(&mut inner)?;
-            let mut st = self.frames[idx].state.write();
-            st.page_id = pid;
-            st.dirty = true;
-            st.data.fill(0);
-            inner.page_table.insert(pid, idx);
-            inner.tick += 1;
-            let tick = inner.tick;
-            inner.last_used[idx] = tick;
-            inner.ref_bits[idx] = true;
-            idx
-        };
-        self.frames[frame_idx]
-            .pin_count
-            .fetch_sub(1, Ordering::Release);
+        let shard = self.shard_of(pid);
+        let idx = shard.allocate_into(pid, self.policy, self.disk.as_ref(), &self.stats)?;
+        shard.unpin(idx);
         Ok(pid)
     }
 
@@ -222,12 +292,13 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(PageView<'_>) -> R,
     ) -> Result<R, BufferError> {
-        let idx = self.pin(pid)?;
+        let shard = self.shard_of(pid);
+        let idx = shard.pin(pid, self.policy, self.disk.as_ref(), &self.stats)?;
         let result = {
-            let st = self.frames[idx].state.read();
+            let st = shard.frame(idx).state.read();
             f(PageView::new(&st.data[..]))
         };
-        self.frames[idx].pin_count.fetch_sub(1, Ordering::Release);
+        shard.unpin(idx);
         Ok(result)
     }
 
@@ -239,128 +310,30 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(PageMut<'_>) -> R,
     ) -> Result<R, BufferError> {
-        let idx = self.pin(pid)?;
+        let shard = self.shard_of(pid);
+        let idx = shard.pin(pid, self.policy, self.disk.as_ref(), &self.stats)?;
         let result = {
-            let mut st = self.frames[idx].state.write();
+            let mut st = shard.frame(idx).state.write();
             st.dirty = true;
             f(PageMut::new(&mut st.data[..]))
         };
-        self.frames[idx].pin_count.fetch_sub(1, Ordering::Release);
+        shard.unpin(idx);
         Ok(result)
     }
 
-    /// Pin `pid` into a frame, faulting it in if needed. Returns the frame
-    /// index with `pin_count` already incremented.
-    fn pin(&self, pid: PageId) -> Result<usize, BufferError> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(&idx) = inner.page_table.get(&pid) {
-            self.frames[idx].pin_count.fetch_add(1, Ordering::Acquire);
-            match self.policy {
-                ReplacementPolicy::Lru => inner.last_used[idx] = tick,
-                ReplacementPolicy::Fifo => {} // load time only
-                ReplacementPolicy::Clock => inner.ref_bits[idx] = true,
-            }
-            return Ok(idx);
-        }
-        let idx = self.acquire_frame(&mut inner)?;
-        {
-            let mut st = self.frames[idx].state.write();
-            if let Err(e) = self.disk.read_page(pid, &mut st.data) {
-                st.page_id = PageId::MAX;
-                drop(st);
-                self.frames[idx].pin_count.fetch_sub(1, Ordering::Release);
-                return Err(e.into());
-            }
-            self.stats.record_read();
-            st.page_id = pid;
-            st.dirty = false;
-        }
-        inner.page_table.insert(pid, idx);
-        inner.last_used[idx] = tick;
-        inner.ref_bits[idx] = true;
-        Ok(idx)
-    }
-
-    /// Find a victim frame (unpinned, per the replacement policy), write it back if
-    /// dirty, detach it from the page table, and return it pinned.
-    fn acquire_frame(&self, inner: &mut Inner) -> Result<usize, BufferError> {
-        let victim = match self.policy {
-            // LRU and FIFO differ only in when `last_used` is stamped.
-            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => (0..self.frames.len())
-                .filter(|&i| self.frames[i].pin_count.load(Ordering::Acquire) == 0)
-                .min_by_key(|&i| inner.last_used[i])
-                .ok_or(BufferError::NoFreeFrames)?,
-            ReplacementPolicy::Clock => {
-                let n = self.frames.len();
-                let mut chosen = None;
-                // Two full sweeps suffice: the first clears reference bits,
-                // the second must find one unless everything is pinned.
-                for _ in 0..2 * n {
-                    let i = inner.hand;
-                    inner.hand = (inner.hand + 1) % n;
-                    if self.frames[i].pin_count.load(Ordering::Acquire) != 0 {
-                        continue;
-                    }
-                    if inner.ref_bits[i] {
-                        inner.ref_bits[i] = false;
-                        continue;
-                    }
-                    chosen = Some(i);
-                    break;
-                }
-                chosen.ok_or(BufferError::NoFreeFrames)?
-            }
-        };
-        // Pin immediately so a concurrent caller cannot also claim it.
-        self.frames[victim]
-            .pin_count
-            .fetch_add(1, Ordering::Acquire);
-        let mut st = self.frames[victim].state.write();
-        if st.page_id != PageId::MAX {
-            if st.dirty {
-                if let Err(e) = self.disk.write_page(st.page_id, &st.data) {
-                    drop(st);
-                    self.frames[victim]
-                        .pin_count
-                        .fetch_sub(1, Ordering::Release);
-                    return Err(e.into());
-                }
-                self.stats.record_write();
-                st.dirty = false;
-            }
-            inner.page_table.remove(&st.page_id);
-            st.page_id = PageId::MAX;
-        }
-        Ok(victim)
-    }
-
-    /// Return a page to the pool's free list for reuse by a later
+    /// Return a page to its home shard's free list for reuse by a later
     /// [`Self::allocate_page`]. The resident copy (if any) is discarded
     /// without a write-back — freed contents are garbage by definition.
     /// The free list is in-memory state, like the access methods' file
     /// metadata; a restart simply stops recycling (the pages leak in the
     /// store until it is rebuilt).
     pub fn free_page(&self, pid: PageId) -> Result<(), BufferError> {
-        let mut inner = self.inner.lock();
-        if let Some(&idx) = inner.page_table.get(&pid) {
-            if self.frames[idx].pin_count.load(Ordering::Acquire) != 0 {
-                return Err(BufferError::PagePinned(pid));
-            }
-            inner.page_table.remove(&pid);
-            let mut st = self.frames[idx].state.write();
-            st.page_id = PageId::MAX;
-            st.dirty = false;
-        }
-        debug_assert!(!inner.free_list.contains(&pid), "double free of page {pid}");
-        inner.free_list.push(pid);
-        Ok(())
+        self.shard_of(pid).free_page(pid)
     }
 
-    /// Number of pages currently on the free list.
+    /// Number of pages currently on the free lists.
     pub fn free_pages(&self) -> usize {
-        self.inner.lock().free_list.len()
+        self.shards.iter().map(Shard::free_pages).sum()
     }
 
     /// Write one page back to disk if it is resident and dirty (counting
@@ -369,30 +342,14 @@ impl BufferPool {
     /// temporary relation" even when it is small enough to fit in the
     /// buffer.
     pub fn flush_page(&self, pid: PageId) -> Result<bool, BufferError> {
-        let inner = self.inner.lock();
-        let Some(&idx) = inner.page_table.get(&pid) else {
-            return Ok(false);
-        };
-        let mut st = self.frames[idx].state.write();
-        if !st.dirty {
-            return Ok(false);
-        }
-        self.disk.write_page(st.page_id, &st.data)?;
-        self.stats.record_write();
-        st.dirty = false;
-        Ok(true)
+        self.shard_of(pid)
+            .flush_page(pid, self.disk.as_ref(), &self.stats)
     }
 
     /// Write all dirty resident pages back to disk (counting the writes).
     pub fn flush_all(&self) -> Result<(), BufferError> {
-        let inner = self.inner.lock();
-        for &idx in inner.page_table.values() {
-            let mut st = self.frames[idx].state.write();
-            if st.dirty {
-                self.disk.write_page(st.page_id, &st.data)?;
-                self.stats.record_write();
-                st.dirty = false;
-            }
+        for shard in &self.shards {
+            shard.flush_all(self.disk.as_ref(), &self.stats)?;
         }
         Ok(())
     }
@@ -401,36 +358,24 @@ impl BufferPool {
     /// cold state. Experiments call this so each strategy run starts with an
     /// empty buffer, as a fresh INGRES session would.
     pub fn flush_and_clear(&self) -> Result<(), BufferError> {
-        let mut inner = self.inner.lock();
-        for (_, idx) in inner.page_table.drain() {
-            let mut st = self.frames[idx].state.write();
-            debug_assert_eq!(self.frames[idx].pin_count.load(Ordering::Acquire), 0);
-            if st.dirty {
-                self.disk.write_page(st.page_id, &st.data)?;
-                self.stats.record_write();
-                st.dirty = false;
-            }
-            st.page_id = PageId::MAX;
+        for shard in &self.shards {
+            shard.flush_and_clear(self.disk.as_ref(), &self.stats)?;
         }
-        inner.last_used.fill(0);
-        inner.ref_bits.fill(false);
-        inner.hand = 0;
         Ok(())
     }
 
     /// Number of pages currently resident.
     pub fn resident_pages(&self) -> usize {
-        self.inner.lock().page_table.len()
+        self.shards.iter().map(Shard::resident_pages).sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::disk::MemDisk;
 
     fn pool(capacity: usize) -> BufferPool {
-        BufferPool::new(Box::new(MemDisk::new()), capacity, IoStats::new())
+        BufferPool::builder().capacity(capacity).build()
     }
 
     #[test]
@@ -517,14 +462,19 @@ mod tests {
     }
 
     #[test]
-    fn exhausted_pool_reports_no_free_frames() {
+    fn exhausted_pool_reports_no_free_frames_with_context() {
         let p = pool(1);
         let a = p.allocate_page().unwrap();
         let b = p.allocate_page().unwrap();
         // Pin a, then try to touch b: the only frame is pinned.
         let err = p
-            .read(a, |_| {
-                matches!(p.read(b, |_| ()), Err(BufferError::NoFreeFrames))
+            .read(a, |_| match p.read(b, |_| ()) {
+                Err(BufferError::NoFreeFrames { pid, pinned }) => {
+                    assert_eq!(pid, b, "error names the requesting page");
+                    assert_eq!(pinned, 1, "error counts the pinned frames");
+                    true
+                }
+                other => panic!("expected NoFreeFrames, got {other:?}"),
             })
             .unwrap();
         assert!(err, "expected NoFreeFrames while the sole frame is pinned");
@@ -532,9 +482,7 @@ mod tests {
 
     #[test]
     fn flush_all_persists_dirty_pages() {
-        let disk = MemDisk::new();
-        let stats = IoStats::new();
-        let p = BufferPool::new(Box::new(disk), 4, stats);
+        let p = pool(4);
         let pid = p.allocate_page().unwrap();
         p.write(pid, |mut pg| {
             pg.init();
@@ -622,7 +570,10 @@ mod tests {
     }
 
     fn pool_with(capacity: usize, policy: ReplacementPolicy) -> BufferPool {
-        BufferPool::with_policy(Box::new(MemDisk::new()), capacity, IoStats::new(), policy)
+        BufferPool::builder()
+            .capacity(capacity)
+            .policy(policy)
+            .build()
     }
 
     #[test]
@@ -683,5 +634,97 @@ mod tests {
             }
             assert_eq!(p.policy(), policy);
         }
+    }
+
+    #[test]
+    fn deprecated_constructors_still_work() {
+        #[allow(deprecated)]
+        let p = BufferPool::new(Box::new(MemDisk::new()), 4, IoStats::new());
+        assert_eq!(p.capacity(), 4);
+        assert_eq!(p.shards(), 1);
+        #[allow(deprecated)]
+        let p = BufferPool::with_policy(
+            Box::new(MemDisk::new()),
+            4,
+            IoStats::new(),
+            ReplacementPolicy::Clock,
+        );
+        assert_eq!(p.policy(), ReplacementPolicy::Clock);
+    }
+
+    #[test]
+    fn sharded_pool_is_a_transparent_cache() {
+        for shards in [1, 2, 4, 8] {
+            let p = BufferPool::builder().capacity(16).shards(shards).build();
+            assert_eq!(p.shards(), shards);
+            assert_eq!(p.capacity(), 16);
+            let pids: Vec<_> = (0..64).map(|_| p.allocate_page().unwrap()).collect();
+            for (i, &pid) in pids.iter().enumerate() {
+                p.write(pid, |mut pg| {
+                    pg.init();
+                    pg.set_flags(i as u32);
+                })
+                .unwrap();
+            }
+            for (i, &pid) in pids.iter().enumerate() {
+                let flags = p.read(pid, |pg| pg.flags()).unwrap();
+                assert_eq!(flags, i as u32, "{shards} shards corrupted page {pid}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_capacity_split_covers_remainders() {
+        let p = BufferPool::builder().capacity(10).shards(3).build();
+        assert_eq!(p.capacity(), 10, "4 + 3 + 3 frames");
+        // All three shards must be usable under pressure.
+        let pids: Vec<_> = (0..40).map(|_| p.allocate_page().unwrap()).collect();
+        for &pid in &pids {
+            p.write(pid, |mut pg| pg.init()).unwrap();
+        }
+        for &pid in &pids {
+            p.read(pid, |_| ()).unwrap();
+        }
+    }
+
+    #[test]
+    fn sharded_free_lists_recycle_to_home_shard() {
+        let p = BufferPool::builder().capacity(8).shards(4).build();
+        let pids: Vec<_> = (0..12).map(|_| p.allocate_page().unwrap()).collect();
+        let grown = p.num_pages();
+        for &pid in &pids {
+            p.free_page(pid).unwrap();
+        }
+        assert_eq!(p.free_pages(), 12);
+        // Reallocation drains the free lists before growing the store.
+        for _ in 0..12 {
+            p.allocate_page().unwrap();
+        }
+        assert_eq!(p.free_pages(), 0);
+        assert_eq!(p.num_pages(), grown, "no growth while recycling");
+    }
+
+    #[test]
+    fn single_shard_matches_legacy_eviction_order() {
+        // The builder with shards(1) must reproduce the exact legacy
+        // stamp sequence: see lru_evicts_least_recently_used, plus a
+        // FIFO interleaving that is order-sensitive.
+        let p = BufferPool::builder()
+            .capacity(3)
+            .shards(1)
+            .policy(ReplacementPolicy::Fifo)
+            .build();
+        let a = p.allocate_page().unwrap();
+        let b = p.allocate_page().unwrap();
+        let c = p.allocate_page().unwrap();
+        p.read(a, |_| ()).unwrap();
+        p.read(c, |_| ()).unwrap();
+        let _d = p.allocate_page().unwrap(); // FIFO evicts a
+        let before = p.stats().reads();
+        p.read(b, |_| ()).unwrap();
+        p.read(c, |_| ()).unwrap();
+        assert_eq!(p.stats().reads(), before, "b and c stayed resident");
+        p.read(a, |_| ()).unwrap();
+        assert_eq!(p.stats().reads(), before + 1, "a went out first");
     }
 }

@@ -11,8 +11,10 @@
 //! * [`page`] — 2 KB slotted pages holding variable-length records;
 //! * [`disk`] — page stores ([`disk::MemDisk`] for exact, noise-free
 //!   transfer counting; [`disk::FileDisk`] for real files);
-//! * [`buffer`] — an LRU buffer pool that counts every transfer crossing
-//!   its boundary;
+//! * [`buffer`] — a lock-striped buffer pool that counts every transfer
+//!   crossing its boundary (single-shard mode reproduces the paper's
+//!   global-LRU counts exactly; more shards serve concurrent streams);
+//! * [`policy`] — the pluggable replacement policies (LRU/FIFO/Clock);
 //! * [`stats`] — shared I/O counters with snapshot/delta support, used to
 //!   split query cost into the paper's `ParCost` and `ChildCost`.
 
@@ -21,11 +23,14 @@
 pub mod buffer;
 pub mod disk;
 pub mod page;
+pub mod policy;
+mod shard;
 pub mod stats;
 
-pub use buffer::{BufferError, BufferPool, ReplacementPolicy, DEFAULT_POOL_PAGES};
+pub use buffer::{BufferError, BufferPool, BufferPoolBuilder, DEFAULT_POOL_PAGES};
 pub use disk::{DiskError, DiskManager, FileDisk, MemDisk};
 pub use page::{
     PageBuf, PageError, PageId, PageMut, PageView, SlotId, MAX_RECORD, NO_PAGE, PAGE_SIZE,
 };
+pub use policy::ReplacementPolicy;
 pub use stats::{IoDelta, IoSnapshot, IoStats};

@@ -1,0 +1,109 @@
+//! Frame replacement policies and the per-shard recency state they
+//! maintain.
+//!
+//! Each buffer-pool shard owns one [`ReplacementState`]; the tick
+//! counter, recency stamps, reference bits and clock hand are all
+//! shard-local, so shards make eviction decisions without touching any
+//! shared state. With a single shard the stamp sequence is exactly the
+//! one the unsharded pool produced, which is what keeps the paper's
+//! I/O counts byte-identical in single-shard mode.
+
+/// Frame replacement policy. The paper does not name INGRES 5.0's policy;
+/// LRU is the era-appropriate default, and the alternatives exist for the
+/// ablation bench (strategy orderings should not hinge on the policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplacementPolicy {
+    /// Evict the least recently used unpinned frame (default).
+    #[default]
+    Lru,
+    /// Evict the earliest-loaded unpinned frame.
+    Fifo,
+    /// Second-chance clock over reference bits.
+    Clock,
+}
+
+/// Recency bookkeeping for the frames of one shard.
+#[derive(Debug)]
+pub(crate) struct ReplacementState {
+    /// LRU: last-touch tick; FIFO: load tick (`0` = never used).
+    last_used: Vec<u64>,
+    /// Clock reference bits.
+    ref_bits: Vec<bool>,
+    /// Clock hand.
+    hand: usize,
+    /// Shard-local logical clock.
+    tick: u64,
+}
+
+impl ReplacementState {
+    pub(crate) fn new(capacity: usize) -> Self {
+        ReplacementState {
+            last_used: vec![0; capacity],
+            ref_bits: vec![false; capacity],
+            hand: 0,
+            tick: 0,
+        }
+    }
+
+    /// Advance the logical clock (one tick per pin, as the unsharded
+    /// pool did).
+    pub(crate) fn advance(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// A resident page was touched at `tick`.
+    pub(crate) fn on_hit(&mut self, idx: usize, tick: u64, policy: ReplacementPolicy) {
+        match policy {
+            ReplacementPolicy::Lru => self.last_used[idx] = tick,
+            ReplacementPolicy::Fifo => {} // load time only
+            ReplacementPolicy::Clock => self.ref_bits[idx] = true,
+        }
+    }
+
+    /// A page was loaded (or allocated) into frame `idx` at `tick`.
+    pub(crate) fn on_load(&mut self, idx: usize, tick: u64) {
+        self.last_used[idx] = tick;
+        self.ref_bits[idx] = true;
+    }
+
+    /// Choose a victim frame among those for which `evictable` holds
+    /// (i.e. unpinned), or `None` if every frame is pinned.
+    pub(crate) fn pick_victim(
+        &mut self,
+        policy: ReplacementPolicy,
+        n: usize,
+        evictable: impl Fn(usize) -> bool,
+    ) -> Option<usize> {
+        match policy {
+            // LRU and FIFO differ only in when `last_used` is stamped.
+            ReplacementPolicy::Lru | ReplacementPolicy::Fifo => (0..n)
+                .filter(|&i| evictable(i))
+                .min_by_key(|&i| self.last_used[i]),
+            ReplacementPolicy::Clock => {
+                // Two full sweeps suffice: the first clears reference bits,
+                // the second must find one unless everything is pinned.
+                for _ in 0..2 * n {
+                    let i = self.hand;
+                    self.hand = (self.hand + 1) % n;
+                    if !evictable(i) {
+                        continue;
+                    }
+                    if self.ref_bits[i] {
+                        self.ref_bits[i] = false;
+                        continue;
+                    }
+                    return Some(i);
+                }
+                None
+            }
+        }
+    }
+
+    /// Forget all recency state (pool cold start).
+    pub(crate) fn reset(&mut self) {
+        self.last_used.fill(0);
+        self.ref_bits.fill(false);
+        self.hand = 0;
+    }
+}

@@ -1,0 +1,282 @@
+//! One lock stripe of the buffer pool.
+//!
+//! A [`Shard`] owns a disjoint set of frames plus the mutable lookup
+//! state guarding them: the page table, the free list of recycled page
+//! ids homed here, and the replacement-policy recency state. All of it
+//! sits behind one mutex, so two operations on pages of *different*
+//! shards never contend. Frame contents are protected separately by a
+//! per-frame `RwLock`, and the pin protocol guarantees a frame's data
+//! is never stolen while a closure is reading or writing it: victims
+//! are only chosen among frames with `pin_count == 0`, and pin counts
+//! only move under the shard lock (up) or after the data guard is
+//! dropped (down).
+
+use crate::buffer::BufferError;
+use crate::disk::DiskManager;
+use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use crate::policy::{ReplacementPolicy, ReplacementState};
+use crate::stats::IoStats;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub(crate) struct FrameData {
+    pub(crate) page_id: PageId,
+    pub(crate) dirty: bool,
+    pub(crate) data: Box<PageBuf>,
+}
+
+pub(crate) struct Frame {
+    pub(crate) pin_count: AtomicUsize,
+    pub(crate) state: RwLock<FrameData>,
+}
+
+struct ShardInner {
+    /// page id -> frame index, for pages resident in this shard.
+    page_table: HashMap<PageId, usize>,
+    /// Freed pages homed to this shard, available for reuse.
+    free_list: Vec<PageId>,
+    /// Recency state for this shard's frames.
+    repl: ReplacementState,
+}
+
+pub(crate) struct Shard {
+    frames: Vec<Frame>,
+    inner: Mutex<ShardInner>,
+}
+
+impl Shard {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "every shard needs at least one frame");
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                pin_count: AtomicUsize::new(0),
+                state: RwLock::new(FrameData {
+                    page_id: PageId::MAX,
+                    dirty: false,
+                    data: Box::new([0u8; PAGE_SIZE]),
+                }),
+            })
+            .collect();
+        Shard {
+            frames,
+            inner: Mutex::new(ShardInner {
+                page_table: HashMap::new(),
+                free_list: Vec::new(),
+                repl: ReplacementState::new(capacity),
+            }),
+        }
+    }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub(crate) fn frame(&self, idx: usize) -> &Frame {
+        &self.frames[idx]
+    }
+
+    /// Release a pin taken by [`Self::pin`] or
+    /// [`Self::allocate_into`].
+    pub(crate) fn unpin(&self, idx: usize) {
+        self.frames[idx].pin_count.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Pop a recycled page id homed to this shard, if any.
+    pub(crate) fn pop_free(&self) -> Option<PageId> {
+        self.inner.lock().free_list.pop()
+    }
+
+    /// Pin `pid` into a frame, faulting it in from `disk` if needed.
+    /// Returns the frame index with `pin_count` already incremented.
+    pub(crate) fn pin(
+        &self,
+        pid: PageId,
+        policy: ReplacementPolicy,
+        disk: &dyn DiskManager,
+        stats: &IoStats,
+    ) -> Result<usize, BufferError> {
+        let mut inner = self.inner.lock();
+        let tick = inner.repl.advance();
+        if let Some(&idx) = inner.page_table.get(&pid) {
+            self.frames[idx].pin_count.fetch_add(1, Ordering::Acquire);
+            inner.repl.on_hit(idx, tick, policy);
+            return Ok(idx);
+        }
+        let idx = self.acquire_frame(&mut inner, pid, policy, disk, stats)?;
+        {
+            let mut st = self.frames[idx].state.write();
+            if let Err(e) = disk.read_page(pid, &mut st.data) {
+                st.page_id = PageId::MAX;
+                drop(st);
+                self.unpin(idx);
+                return Err(e.into());
+            }
+            stats.record_read();
+            st.page_id = pid;
+            st.dirty = false;
+        }
+        inner.page_table.insert(pid, idx);
+        inner.repl.on_load(idx, tick);
+        Ok(idx)
+    }
+
+    /// Bring freshly allocated page `pid` into a frame, zeroed and
+    /// dirty, without a physical read. Returns the frame index with
+    /// `pin_count` already incremented.
+    pub(crate) fn allocate_into(
+        &self,
+        pid: PageId,
+        policy: ReplacementPolicy,
+        disk: &dyn DiskManager,
+        stats: &IoStats,
+    ) -> Result<usize, BufferError> {
+        let mut inner = self.inner.lock();
+        let idx = self.acquire_frame(&mut inner, pid, policy, disk, stats)?;
+        let mut st = self.frames[idx].state.write();
+        st.page_id = pid;
+        st.dirty = true;
+        st.data.fill(0);
+        drop(st);
+        inner.page_table.insert(pid, idx);
+        let tick = inner.repl.advance();
+        inner.repl.on_load(idx, tick);
+        Ok(idx)
+    }
+
+    /// Find a victim frame (unpinned, per the replacement policy), write
+    /// it back if dirty, detach it from the page table, and return it
+    /// pinned. On failure reports `pid` (the page that wanted a frame)
+    /// and how many frames were pinned.
+    fn acquire_frame(
+        &self,
+        inner: &mut ShardInner,
+        pid: PageId,
+        policy: ReplacementPolicy,
+        disk: &dyn DiskManager,
+        stats: &IoStats,
+    ) -> Result<usize, BufferError> {
+        let n = self.frames.len();
+        let victim = inner
+            .repl
+            .pick_victim(policy, n, |i| {
+                self.frames[i].pin_count.load(Ordering::Acquire) == 0
+            })
+            .ok_or_else(|| BufferError::NoFreeFrames {
+                pid,
+                pinned: self
+                    .frames
+                    .iter()
+                    .filter(|f| f.pin_count.load(Ordering::Acquire) != 0)
+                    .count(),
+            })?;
+        // Pin immediately so a concurrent caller cannot also claim it.
+        self.frames[victim]
+            .pin_count
+            .fetch_add(1, Ordering::Acquire);
+        let mut st = self.frames[victim].state.write();
+        if st.page_id != PageId::MAX {
+            if st.dirty {
+                if let Err(e) = disk.write_page(st.page_id, &st.data) {
+                    drop(st);
+                    self.unpin(victim);
+                    return Err(e.into());
+                }
+                stats.record_write();
+                st.dirty = false;
+            }
+            inner.page_table.remove(&st.page_id);
+            st.page_id = PageId::MAX;
+        }
+        Ok(victim)
+    }
+
+    /// Return `pid` to this shard's free list, discarding any resident
+    /// copy without a write-back.
+    pub(crate) fn free_page(&self, pid: PageId) -> Result<(), BufferError> {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.page_table.get(&pid) {
+            if self.frames[idx].pin_count.load(Ordering::Acquire) != 0 {
+                return Err(BufferError::PagePinned(pid));
+            }
+            inner.page_table.remove(&pid);
+            let mut st = self.frames[idx].state.write();
+            st.page_id = PageId::MAX;
+            st.dirty = false;
+        }
+        debug_assert!(!inner.free_list.contains(&pid), "double free of page {pid}");
+        inner.free_list.push(pid);
+        Ok(())
+    }
+
+    /// Number of recycled page ids homed here.
+    pub(crate) fn free_pages(&self) -> usize {
+        self.inner.lock().free_list.len()
+    }
+
+    /// Write `pid` back to disk if resident and dirty. Returns whether a
+    /// write happened.
+    pub(crate) fn flush_page(
+        &self,
+        pid: PageId,
+        disk: &dyn DiskManager,
+        stats: &IoStats,
+    ) -> Result<bool, BufferError> {
+        let inner = self.inner.lock();
+        let Some(&idx) = inner.page_table.get(&pid) else {
+            return Ok(false);
+        };
+        let mut st = self.frames[idx].state.write();
+        if !st.dirty {
+            return Ok(false);
+        }
+        disk.write_page(st.page_id, &st.data)?;
+        stats.record_write();
+        st.dirty = false;
+        Ok(true)
+    }
+
+    /// Write all dirty resident pages back to disk.
+    pub(crate) fn flush_all(
+        &self,
+        disk: &dyn DiskManager,
+        stats: &IoStats,
+    ) -> Result<(), BufferError> {
+        let inner = self.inner.lock();
+        for &idx in inner.page_table.values() {
+            let mut st = self.frames[idx].state.write();
+            if st.dirty {
+                disk.write_page(st.page_id, &st.data)?;
+                stats.record_write();
+                st.dirty = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush then forget every resident page and all recency state.
+    pub(crate) fn flush_and_clear(
+        &self,
+        disk: &dyn DiskManager,
+        stats: &IoStats,
+    ) -> Result<(), BufferError> {
+        let mut inner = self.inner.lock();
+        for (_, idx) in inner.page_table.drain() {
+            let mut st = self.frames[idx].state.write();
+            debug_assert_eq!(self.frames[idx].pin_count.load(Ordering::Acquire), 0);
+            if st.dirty {
+                disk.write_page(st.page_id, &st.data)?;
+                stats.record_write();
+                st.dirty = false;
+            }
+            st.page_id = PageId::MAX;
+        }
+        inner.repl.reset();
+        Ok(())
+    }
+
+    /// Number of pages resident in this shard.
+    pub(crate) fn resident_pages(&self) -> usize {
+        self.inner.lock().page_table.len()
+    }
+}

@@ -5,16 +5,20 @@
 //! being safe. These tests hammer one pool from many threads and check
 //! that no data is lost or torn and no deadlock occurs.
 
-use cor_pagestore::{BufferPool, IoStats, MemDisk, ReplacementPolicy};
+use cor_pagestore::{
+    BufferPool, DiskError, DiskManager, MemDisk, PageBuf, PageId, ReplacementPolicy,
+};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 fn pool(capacity: usize, policy: ReplacementPolicy) -> Arc<BufferPool> {
-    Arc::new(BufferPool::with_policy(
-        Box::new(MemDisk::new()),
-        capacity,
-        IoStats::new(),
-        policy,
-    ))
+    Arc::new(
+        BufferPool::builder()
+            .capacity(capacity)
+            .policy(policy)
+            .build(),
+    )
 }
 
 /// Each thread owns a disjoint set of pages and rewrites/rereads them under
@@ -146,4 +150,185 @@ fn eviction_storm_terminates_and_counts_sanely() {
         reads >= 60,
         "a 4-frame pool over 64 pages must fault heavily (got {reads})"
     );
+}
+
+/// A disk wrapper counting every transfer that crosses the pool boundary.
+/// Each physical read/write in the pool is paired with an `IoStats`
+/// record, so the two counters must agree exactly — even under threads.
+struct CountingDisk {
+    inner: MemDisk,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl CountingDisk {
+    fn new() -> Self {
+        CountingDisk {
+            inner: MemDisk::new(),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl DiskManager for CountingDisk {
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<(), DiskError> {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.inner.read_page(id, buf)
+    }
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<(), DiskError> {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.inner.write_page(id, buf)
+    }
+    fn allocate_page(&self) -> Result<PageId, DiskError> {
+        self.inner.allocate_page()
+    }
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+}
+
+/// Eight threads mixing reads, writes, allocates and frees on one small
+/// sharded pool. Afterwards: every allocated page is either owned by
+/// exactly one thread (holding that thread's last write) or sitting on a
+/// free list — no page is lost — and the pool's `IoStats` agree exactly
+/// with the transfers the disk actually saw.
+#[test]
+fn mixed_workload_stress_loses_nothing_and_counts_exactly() {
+    let disk = Arc::new(CountingDisk::new());
+    let disk_reads = Arc::clone(&disk);
+    let p = Arc::new(
+        BufferPool::builder()
+            .capacity(16)
+            .shards(8)
+            .disk(Box::new(ArcDisk(disk)))
+            .build(),
+    );
+
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 400;
+
+    // Each worker returns (its final owned pages -> last written value,
+    // how many pages it allocated).
+    let per_thread: Vec<(HashMap<PageId, u32>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                scope.spawn(move || {
+                    let tag = (t as u32 + 1) << 20;
+                    let mut owned: Vec<PageId> = Vec::new();
+                    let mut model: HashMap<PageId, u32> = HashMap::new();
+                    let mut allocations = 0u64;
+                    let mut x = 0x9E3779B9u64.wrapping_mul(t as u64 + 1);
+                    let mut rng = move || {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        x >> 33
+                    };
+                    for round in 0..ROUNDS as u32 {
+                        match rng() % 4 {
+                            // Allocate a page and stamp it.
+                            0 => {
+                                let pid = p.allocate_page().expect("allocates");
+                                allocations += 1;
+                                let v = tag | round;
+                                p.write(pid, |mut pg| {
+                                    pg.init();
+                                    pg.set_flags(v);
+                                })
+                                .expect("writes");
+                                owned.push(pid);
+                                model.insert(pid, v);
+                            }
+                            // Free one owned page (another thread may
+                            // recycle it through its own allocate).
+                            1 => {
+                                if !owned.is_empty() {
+                                    let i = rng() as usize % owned.len();
+                                    let pid = owned.swap_remove(i);
+                                    model.remove(&pid);
+                                    p.free_page(pid).expect("frees");
+                                }
+                            }
+                            // Rewrite an owned page.
+                            2 => {
+                                if !owned.is_empty() {
+                                    let pid = owned[rng() as usize % owned.len()];
+                                    let v = tag | round;
+                                    p.write(pid, |mut pg| pg.set_flags(v)).expect("writes");
+                                    model.insert(pid, v);
+                                }
+                            }
+                            // Read an owned page back: must hold this
+                            // thread's last write, never another's.
+                            _ => {
+                                if !owned.is_empty() {
+                                    let pid = owned[rng() as usize % owned.len()];
+                                    let got = p.read(pid, |pg| pg.flags()).expect("reads");
+                                    assert_eq!(
+                                        got, model[&pid],
+                                        "thread {t} lost its write to page {pid}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    (model, allocations)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no worker panicked"))
+            .collect()
+    });
+
+    // Ownership is disjoint and every owned page holds its last write.
+    let mut owned_union: HashSet<PageId> = HashSet::new();
+    for (model, _) in &per_thread {
+        for (&pid, &v) in model {
+            assert!(owned_union.insert(pid), "page {pid} owned by two threads");
+            let got = p.read(pid, |pg| pg.flags()).unwrap();
+            assert_eq!(got, v, "page {pid} final contents");
+        }
+    }
+
+    // No page is lost: every page the store ever handed out is owned or
+    // on a free list.
+    assert_eq!(
+        owned_union.len() + p.free_pages(),
+        p.num_pages() as usize,
+        "pages leaked or double-counted"
+    );
+
+    // Allocation accounting is exact.
+    let total_allocs: u64 = per_thread.iter().map(|(_, a)| a).sum();
+    assert_eq!(p.stats().allocations(), total_allocs);
+
+    // The pool's I/O counters agree exactly with the disk's view.
+    assert_eq!(p.stats().reads(), disk_reads.reads.load(Ordering::Relaxed));
+    assert_eq!(
+        p.stats().writes(),
+        disk_reads.writes.load(Ordering::Relaxed)
+    );
+}
+
+/// Adapter: `BufferPoolBuilder::disk` takes a `Box<dyn DiskManager>`, but
+/// the test needs to keep a handle on the counters.
+struct ArcDisk(Arc<CountingDisk>);
+
+impl DiskManager for ArcDisk {
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<(), DiskError> {
+        self.0.read_page(id, buf)
+    }
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<(), DiskError> {
+        self.0.write_page(id, buf)
+    }
+    fn allocate_page(&self) -> Result<PageId, DiskError> {
+        self.0.allocate_page()
+    }
+    fn num_pages(&self) -> u32 {
+        self.0.num_pages()
+    }
 }

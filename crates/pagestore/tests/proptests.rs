@@ -1,7 +1,7 @@
 //! Property tests for the page store: slotted pages against a vector
 //! model, the buffer pool against a write-through model.
 
-use cor_pagestore::{BufferPool, IoStats, MemDisk, PageMut, PageView, SlotId, PAGE_SIZE};
+use cor_pagestore::{BufferPool, IoStats, PageMut, PageView, SlotId, PAGE_SIZE};
 use proptest::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -19,6 +19,23 @@ fn arb_page_op() -> impl Strategy<Value = PageOp> {
         1 => (0usize..40).prop_map(PageOp::Delete),
         1 => ((0usize..40), proptest::collection::vec(any::<u8>(), 0..300))
             .prop_map(|(i, d)| PageOp::Update(i, d)),
+    ]
+}
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Allocate(u32),
+    Free(usize),
+    Write(usize, u32),
+    Read(usize),
+}
+
+fn arb_pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        3 => any::<u32>().prop_map(PoolOp::Allocate),
+        1 => any::<usize>().prop_map(PoolOp::Free),
+        2 => (any::<usize>(), any::<u32>()).prop_map(|(i, v)| PoolOp::Write(i, v)),
+        2 => any::<usize>().prop_map(PoolOp::Read),
     ]
 }
 
@@ -97,7 +114,7 @@ proptest! {
         capacity in 1usize..8,
         writes in proptest::collection::vec((0usize..16, any::<u8>()), 1..60),
     ) {
-        let pool = BufferPool::new(Box::new(MemDisk::new()), capacity, IoStats::new());
+        let pool = BufferPool::builder().capacity(capacity).build();
         let pids: Vec<_> = (0..16).map(|_| pool.allocate_page().unwrap()).collect();
         for &pid in &pids {
             pool.write(pid, |mut p| p.init()).unwrap();
@@ -121,6 +138,62 @@ proptest! {
         }
     }
 
+    /// Sharding is invisible to single-threaded callers: the same op
+    /// sequence against a 1-shard and an 8-shard pool observes the same
+    /// values at every read and leaves identical page contents (pages are
+    /// tracked by allocation order — physical ids may differ because each
+    /// shard keeps its own free list).
+    #[test]
+    fn one_shard_and_eight_shards_agree(
+        capacity in 8usize..16,
+        ops in proptest::collection::vec(arb_pool_op(), 1..120),
+    ) {
+        let pool1 = BufferPool::builder().capacity(capacity).shards(1).build();
+        let pool8 = BufferPool::builder().capacity(capacity).shards(8).build();
+        // Live pages by allocation order: (pid in pool1, pid in pool8).
+        let mut live: Vec<(u32, u32)> = Vec::new();
+        for op in ops {
+            match op {
+                PoolOp::Allocate(v) => {
+                    let a = pool1.allocate_page().unwrap();
+                    let b = pool8.allocate_page().unwrap();
+                    pool1.write(a, |mut p| { p.init(); p.set_flags(v); }).unwrap();
+                    pool8.write(b, |mut p| { p.init(); p.set_flags(v); }).unwrap();
+                    live.push((a, b));
+                }
+                PoolOp::Free(i) => {
+                    if !live.is_empty() {
+                        let (a, b) = live.swap_remove(i % live.len());
+                        pool1.free_page(a).unwrap();
+                        pool8.free_page(b).unwrap();
+                    }
+                }
+                PoolOp::Write(i, v) => {
+                    if !live.is_empty() {
+                        let (a, b) = live[i % live.len()];
+                        pool1.write(a, |mut p| p.set_flags(v)).unwrap();
+                        pool8.write(b, |mut p| p.set_flags(v)).unwrap();
+                    }
+                }
+                PoolOp::Read(i) => {
+                    if !live.is_empty() {
+                        let (a, b) = live[i % live.len()];
+                        let va = pool1.read(a, |p| p.flags()).unwrap();
+                        let vb = pool8.read(b, |p| p.flags()).unwrap();
+                        prop_assert_eq!(va, vb, "read diverged at live index {}", i % live.len());
+                    }
+                }
+            }
+        }
+        // Every live page's full contents agree byte for byte.
+        for &(a, b) in &live {
+            let bytes1 = pool1.read(a, |p| p.bytes().to_vec()).unwrap();
+            let bytes8 = pool8.read(b, |p| p.bytes().to_vec()).unwrap();
+            prop_assert_eq!(bytes1, bytes8, "contents diverged on pages {}/{}", a, b);
+        }
+        prop_assert_eq!(pool1.free_pages(), pool8.free_pages());
+    }
+
     /// I/O monotonicity: rereading a just-read page is free; the number of
     /// physical reads never exceeds the number of logical reads.
     #[test]
@@ -129,7 +202,7 @@ proptest! {
         accesses in proptest::collection::vec(0usize..12, 1..50),
     ) {
         let stats = IoStats::new();
-        let pool = BufferPool::new(Box::new(MemDisk::new()), capacity, Arc::clone(&stats));
+        let pool = BufferPool::builder().capacity(capacity).stats(Arc::clone(&stats)).build();
         let pids: Vec<_> = (0..12).map(|_| pool.allocate_page().unwrap()).collect();
         pool.flush_and_clear().unwrap();
         stats.reset();

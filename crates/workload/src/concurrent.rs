@@ -1,0 +1,290 @@
+//! Concurrent multi-stream driver (beyond the paper).
+//!
+//! The paper's yardstick is single-stream average I/O; the ROADMAP's
+//! north star adds *serving*: many clients running query sequences
+//! against one shared database. This driver runs M streams on scoped
+//! threads over one [`CorDatabase`] (whose sharded buffer pool they
+//! contend on) and reports both the paper's average-I/O metric and
+//! wall-clock throughput/latency (queries/sec, mean and p99 per-op
+//! latency).
+//!
+//! With `streams = 1` the driver degenerates to [`run_sequence`]'s
+//! execution order, so single-stream results remain comparable to the
+//! sequential driver; I/O counters are exact in that case. With several
+//! streams the total I/O is still exact (the pool's counters are atomic)
+//! but depends on the interleaving, so it is reported as an aggregate,
+//! not per stream.
+//!
+//! [`run_sequence`]: crate::driver::run_sequence
+
+use crate::params::Params;
+use complexobj::strategies::execute_retrieve;
+use complexobj::{apply_update, CorDatabase, CorError, ExecOptions, Query, Strategy};
+use std::time::{Duration, Instant};
+
+/// Latency summary over a set of per-operation samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Mean per-operation latency.
+    pub mean: Duration,
+    /// 99th-percentile per-operation latency.
+    pub p99: Duration,
+    /// Slowest single operation.
+    pub max: Duration,
+}
+
+impl LatencySummary {
+    /// Summarize a set of samples (empty input gives all-zero).
+    pub fn from_samples(samples: &mut [Duration]) -> Self {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        samples.sort_unstable();
+        let total: Duration = samples.iter().sum();
+        let p99_idx = (samples.len() * 99).div_ceil(100).saturating_sub(1);
+        LatencySummary {
+            mean: total / samples.len() as u32,
+            p99: samples[p99_idx],
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Aggregated result of one concurrent run.
+#[derive(Debug, Clone)]
+pub struct ConcurrentRunResult {
+    /// The strategy measured.
+    pub strategy: Strategy,
+    /// Streams that ran.
+    pub streams: usize,
+    /// Queries executed across all streams.
+    pub queries: usize,
+    /// Retrieves among them.
+    pub retrieves: usize,
+    /// Updates among them.
+    pub updates: usize,
+    /// Total page I/O across all streams (exact; atomically counted).
+    pub total_io: u64,
+    /// Attribute values returned by the retrieves.
+    pub values_returned: u64,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+    /// Per-operation latency summary across all streams.
+    pub latency: LatencySummary,
+}
+
+impl ConcurrentRunResult {
+    /// The paper's yardstick, aggregated: average I/O per query.
+    pub fn avg_io_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.total_io as f64 / self.queries as f64
+    }
+
+    /// Wall-clock throughput in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.queries as f64 / secs
+    }
+}
+
+/// Per-stream tally collected on the worker thread.
+struct StreamTally {
+    retrieves: usize,
+    updates: usize,
+    values_returned: u64,
+    latencies: Vec<Duration>,
+}
+
+/// Run each of `sequences` as its own stream over scoped threads sharing
+/// `db`, starting from a cold buffer. Returns the aggregate metrics.
+///
+/// Retrieves are read-only and freely concurrent. Updates mutate
+/// subobjects in place; with `pr_update > 0` and several streams the
+/// *interleaving* of updates and retrieves is nondeterministic, so
+/// returned values (and I/O) can differ run to run — exactly the
+/// behaviour a multi-client server exhibits.
+pub fn run_concurrent_streams(
+    db: &CorDatabase,
+    strategy: Strategy,
+    sequences: &[Vec<Query>],
+    opts: &ExecOptions,
+) -> Result<ConcurrentRunResult, CorError> {
+    assert!(!sequences.is_empty(), "at least one stream");
+    db.pool().flush_and_clear()?;
+    let stats = db.pool().stats().clone();
+    let start_snap = stats.snapshot();
+    let started = Instant::now();
+
+    let tallies: Vec<Result<StreamTally, CorError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sequences
+            .iter()
+            .map(|sequence| {
+                scope.spawn(move || {
+                    let mut tally = StreamTally {
+                        retrieves: 0,
+                        updates: 0,
+                        values_returned: 0,
+                        latencies: Vec::with_capacity(sequence.len()),
+                    };
+                    for q in sequence {
+                        let t0 = Instant::now();
+                        match q {
+                            Query::Retrieve(r) => {
+                                let out = execute_retrieve(db, strategy, r, opts)?;
+                                tally.retrieves += 1;
+                                tally.values_returned += out.values.len() as u64;
+                            }
+                            Query::Update(u) => {
+                                apply_update(db, u, db.has_cache())?;
+                                tally.updates += 1;
+                            }
+                        }
+                        tally.latencies.push(t0.elapsed());
+                    }
+                    Ok(tally)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("stream thread panicked"))
+            .collect()
+    });
+
+    let elapsed = started.elapsed();
+    let total_io = stats.snapshot().since(&start_snap).total();
+
+    let mut result = ConcurrentRunResult {
+        strategy,
+        streams: sequences.len(),
+        queries: sequences.iter().map(Vec::len).sum(),
+        retrieves: 0,
+        updates: 0,
+        total_io,
+        values_returned: 0,
+        elapsed,
+        latency: LatencySummary::default(),
+    };
+    let mut all_latencies = Vec::with_capacity(result.queries);
+    for tally in tallies {
+        let tally = tally?;
+        result.retrieves += tally.retrieves;
+        result.updates += tally.updates;
+        result.values_returned += tally.values_returned;
+        all_latencies.extend(tally.latencies);
+    }
+    result.latency = LatencySummary::from_samples(&mut all_latencies);
+    Ok(result)
+}
+
+/// Generate one query sequence per stream, each from its own derived
+/// seed so streams don't replay each other (stream 0 replays the
+/// sequential [`crate::seqgen::generate_sequence`] stream exactly).
+pub fn generate_stream_sequences(params: &Params, streams: usize) -> Vec<Vec<Query>> {
+    assert!(streams >= 1, "at least one stream");
+    (0..streams as u64)
+        .map(|i| {
+            let p = Params {
+                seed: params.seed.wrapping_add(i.wrapping_mul(0x5DEECE66D)),
+                ..params.clone()
+            };
+            crate::seqgen::generate_sequence(&p)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::{build_for_strategy, generate};
+    use crate::driver::run_sequence;
+    use crate::seqgen::generate_sequence;
+
+    fn tiny(shards: usize) -> Params {
+        Params {
+            parent_card: 300,
+            num_top: 5,
+            sequence_len: 40,
+            buffer_pages: 16,
+            shards,
+            ..Params::paper_default()
+        }
+    }
+
+    #[test]
+    fn single_stream_matches_sequential_driver() {
+        let p = tiny(1);
+        let generated = generate(&p);
+        let sequence = generate_sequence(&p);
+        let opts = ExecOptions::default();
+
+        let db = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+        let seq_result = run_sequence(&db, Strategy::Dfs, &sequence, &opts).unwrap();
+        let conc_result =
+            run_concurrent_streams(&db, Strategy::Dfs, std::slice::from_ref(&sequence), &opts)
+                .unwrap();
+
+        assert_eq!(conc_result.streams, 1);
+        assert_eq!(conc_result.queries, seq_result.queries);
+        assert_eq!(conc_result.retrieves, seq_result.retrieves);
+        assert_eq!(conc_result.total_io, seq_result.total_io);
+        assert_eq!(conc_result.values_returned, seq_result.values_returned);
+        assert!((conc_result.avg_io_per_query() - seq_result.avg_io_per_query()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_streams_return_every_stream_answer() {
+        let p = tiny(4);
+        let generated = generate(&p);
+        let opts = ExecOptions::default();
+        let db = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+
+        let sequences = generate_stream_sequences(&p, 4);
+        // Read-only streams: the union of answers is interleaving-free.
+        let expected: u64 = sequences
+            .iter()
+            .map(|s| {
+                run_sequence(&db, Strategy::Dfs, s, &opts)
+                    .unwrap()
+                    .values_returned
+            })
+            .sum();
+
+        let r = run_concurrent_streams(&db, Strategy::Dfs, &sequences, &opts).unwrap();
+        assert_eq!(r.streams, 4);
+        assert_eq!(r.queries, 4 * p.sequence_len);
+        assert_eq!(r.values_returned, expected);
+        assert!(r.total_io > 0);
+        assert!(r.queries_per_sec() > 0.0);
+        assert!(r.latency.mean <= r.latency.p99 && r.latency.p99 <= r.latency.max);
+    }
+
+    #[test]
+    fn mixed_update_streams_complete_without_error() {
+        let p = Params {
+            pr_update: 0.3,
+            ..tiny(4)
+        };
+        let generated = generate(&p);
+        let db = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+        let sequences = generate_stream_sequences(&p, 4);
+        let r = run_concurrent_streams(&db, Strategy::Dfs, &sequences, &ExecOptions::default())
+            .unwrap();
+        assert!(r.updates > 0, "sequence mix includes updates");
+        assert_eq!(r.retrieves + r.updates, r.queries);
+    }
+
+    #[test]
+    fn stream_sequences_differ_but_stream_zero_is_canonical() {
+        let p = tiny(1);
+        let seqs = generate_stream_sequences(&p, 3);
+        assert_eq!(seqs[0], generate_sequence(&p));
+        assert_ne!(seqs[0], seqs[1]);
+        assert_ne!(seqs[1], seqs[2]);
+    }
+}

@@ -17,7 +17,7 @@ use complexobj::{
     CacheConfig, ClusterAssignment, CorDatabase, CorError, DatabaseSpec, ObjectSpec, Strategy,
     SubobjectSpec, Unit,
 };
-use cor_pagestore::{BufferPool, IoStats, MemDisk};
+use cor_pagestore::BufferPool;
 use cor_relational::Oid;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -240,11 +240,12 @@ pub fn generate(params: &Params) -> GeneratedDb {
 
 /// A buffer pool sized by `params` over a fresh in-memory disk.
 pub fn make_pool(params: &Params) -> Arc<BufferPool> {
-    Arc::new(BufferPool::new(
-        Box::new(MemDisk::new()),
-        params.buffer_pages,
-        IoStats::new(),
-    ))
+    Arc::new(
+        BufferPool::builder()
+            .capacity(params.buffer_pages)
+            .shards(params.shards)
+            .build(),
+    )
 }
 
 /// Build the physical database a strategy needs: clustered for DFSCLUST,

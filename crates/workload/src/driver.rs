@@ -8,7 +8,7 @@
 //! sequence) and reports averages per query along with the paper's
 //! `ParCost`/`ChildCost` split for the retrieves.
 
-use complexobj::strategies::run_retrieve;
+use complexobj::strategies::execute_retrieve;
 use complexobj::{
     apply_update, CacheCounters, CorDatabase, CorError, ExecOptions, Query, Strategy,
 };
@@ -107,7 +107,7 @@ pub fn run_sequence(
     for q in sequence {
         match q {
             Query::Retrieve(r) => {
-                let out = run_retrieve(db, strategy, r, opts)?;
+                let out = execute_retrieve(db, strategy, r, opts)?;
                 result.retrieves += 1;
                 result.par_io += out.par_io.total();
                 result.child_io += out.child_io.total();
@@ -169,7 +169,7 @@ pub fn run_sequence_trace(
     for q in sequence {
         match q {
             Query::Retrieve(r) => {
-                let out = run_retrieve(db, strategy, r, opts)?;
+                let out = execute_retrieve(db, strategy, r, opts)?;
                 result.retrieves += 1;
                 result.par_io += out.par_io.total();
                 result.child_io += out.child_io.total();

@@ -1,0 +1,535 @@
+//! The `Engine` facade — one session object over the paper's machinery.
+//!
+//! Historically each representation had its own free-function entry point
+//! (`strategies::run_retrieve`, `multilevel::run_multilevel`,
+//! `procedural::exec::run_proc_retrieve`) and every caller assembled its
+//! own pool + database + cache. The engine owns that assembly behind a
+//! builder and exposes uniform `retrieve` / `update` / `run_sequence`
+//! calls, plus the concurrent driver for multi-stream serving:
+//!
+//! ```
+//! use cor_workload::Engine;
+//! use complexobj::{DatabaseSpec, RetAttr, RetrieveQuery, Strategy};
+//! use cor_pagestore::ReplacementPolicy;
+//!
+//! let spec = DatabaseSpec::tiny(); // 4 objects over 6 shared subobjects
+//! let engine = Engine::builder()
+//!     .pool_pages(100)
+//!     .shards(8)
+//!     .policy(ReplacementPolicy::Clock)
+//!     .build(&spec)
+//!     .unwrap();
+//! let q = RetrieveQuery { lo: 0, hi: 3, attr: RetAttr::Ret1 };
+//! let out = engine.retrieve(Strategy::Dfs, &q).unwrap();
+//! assert_eq!(out.values.len(), 8);
+//! ```
+
+use crate::concurrent::{run_concurrent_streams, ConcurrentRunResult};
+use crate::dbgen::{build_for_strategy, GeneratedDb};
+use crate::driver::{run_sequence, RunResult};
+use crate::params::Params;
+use complexobj::multilevel::{execute_multilevel, MultiDotQuery};
+use complexobj::procedural::{
+    apply_proc_update, execute_proc_retrieve, ProcCaching, ProcDatabase, ProcDatabaseSpec,
+};
+use complexobj::strategies::execute_retrieve;
+use complexobj::{
+    apply_update, CacheConfig, ClusterAssignment, CorDatabase, CorError, DatabaseSpec, ExecOptions,
+    Query, RetrieveQuery, Strategy, StrategyOutput, UpdateQuery,
+};
+use cor_pagestore::{BufferPool, IoDelta, ReplacementPolicy, DEFAULT_POOL_PAGES};
+use std::sync::Arc;
+
+/// What the engine is serving queries against.
+enum Backend {
+    /// A single OID-representation database (standard or clustered,
+    /// optionally cache-attached).
+    Oid(CorDatabase),
+    /// A multi-level hierarchy chain (level 0 first).
+    Levels(Vec<CorDatabase>),
+    /// A procedural-representation database.
+    Proc(ProcDatabase),
+}
+
+/// A query-serving session: pool + database + optional cache behind one
+/// object. Build with [`Engine::builder`].
+pub struct Engine {
+    backend: Backend,
+    opts: ExecOptions,
+}
+
+/// Configures and builds an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    pool_pages: usize,
+    shards: usize,
+    policy: ReplacementPolicy,
+    cache: Option<CacheConfig>,
+    opts: ExecOptions,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            pool_pages: DEFAULT_POOL_PAGES,
+            shards: 1,
+            policy: ReplacementPolicy::default(),
+            cache: None,
+            opts: ExecOptions::default(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Buffer pool capacity in pages (default: the paper's 100).
+    pub fn pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages;
+        self
+    }
+
+    /// Lock-striped shards in the pool (default 1 — the paper's single
+    /// global buffer, with exact I/O counts).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Replacement policy (default LRU).
+    pub fn policy(mut self, policy: ReplacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Attach a unit-value cache (DFSCACHE / SMART need one).
+    pub fn cache(mut self, cfg: CacheConfig) -> Self {
+        self.cache = Some(cfg);
+        self
+    }
+
+    /// Execution options used by every query this engine runs.
+    pub fn exec_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    fn make_pool(&self) -> Arc<BufferPool> {
+        Arc::new(
+            BufferPool::builder()
+                .capacity(self.pool_pages)
+                .shards(self.shards)
+                .policy(self.policy)
+                .build(),
+        )
+    }
+
+    /// Build a standard-representation engine.
+    pub fn build(self, spec: &DatabaseSpec) -> Result<Engine, CorError> {
+        let db = CorDatabase::build_standard(self.make_pool(), spec, self.cache)?;
+        Ok(Engine {
+            backend: Backend::Oid(db),
+            opts: self.opts,
+        })
+    }
+
+    /// Build a clustered-representation engine (DFSCLUST).
+    pub fn build_clustered(
+        self,
+        spec: &DatabaseSpec,
+        assignment: &ClusterAssignment,
+    ) -> Result<Engine, CorError> {
+        let db = CorDatabase::build_clustered(self.make_pool(), spec, assignment)?;
+        Ok(Engine {
+            backend: Backend::Oid(db),
+            opts: self.opts,
+        })
+    }
+
+    /// Build a multi-level hierarchy engine; each level gets its own pool
+    /// with this builder's settings (its own "INGRES instance").
+    pub fn build_levels(self, specs: &[DatabaseSpec]) -> Result<Engine, CorError> {
+        assert!(!specs.is_empty(), "at least one level");
+        let levels: Vec<CorDatabase> = specs
+            .iter()
+            .map(|spec| CorDatabase::build_standard(self.make_pool(), spec, self.cache))
+            .collect::<Result<_, _>>()?;
+        Ok(Engine {
+            backend: Backend::Levels(levels),
+            opts: self.opts,
+        })
+    }
+
+    /// Build a procedural-representation engine with the given caching
+    /// mode.
+    pub fn build_procedural(
+        self,
+        spec: &ProcDatabaseSpec,
+        caching: ProcCaching,
+    ) -> Result<Engine, CorError> {
+        let db = ProcDatabase::build(self.make_pool(), spec, caching)?;
+        Ok(Engine {
+            backend: Backend::Proc(db),
+            opts: self.opts,
+        })
+    }
+}
+
+impl Engine {
+    /// Start configuring an engine.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// Build the engine a workload point needs under `strategy`
+    /// (clustered for DFSCLUST, cache-attached for DFSCACHE/SMART,
+    /// plain standard otherwise) — the [`build_for_strategy`] pipeline
+    /// behind an engine.
+    pub fn for_strategy(
+        params: &Params,
+        generated: &GeneratedDb,
+        strategy: Strategy,
+    ) -> Result<Engine, CorError> {
+        let db = build_for_strategy(params, generated, strategy)?;
+        Ok(Engine {
+            backend: Backend::Oid(db),
+            opts: ExecOptions::default(),
+        })
+    }
+
+    /// Wrap an already-built OID database (standard or clustered).
+    pub fn from_database(db: CorDatabase) -> Engine {
+        Engine {
+            backend: Backend::Oid(db),
+            opts: ExecOptions::default(),
+        }
+    }
+
+    /// Wrap an already-built hierarchy chain (level 0 first), e.g. from
+    /// [`crate::hierarchy::build_hierarchy`].
+    pub fn from_levels(levels: Vec<CorDatabase>) -> Engine {
+        assert!(!levels.is_empty(), "at least one level");
+        Engine {
+            backend: Backend::Levels(levels),
+            opts: ExecOptions::default(),
+        }
+    }
+
+    /// Replace the engine's execution options.
+    pub fn with_options(mut self, opts: ExecOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// The execution options every query runs with.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// The underlying OID database (level 0 for hierarchies).
+    ///
+    /// Errors on procedural engines, which have no `CorDatabase`.
+    pub fn database(&self) -> Result<&CorDatabase, CorError> {
+        match &self.backend {
+            Backend::Oid(db) => Ok(db),
+            Backend::Levels(levels) => Ok(&levels[0]),
+            Backend::Proc(_) => Err(CorError::WrongRepresentation("OID representation")),
+        }
+    }
+
+    /// Every level's database, level 0 first (a single OID database is a
+    /// one-level hierarchy; empty for procedural engines).
+    pub fn levels(&self) -> &[CorDatabase] {
+        match &self.backend {
+            Backend::Oid(db) => std::slice::from_ref(db),
+            Backend::Levels(levels) => levels,
+            Backend::Proc(_) => &[],
+        }
+    }
+
+    /// The buffer pool (level 0's for hierarchies).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        match &self.backend {
+            Backend::Oid(db) => db.pool(),
+            Backend::Levels(levels) => levels[0].pool(),
+            Backend::Proc(db) => db.pool(),
+        }
+    }
+
+    /// Run one retrieve. On OID engines this dispatches to the strategy;
+    /// on procedural engines the caching mode is a property of the build,
+    /// so `strategy` is ignored.
+    pub fn retrieve(
+        &self,
+        strategy: Strategy,
+        query: &RetrieveQuery,
+    ) -> Result<StrategyOutput, CorError> {
+        match &self.backend {
+            Backend::Oid(db) => execute_retrieve(db, strategy, query, &self.opts),
+            Backend::Levels(levels) => execute_retrieve(&levels[0], strategy, query, &self.opts),
+            Backend::Proc(db) => execute_proc_retrieve(db, query),
+        }
+    }
+
+    /// Run one multi-dot retrieve across the hierarchy (single-database
+    /// engines behave as one-level hierarchies).
+    pub fn retrieve_multilevel(
+        &self,
+        strategy: Strategy,
+        query: &MultiDotQuery,
+    ) -> Result<StrategyOutput, CorError> {
+        match &self.backend {
+            Backend::Oid(db) => {
+                execute_multilevel(std::slice::from_ref(db), strategy, query, &self.opts)
+            }
+            Backend::Levels(levels) => execute_multilevel(levels, strategy, query, &self.opts),
+            Backend::Proc(_) => Err(CorError::WrongRepresentation("OID representation")),
+        }
+    }
+
+    /// Apply one update (with whatever cache maintenance the build
+    /// requires), returning the I/O spent.
+    pub fn update(&self, update: &UpdateQuery) -> Result<IoDelta, CorError> {
+        match &self.backend {
+            Backend::Oid(db) => apply_update(db, update, db.has_cache()),
+            Backend::Levels(levels) => apply_update(&levels[0], update, levels[0].has_cache()),
+            Backend::Proc(db) => apply_proc_update(db, update),
+        }
+    }
+
+    /// Run a measured query sequence from a cold buffer — the paper's
+    /// experiment step, identical to the sequential driver's numbers.
+    pub fn run_sequence(
+        &self,
+        strategy: Strategy,
+        sequence: &[Query],
+    ) -> Result<RunResult, CorError> {
+        match &self.backend {
+            Backend::Oid(db) => run_sequence(db, strategy, sequence, &self.opts),
+            Backend::Levels(levels) => run_sequence(&levels[0], strategy, sequence, &self.opts),
+            Backend::Proc(db) => {
+                db.pool().flush_and_clear()?;
+                let stats = db.pool().stats().clone();
+                let start = stats.snapshot();
+                let mut result = RunResult {
+                    strategy,
+                    queries: sequence.len(),
+                    retrieves: 0,
+                    updates: 0,
+                    total_io: 0,
+                    par_io: 0,
+                    child_io: 0,
+                    update_io: 0,
+                    values_returned: 0,
+                    cache: None,
+                };
+                for q in sequence {
+                    match q {
+                        Query::Retrieve(r) => {
+                            let out = execute_proc_retrieve(db, r)?;
+                            result.retrieves += 1;
+                            result.par_io += out.par_io.total();
+                            result.child_io += out.child_io.total();
+                            result.values_returned += out.values.len() as u64;
+                        }
+                        Query::Update(u) => {
+                            let delta = apply_proc_update(db, u)?;
+                            result.updates += 1;
+                            result.update_io += delta.total();
+                        }
+                    }
+                }
+                result.total_io = stats.snapshot().since(&start).total();
+                result.cache = Some(db.cache_counters());
+                Ok(result)
+            }
+        }
+    }
+
+    /// [`Engine::run_sequence`] with a per-query trace (OID engines only),
+    /// for benches that bucket I/O by query shape.
+    pub fn run_sequence_trace(
+        &self,
+        strategy: Strategy,
+        sequence: &[Query],
+    ) -> Result<(RunResult, Vec<crate::driver::QueryTrace>), CorError> {
+        let db = self.database()?;
+        crate::driver::run_sequence_trace(db, strategy, sequence, &self.opts)
+    }
+
+    /// Run M concurrent query streams against the shared database (OID
+    /// engines only), reporting throughput and latency along with the
+    /// aggregate average I/O.
+    pub fn run_concurrent(
+        &self,
+        strategy: Strategy,
+        sequences: &[Vec<Query>],
+    ) -> Result<ConcurrentRunResult, CorError> {
+        let db = self.database()?;
+        run_concurrent_streams(db, strategy, sequences, &self.opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgen::generate;
+    use crate::seqgen::generate_sequence;
+    use complexobj::RetAttr;
+
+    fn tiny() -> Params {
+        Params {
+            parent_card: 200,
+            num_top: 5,
+            sequence_len: 20,
+            buffer_pages: 16,
+            size_cache: 20,
+            ..Params::paper_default()
+        }
+    }
+
+    #[test]
+    fn engine_matches_free_function_results() {
+        let p = tiny();
+        let generated = generate(&p);
+        let sequence = generate_sequence(&p);
+        for strategy in [
+            Strategy::Dfs,
+            Strategy::Bfs,
+            Strategy::DfsCache,
+            Strategy::DfsClust,
+        ] {
+            let db = build_for_strategy(&p, &generated, strategy).unwrap();
+            let expected = run_sequence(&db, strategy, &sequence, &ExecOptions::default()).unwrap();
+            let engine = Engine::for_strategy(&p, &generated, strategy).unwrap();
+            let got = engine.run_sequence(strategy, &sequence).unwrap();
+            assert_eq!(got.total_io, expected.total_io, "{strategy}");
+            assert_eq!(got.values_returned, expected.values_returned, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn builder_wires_pool_shape() {
+        let p = tiny();
+        let generated = generate(&p);
+        let engine = Engine::builder()
+            .pool_pages(32)
+            .shards(4)
+            .policy(ReplacementPolicy::Clock)
+            .build(&generated.spec)
+            .unwrap();
+        assert_eq!(engine.pool().capacity(), 32);
+        assert_eq!(engine.pool().shards(), 4);
+        assert_eq!(engine.pool().policy(), ReplacementPolicy::Clock);
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 9,
+            attr: RetAttr::Ret1,
+        };
+        let out = engine.retrieve(Strategy::Dfs, &q).unwrap();
+        assert!(!out.values.is_empty());
+    }
+
+    #[test]
+    fn engine_update_applies_and_costs_io() {
+        let p = tiny();
+        let generated = generate(&p);
+        let engine = Engine::builder()
+            .pool_pages(16)
+            .build(&generated.spec)
+            .unwrap();
+        // Cold buffer: the update must fetch the target's page from disk.
+        engine.pool().flush_and_clear().unwrap();
+        let target = generated.spec.child_rels[0][0].oid;
+        let delta = engine
+            .update(&UpdateQuery {
+                targets: vec![target],
+                new_ret1: 4242,
+            })
+            .unwrap();
+        assert!(delta.total() > 0);
+        let db = engine.database().unwrap();
+        let rec = db.fetch_child_record(target).unwrap().unwrap();
+        let t = cor_access::decode(db.child_schema(), &rec).unwrap();
+        assert_eq!(t.get(1).as_int(), Some(4242));
+    }
+
+    #[test]
+    fn procedural_engine_serves_the_same_interface() {
+        use complexobj::database::{SubobjectSpec, CHILD_REL_BASE};
+        use complexobj::procedural::{ProcObjectSpec, StoredQuery};
+        use cor_relational::Oid;
+        // 4 parents over one ChildRel of 8 subobjects, stored as key-range
+        // queries (two parents sharing a range).
+        let spec = ProcDatabaseSpec {
+            parents: (0..4u64)
+                .map(|key| ProcObjectSpec {
+                    key,
+                    rets: [key as i64; 3],
+                    dummy: "p".repeat(10),
+                    members: StoredQuery::KeyRange {
+                        rel: CHILD_REL_BASE,
+                        lo: (key / 2) * 4,
+                        hi: (key / 2) * 4 + 3,
+                    },
+                })
+                .collect(),
+            child_rels: vec![(0..8u64)
+                .map(|k| SubobjectSpec {
+                    oid: Oid::new(CHILD_REL_BASE, k),
+                    rets: [10 * k as i64, 0, 0],
+                    dummy: "c".repeat(10),
+                })
+                .collect()],
+        };
+        let engine = Engine::builder()
+            .pool_pages(32)
+            .build_procedural(&spec, ProcCaching::OutsideValues(8))
+            .unwrap();
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 3,
+            attr: RetAttr::Ret1,
+        };
+        let cold = engine.retrieve(Strategy::Dfs, &q).unwrap();
+        let warm = engine.retrieve(Strategy::Dfs, &q).unwrap();
+        let mut a = cold.values.clone();
+        let mut b = warm.values.clone();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "cache warm-up must not change answers");
+        assert!(engine.database().is_err(), "no CorDatabase behind proc");
+        let r = engine
+            .run_sequence(Strategy::Dfs, &[Query::Retrieve(q)])
+            .unwrap();
+        assert_eq!(r.retrieves, 1);
+    }
+
+    #[test]
+    fn levels_engine_answers_multidot() {
+        use crate::hierarchy::{generate_hierarchy_specs, HierarchyParams};
+        let hp = HierarchyParams {
+            levels: 2,
+            top_card: 40,
+            fan_out: 3,
+            use_factor: 3,
+            buffer_pages: 16,
+            ..HierarchyParams::default()
+        };
+        let specs = generate_hierarchy_specs(&hp);
+        let engine = Engine::builder()
+            .pool_pages(16)
+            .build_levels(&specs)
+            .unwrap();
+        let q = MultiDotQuery {
+            lo: 0,
+            hi: 9,
+            attr: RetAttr::Ret1,
+        };
+        let d = engine.retrieve_multilevel(Strategy::Dfs, &q).unwrap();
+        let b = engine.retrieve_multilevel(Strategy::Bfs, &q).unwrap();
+        let mut dv = d.values;
+        let mut bv = b.values;
+        dv.sort_unstable();
+        bv.sort_unstable();
+        assert_eq!(dv, bv);
+    }
+}

@@ -1,15 +1,16 @@
 //! Experiment runner: single points, strategy comparisons, and the
 //! parallel parameter sweeps behind Figures 3–7.
 
-use crate::dbgen::{build_for_strategy, generate};
-use crate::driver::{run_sequence, RunResult};
+use crate::dbgen::generate;
+use crate::driver::RunResult;
+use crate::engine::Engine;
 use crate::params::Params;
 use crate::seqgen::generate_sequence;
 use complexobj::{CorError, ExecOptions, Strategy};
 
 /// Run one `(params, strategy)` point end to end: generate the database,
-/// build the representation the strategy needs, generate the query
-/// sequence and measure it.
+/// build the [`Engine`] the strategy needs, generate the query sequence
+/// and measure it.
 pub fn run_point(params: &Params, strategy: Strategy) -> Result<RunResult, CorError> {
     run_point_with(params, strategy, &ExecOptions::default())
 }
@@ -21,9 +22,9 @@ pub fn run_point_with(
     opts: &ExecOptions,
 ) -> Result<RunResult, CorError> {
     let generated = generate(params);
-    let db = build_for_strategy(params, &generated, strategy)?;
+    let engine = Engine::for_strategy(params, &generated, strategy)?.with_options(*opts);
     let sequence = generate_sequence(params);
-    run_sequence(&db, strategy, &sequence, opts)
+    engine.run_sequence(strategy, &sequence)
 }
 
 /// Measure several strategies on the *same* generated data and query
@@ -35,12 +36,11 @@ pub fn compare_strategies(
 ) -> Result<Vec<RunResult>, CorError> {
     let generated = generate(params);
     let sequence = generate_sequence(params);
-    let opts = ExecOptions::default();
     strategies
         .iter()
         .map(|&s| {
-            let db = build_for_strategy(params, &generated, s)?;
-            run_sequence(&db, s, &sequence, &opts)
+            let engine = Engine::for_strategy(params, &generated, s)?;
+            engine.run_sequence(s, &sequence)
         })
         .collect()
 }

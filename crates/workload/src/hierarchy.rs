@@ -11,7 +11,7 @@
 use crate::dbgen::{repair_duplicate_chunks, rng_for, SeedStream};
 use complexobj::database::{CorDatabase, DatabaseSpec, ObjectSpec, SubobjectSpec, CHILD_REL_BASE};
 use complexobj::CorError;
-use cor_pagestore::{BufferPool, IoStats, MemDisk};
+use cor_pagestore::BufferPool;
 use cor_relational::Oid;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -135,11 +135,7 @@ pub fn build_hierarchy(hp: &HierarchyParams) -> Result<Vec<CorDatabase>, CorErro
     generate_hierarchy_specs(hp)
         .iter()
         .map(|spec| {
-            let pool = Arc::new(BufferPool::new(
-                Box::new(MemDisk::new()),
-                hp.buffer_pages,
-                IoStats::new(),
-            ));
+            let pool = Arc::new(BufferPool::builder().capacity(hp.buffer_pages).build());
             CorDatabase::build_standard(pool, spec, None)
         })
         .collect()

@@ -27,8 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod dbgen;
 pub mod driver;
+pub mod engine;
 pub mod experiment;
 pub mod hierarchy;
 pub mod matrix;
@@ -36,8 +38,12 @@ pub mod params;
 pub mod report;
 pub mod seqgen;
 
+pub use concurrent::{
+    generate_stream_sequences, run_concurrent_streams, ConcurrentRunResult, LatencySummary,
+};
 pub use dbgen::{build_for_strategy, generate, make_pool, rng_for, GeneratedDb, SeedStream};
 pub use driver::{run_sequence, run_sequence_trace, QueryTrace, RunResult};
+pub use engine::{Engine, EngineBuilder};
 pub use experiment::{
     best_strategy, compare_strategies, default_threads, parallel_map, run_point, run_point_with,
 };

@@ -22,10 +22,10 @@ use crate::params::Params;
 use crate::seqgen::generate_sequence;
 use complexobj::database::CHILD_REL_BASE;
 use complexobj::procedural::{
-    apply_proc_update, run_proc_retrieve, ProcCaching, ProcDatabase, ProcDatabaseSpec,
+    apply_proc_update, execute_proc_retrieve, ProcCaching, ProcDatabase, ProcDatabaseSpec,
     ProcObjectSpec, StoredQuery,
 };
-use complexobj::strategies::run_retrieve;
+use complexobj::strategies::execute_retrieve;
 use complexobj::{
     apply_update, CacheConfig, CacheCounters, CorDatabase, CorError, DatabaseSpec, ExecOptions,
     ObjectSpec, Query, Strategy, SubobjectSpec, ValueDatabase,
@@ -384,8 +384,8 @@ pub fn run_matrix_point(
         match q {
             Query::Retrieve(r) => {
                 let out = match &db {
-                    Db::Oid(d, s) => run_retrieve(d, *s, r, &opts)?,
-                    Db::Proc(d) => run_proc_retrieve(d, r)?,
+                    Db::Oid(d, s) => execute_retrieve(d, *s, r, &opts)?,
+                    Db::Proc(d) => execute_proc_retrieve(d, r)?,
                     Db::Value(d) => d.run_retrieve(r)?,
                 };
                 result.retrieves += 1;

@@ -34,6 +34,9 @@ pub struct Params {
     pub size_cache: usize,
     /// Buffer pool size in pages.
     pub buffer_pages: usize,
+    /// Lock-striped shards in the buffer pool. The paper's single global
+    /// buffer is `1` (the default); concurrent-stream runs raise it.
+    pub shards: usize,
     /// Queries per measured sequence.
     pub sequence_len: usize,
     /// ChildRel tuples modified per update query.
@@ -59,6 +62,7 @@ impl Params {
             num_top: 100,
             size_cache: 1000,
             buffer_pages: 100,
+            shards: 1,
             sequence_len: 1000,
             update_batch: 10,
             // oid(10) + 3*8 + (2 + len) + children(2 + 5*10) => ~200 B.
@@ -131,6 +135,12 @@ impl Params {
         }
         if self.num_child_rels == 0 {
             return Err("num_child_rels must be positive".into());
+        }
+        if self.shards == 0 || self.shards > self.buffer_pages {
+            return Err(format!(
+                "shards {} outside 1..={} (buffer_pages)",
+                self.shards, self.buffer_pages
+            ));
         }
         let per_rel = self.child_card() / self.num_child_rels as u64;
         if (per_rel as usize) < self.size_unit {
@@ -206,6 +216,15 @@ mod tests {
         let mut p = Params::paper_default();
         p.num_child_rels = 100_000;
         assert!(p.validate().is_err());
+        let mut p = Params::paper_default();
+        p.shards = 0;
+        assert!(p.validate().is_err());
+        let mut p = Params::paper_default();
+        p.shards = p.buffer_pages + 1;
+        assert!(p.validate().is_err());
+        let mut p = Params::paper_default();
+        p.shards = 8;
+        p.validate().unwrap();
     }
 
     #[test]

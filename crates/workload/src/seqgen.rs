@@ -63,7 +63,7 @@ pub fn random_retrieve(params: &Params, rng: &mut StdRng) -> RetrieveQuery {
         lo,
         hi: lo + params.num_top - 1,
         attr: *RetAttr::ALL
-            .get(rng.random_range(0..3))
+            .get(rng.random_range(0..3usize))
             .expect("three attrs"),
     }
 }

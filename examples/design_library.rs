@@ -14,7 +14,7 @@
 //! cargo run --release --example design_library
 //! ```
 
-use complexobj::multilevel::{run_multilevel, MultiDotQuery};
+use complexobj::multilevel::{execute_multilevel, MultiDotQuery};
 use complexobj::{parse_quel, ExecOptions, QuelStatement, Strategy};
 use cor_workload::{build_hierarchy, snapshot_hierarchy, total_hierarchy_io, HierarchyParams};
 
@@ -59,7 +59,7 @@ fn main() {
             db.pool().flush_and_clear().expect("cold start");
         }
         let before = snapshot_hierarchy(&library);
-        let out = run_multilevel(&library, s, &query, &opts).expect("traversal runs");
+        let out = execute_multilevel(&library, s, &query, &opts).expect("traversal runs");
         let io = total_hierarchy_io(&library, &before);
         println!("{:<10} {:>12} {:>12}", s.name(), io, out.values.len());
     }
@@ -79,7 +79,7 @@ fn main() {
                 hi: a,
                 attr: query.attr,
             };
-            visited += run_multilevel(&library, s, &q, &opts)
+            visited += execute_multilevel(&library, s, &q, &opts)
                 .expect("lookup runs")
                 .values
                 .len();

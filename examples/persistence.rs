@@ -7,7 +7,7 @@
 //! ```
 
 use cor_access::{encode, scan_where, BTreeFile, Catalog, HashFile, DEFAULT_FILL};
-use cor_pagestore::{BufferPool, FileDisk, IoStats};
+use cor_pagestore::{BufferPool, FileDisk};
 use cor_relational::{CmpOp, Oid, Predicate, Schema, Tuple, Value, ValueType};
 use std::sync::Arc;
 
@@ -38,7 +38,12 @@ fn main() {
     // --- session 1: create, load, persist -------------------------------
     {
         let disk = FileDisk::open(&path).expect("open page file");
-        let pool = Arc::new(BufferPool::new(Box::new(disk), 100, IoStats::new()));
+        let pool = Arc::new(
+            BufferPool::builder()
+                .disk(Box::new(disk))
+                .capacity(100)
+                .build(),
+        );
         let catalog = Catalog::create(Arc::clone(&pool)).expect("catalog on page 0");
 
         let entries: Vec<(Vec<u8>, Vec<u8>)> = people
@@ -78,7 +83,12 @@ fn main() {
     // --- session 2: reopen and query -------------------------------------
     {
         let disk = FileDisk::open(&path).expect("reopen page file");
-        let pool = Arc::new(BufferPool::new(Box::new(disk), 100, IoStats::new()));
+        let pool = Arc::new(
+            BufferPool::builder()
+                .disk(Box::new(disk))
+                .capacity(100)
+                .build(),
+        );
         let catalog = Catalog::open(Arc::clone(&pool)).expect("catalog present");
         let mut names = catalog.names().expect("listable");
         names.sort();

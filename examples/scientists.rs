@@ -16,12 +16,12 @@
 //! ```
 
 use complexobj::database::{CorDatabase, DatabaseSpec, ObjectSpec, SubobjectSpec, CHILD_REL_BASE};
-use complexobj::strategies::run_retrieve;
+use complexobj::strategies::execute_retrieve;
 use complexobj::{
     apply_update, CacheConfig, ExecOptions, ReprPoint, RetAttr, RetrieveQuery, Strategy,
     UpdateQuery,
 };
-use cor_pagestore::{BufferPool, IoStats, MemDisk};
+use cor_pagestore::BufferPool;
 use cor_relational::Oid;
 use std::sync::Arc;
 
@@ -71,11 +71,7 @@ fn main() {
             .collect()],
     };
 
-    let pool = Arc::new(BufferPool::new(
-        Box::new(MemDisk::new()),
-        16,
-        IoStats::new(),
-    ));
+    let pool = Arc::new(BufferPool::builder().capacity(16).build());
     let db = CorDatabase::build_standard(
         pool,
         &spec,
@@ -98,7 +94,7 @@ fn main() {
     let opts = ExecOptions::default();
 
     println!("retrieve (group.members.age) where group is elders or children:\n");
-    let out = run_retrieve(&db, Strategy::DfsCache, &query, &opts).expect("query runs");
+    let out = execute_retrieve(&db, Strategy::DfsCache, &query, &opts).expect("query runs");
     let mut ages = out.values.clone();
     ages.sort_unstable();
     println!(
@@ -108,7 +104,7 @@ fn main() {
     assert_eq!(ages, vec![8, 12, 62, 62, 68]);
 
     // Run again: both units are now cached.
-    let out2 = run_retrieve(&db, Strategy::DfsCache, &query, &opts).expect("query runs");
+    let out2 = execute_retrieve(&db, Strategy::DfsCache, &query, &opts).expect("query runs");
     println!(
         "  repeated with warm cache: {} page I/Os (cache hits: {})\n",
         out2.total_io(),
@@ -130,7 +126,7 @@ fn main() {
     assert!(counters.invalidations >= 1);
 
     // The next query must see the new age — no stale cache reads.
-    let out3 = run_retrieve(&db, Strategy::DfsCache, &query, &opts).expect("query runs");
+    let out3 = execute_retrieve(&db, Strategy::DfsCache, &query, &opts).expect("query runs");
     let mut ages3 = out3.values.clone();
     ages3.sort_unstable();
     println!("  ages after update = {ages3:?}");

@@ -21,9 +21,9 @@
 //! ```
 
 use complexobj::database::{CorDatabase, DatabaseSpec, ObjectSpec, SubobjectSpec, CHILD_REL_BASE};
-use complexobj::strategies::run_retrieve;
+use complexobj::strategies::execute_retrieve;
 use complexobj::{CacheConfig, ExecOptions, RetAttr, RetrieveQuery, Strategy};
-use cor_pagestore::{BufferPool, IoStats, MemDisk};
+use cor_pagestore::BufferPool;
 use cor_relational::Oid;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -107,13 +107,7 @@ fn main() {
     };
 
     // One 100-page buffer pool per database ("INGRES instance").
-    let pool = |pages| {
-        Arc::new(BufferPool::new(
-            Box::new(MemDisk::new()),
-            pages,
-            IoStats::new(),
-        ))
-    };
+    let pool = |pages| Arc::new(BufferPool::builder().capacity(pages).build());
     let cells_db = CorDatabase::build_standard(
         pool(100),
         &cells_db_spec,
@@ -155,7 +149,7 @@ fn main() {
                 hi: cell,
                 attr: RetAttr::Ret1,
             };
-            let paths = run_retrieve(&cells_db, strategy, &q1, &opts).expect("level 1");
+            let paths = execute_retrieve(&cells_db, strategy, &q1, &opts).expect("level 1");
             io += paths.total_io();
             for pid in paths.values {
                 let q2 = RetrieveQuery {
@@ -163,7 +157,7 @@ fn main() {
                     hi: pid as u64,
                     attr: RetAttr::Ret1,
                 };
-                let rects = run_retrieve(&paths_db, strategy, &q2, &opts).expect("level 2");
+                let rects = execute_retrieve(&paths_db, strategy, &q2, &opts).expect("level 2");
                 io += rects.total_io();
             }
         }
@@ -179,13 +173,13 @@ fn main() {
             hi: NUM_CELLS - 1,
             attr: RetAttr::Ret1,
         };
-        let paths = run_retrieve(&cells_db, strategy, &q1, &opts).expect("level 1");
+        let paths = execute_retrieve(&cells_db, strategy, &q1, &opts).expect("level 1");
         let q2 = RetrieveQuery {
             lo: 0,
             hi: num_paths - 1,
             attr: RetAttr::Ret1,
         };
-        let rects = run_retrieve(&paths_db, strategy, &q2, &opts).expect("level 2");
+        let rects = execute_retrieve(&paths_db, strategy, &q2, &opts).expect("level 2");
         paths.total_io() + rects.total_io()
     };
 

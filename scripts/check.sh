@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the whole test suite.
+# CI runs exactly this script; run it before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

@@ -30,3 +30,7 @@ pub use cor_access as access;
 pub use cor_pagestore as pagestore;
 pub use cor_relational as relational;
 pub use cor_workload as workload;
+
+pub use complexobj::ExecOptions;
+pub use cor_pagestore::{BufferPool, BufferPoolBuilder, ReplacementPolicy};
+pub use cor_workload::{Engine, EngineBuilder};

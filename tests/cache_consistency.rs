@@ -5,7 +5,7 @@
 //! interleave updates with retrieves and compare every cached strategy's
 //! answers against an uncached DFS baseline replaying the same history.
 
-use complexobj::strategies::run_retrieve;
+use complexobj::strategies::execute_retrieve;
 use complexobj::{apply_update, ExecOptions, Query, RetAttr, RetrieveQuery, Strategy};
 use cor_workload::{build_for_strategy, generate, generate_sequence, Params};
 
@@ -54,16 +54,16 @@ fn replay_and_compare(strategy: Strategy, pr_update: f64, smart_threshold: u64) 
             hi: p.parent_card - 1,
             attr: RetAttr::Ret1,
         };
-        run_retrieve(&cached_db, Strategy::Smart, &q, &warm).expect("cache warm-up");
+        execute_retrieve(&cached_db, Strategy::Smart, &q, &warm).expect("cache warm-up");
     }
 
     for (i, q) in sequence.iter().enumerate() {
         match q {
             Query::Retrieve(r) => {
-                let mut got = run_retrieve(&cached_db, strategy, r, &opts)
+                let mut got = execute_retrieve(&cached_db, strategy, r, &opts)
                     .expect("cached run")
                     .values;
-                let mut expect = run_retrieve(&baseline_db, Strategy::Dfs, r, &opts)
+                let mut expect = execute_retrieve(&baseline_db, Strategy::Dfs, r, &opts)
                     .expect("baseline")
                     .values;
                 got.sort_unstable();
@@ -136,10 +136,10 @@ fn inside_placed_cache_is_never_stale() {
     for (i, q) in sequence.iter().enumerate() {
         match q {
             Query::Retrieve(r) => {
-                let mut got = run_retrieve(&inside_db, Strategy::DfsCache, r, &opts)
+                let mut got = execute_retrieve(&inside_db, Strategy::DfsCache, r, &opts)
                     .unwrap()
                     .values;
-                let mut expect = run_retrieve(&baseline_db, Strategy::Dfs, r, &opts)
+                let mut expect = execute_retrieve(&baseline_db, Strategy::Dfs, r, &opts)
                     .unwrap()
                     .values;
                 got.sort_unstable();
@@ -173,10 +173,10 @@ fn clustered_updates_are_visible() {
     for q in &sequence {
         match q {
             Query::Retrieve(r) => {
-                let mut got = run_retrieve(&clustered, Strategy::DfsClust, r, &opts)
+                let mut got = execute_retrieve(&clustered, Strategy::DfsClust, r, &opts)
                     .unwrap()
                     .values;
-                let mut expect = run_retrieve(&baseline, Strategy::Dfs, r, &opts)
+                let mut expect = execute_retrieve(&baseline, Strategy::Dfs, r, &opts)
                     .unwrap()
                     .values;
                 got.sort_unstable();
@@ -205,10 +205,10 @@ fn capacity_pressure_does_not_corrupt_answers() {
     for q in &sequence {
         match q {
             Query::Retrieve(r) => {
-                let mut got = run_retrieve(&cached_db, Strategy::DfsCache, r, &opts)
+                let mut got = execute_retrieve(&cached_db, Strategy::DfsCache, r, &opts)
                     .unwrap()
                     .values;
-                let mut expect = run_retrieve(&baseline_db, Strategy::Dfs, r, &opts)
+                let mut expect = execute_retrieve(&baseline_db, Strategy::Dfs, r, &opts)
                     .unwrap()
                     .values;
                 got.sort_unstable();

@@ -4,22 +4,24 @@
 
 use complexobj::database::{CorDatabase, DatabaseSpec, ObjectSpec, SubobjectSpec, CHILD_REL_BASE};
 use complexobj::procedural::{QuelParseError, StoredQuery};
-use complexobj::strategies::{run_retrieve, ExecOptions};
+use complexobj::strategies::{execute_retrieve, ExecOptions};
 use complexobj::{parse_quel, CorError, RetAttr, RetrieveQuery, Strategy};
 use cor_access::{AccessError, BTreeFile, CatalogError};
-use cor_pagestore::{BufferError, BufferPool, DiskError, IoStats, MemDisk};
+use cor_pagestore::{BufferError, BufferPool, DiskError};
 use cor_relational::Oid;
 use std::error::Error;
 use std::sync::Arc;
 
 fn pool() -> Arc<BufferPool> {
-    Arc::new(BufferPool::new(Box::new(MemDisk::new()), 8, IoStats::new()))
+    Arc::new(BufferPool::builder().capacity(8).build())
 }
 
 #[test]
 fn error_messages_are_informative() {
     assert!(DiskError::BadPage(7).to_string().contains("7"));
-    assert!(BufferError::NoFreeFrames.to_string().contains("pinned"));
+    let exhausted = BufferError::NoFreeFrames { pid: 7, pinned: 3 }.to_string();
+    assert!(exhausted.contains("pinned"));
+    assert!(exhausted.contains('7') && exhausted.contains('3'));
     assert!(AccessError::BadKeyLen(3).to_string().contains("3"));
     assert!(AccessError::EntryTooLarge.to_string().contains("large"));
     assert!(AccessError::UnsortedBulkLoad
@@ -89,11 +91,11 @@ fn strategy_on_wrong_representation_fails_loudly() {
     };
     let opts = ExecOptions::default();
     assert!(matches!(
-        run_retrieve(&db, Strategy::DfsClust, &q, &opts),
+        execute_retrieve(&db, Strategy::DfsClust, &q, &opts),
         Err(CorError::WrongRepresentation(_))
     ));
     assert!(matches!(
-        run_retrieve(&db, Strategy::DfsCache, &q, &opts),
+        execute_retrieve(&db, Strategy::DfsCache, &q, &opts),
         Err(CorError::NoCache)
     ));
 }
@@ -122,7 +124,7 @@ fn dangling_reference_is_reported_not_ignored() {
         attr: RetAttr::Ret1,
     };
     for s in [Strategy::Dfs, Strategy::Bfs] {
-        let err = run_retrieve(&db, s, &q, &ExecOptions::default()).unwrap_err();
+        let err = execute_retrieve(&db, s, &q, &ExecOptions::default()).unwrap_err();
         assert!(
             matches!(err, CorError::DanglingOid(o) if o == c(99)),
             "{s} must surface the dangling OID, got {err}"

@@ -5,13 +5,13 @@
 //! produce identical answers — they may only differ in I/O.
 
 use complexobj::database::CHILD_REL_BASE;
-use complexobj::procedural::{apply_proc_update, run_proc_retrieve, ProcCaching, ProcDatabase};
-use complexobj::strategies::run_retrieve;
+use complexobj::procedural::{apply_proc_update, execute_proc_retrieve, ProcCaching, ProcDatabase};
+use complexobj::strategies::execute_retrieve;
 use complexobj::{
     apply_update, CorDatabase, ExecOptions, Query, RetAttr, RetrieveQuery, Strategy, UpdateQuery,
     ValueDatabase,
 };
-use cor_pagestore::{BufferPool, IoStats, MemDisk};
+use cor_pagestore::BufferPool;
 use cor_relational::Oid;
 use cor_workload::{generate_matrix, generate_sequence, MatrixSpec, Params};
 use std::sync::Arc;
@@ -32,11 +32,7 @@ fn params(pr_update: f64) -> Params {
 }
 
 fn pool() -> Arc<BufferPool> {
-    Arc::new(BufferPool::new(
-        Box::new(MemDisk::new()),
-        32,
-        IoStats::new(),
-    ))
+    Arc::new(BufferPool::builder().capacity(32).build())
 }
 
 /// All systems replaying one history; answers compared per retrieve.
@@ -65,7 +61,7 @@ fn replay_all(p: &Params, spec: &MatrixSpec) {
     for (i, q) in sequence.iter().enumerate() {
         match q {
             Query::Retrieve(r) => {
-                let mut expect = run_retrieve(&oid_db, Strategy::Dfs, r, &opts)
+                let mut expect = execute_retrieve(&oid_db, Strategy::Dfs, r, &opts)
                     .unwrap()
                     .values;
                 expect.sort_unstable();
@@ -75,11 +71,11 @@ fn replay_all(p: &Params, spec: &MatrixSpec) {
                 assert_eq!(value, expect, "value-based diverged at query {i}");
 
                 for (j, db) in proc_dbs.iter().enumerate() {
-                    let mut got = run_proc_retrieve(db, r).unwrap().values;
+                    let mut got = execute_proc_retrieve(db, r).unwrap().values;
                     got.sort_unstable();
                     assert_eq!(got, expect, "procedural mode {j} diverged at query {i}");
                 }
-                let mut got = run_proc_retrieve(&scan_db, r).unwrap().values;
+                let mut got = execute_proc_retrieve(&scan_db, r).unwrap().values;
                 got.sort_unstable();
                 assert_eq!(got, expect, "scan-bound procedural diverged at query {i}");
             }
@@ -136,7 +132,7 @@ fn ret_range_membership_change_is_seen_by_scan_procedural() {
         attr: RetAttr::Ret1,
     };
     let opts = ExecOptions::default();
-    run_proc_retrieve(&scan_db, &q).unwrap(); // warm the cache
+    execute_proc_retrieve(&scan_db, &q).unwrap(); // warm the cache
 
     let upd = UpdateQuery {
         targets: vec![Oid::new(CHILD_REL_BASE, 3)],
@@ -146,11 +142,11 @@ fn ret_range_membership_change_is_seen_by_scan_procedural() {
     value_db.apply_update(&upd).unwrap();
     apply_proc_update(&scan_db, &upd).unwrap();
 
-    let mut expect = run_retrieve(&oid_db, Strategy::Dfs, &q, &opts)
+    let mut expect = execute_retrieve(&oid_db, Strategy::Dfs, &q, &opts)
         .unwrap()
         .values;
     let mut v1 = value_db.run_retrieve(&q).unwrap().values;
-    let mut v2 = run_proc_retrieve(&scan_db, &q).unwrap().values;
+    let mut v2 = execute_proc_retrieve(&scan_db, &q).unwrap().values;
     expect.sort_unstable();
     v1.sort_unstable();
     v2.sort_unstable();

@@ -2,7 +2,7 @@
 //! hold on randomly generated databases, and the strategies agree on
 //! randomly generated queries.
 
-use complexobj::strategies::run_retrieve;
+use complexobj::strategies::execute_retrieve;
 use complexobj::{measure_sharing, ExecOptions, RetAttr, RetrieveQuery, Strategy};
 use cor_workload::{build_for_strategy, generate, Params};
 use proptest::prelude::*;
@@ -84,7 +84,7 @@ proptest! {
         let mut reference: Option<Vec<i64>> = None;
         for s in [Strategy::Dfs, Strategy::Bfs, Strategy::DfsCache, Strategy::DfsClust, Strategy::Smart] {
             let db = build_for_strategy(&p, &g, s).expect("db builds");
-            let mut v = run_retrieve(&db, s, &q, &opts).expect("runs").values;
+            let mut v = execute_retrieve(&db, s, &q, &opts).expect("runs").values;
             v.sort_unstable();
             match &reference {
                 None => reference = Some(v),
@@ -102,9 +102,9 @@ proptest! {
         let db = build_for_strategy(&p, &g, Strategy::Bfs).expect("db");
         db.pool().flush_and_clear().expect("cold");
         let opts = ExecOptions::default();
-        let cold = run_retrieve(&db, Strategy::Bfs, &q, &opts).expect("cold run");
+        let cold = execute_retrieve(&db, Strategy::Bfs, &q, &opts).expect("cold run");
         prop_assert_eq!(cold.total_io(), cold.par_io.total() + cold.child_io.total());
-        let warm = run_retrieve(&db, Strategy::Bfs, &q, &opts).expect("warm run");
+        let warm = execute_retrieve(&db, Strategy::Bfs, &q, &opts).expect("warm run");
         prop_assert!(warm.total_io() <= cold.total_io(),
             "warm {} > cold {}", warm.total_io(), cold.total_io());
     }

@@ -7,7 +7,7 @@
 //! DFSCACHE, DFSCLUST and SMART return the same multiset of attribute
 //! values, and BFSNODUP returns the deduplicated multiset.
 
-use complexobj::strategies::run_retrieve;
+use complexobj::strategies::execute_retrieve;
 use complexobj::{ExecOptions, RetAttr, RetrieveQuery, Strategy};
 use cor_workload::{build_for_strategy, generate, GeneratedDb, Params};
 
@@ -36,7 +36,7 @@ fn sorted_values(
         smart_threshold: 8,
         ..ExecOptions::default()
     };
-    let out = run_retrieve(&db, strategy, query, &opts).expect("query runs");
+    let out = execute_retrieve(&db, strategy, query, &opts).expect("query runs");
     let mut values = out.values;
     values.sort_unstable();
     values
@@ -228,7 +228,9 @@ fn equivalence_under_forced_join_plans() {
             join,
             ..ExecOptions::default()
         };
-        let mut v = run_retrieve(&db, Strategy::Bfs, &q, &opts).unwrap().values;
+        let mut v = execute_retrieve(&db, Strategy::Bfs, &q, &opts)
+            .unwrap()
+            .values;
         v.sort_unstable();
         outs.push(v);
     }
@@ -249,10 +251,10 @@ fn repeated_queries_stay_equivalent_as_cache_warms() {
         hi: 60,
         attr: RetAttr::Ret2,
     };
-    let mut first = run_retrieve(&db, Strategy::DfsCache, &q, &opts)
+    let mut first = execute_retrieve(&db, Strategy::DfsCache, &q, &opts)
         .unwrap()
         .values;
-    let mut second = run_retrieve(&db, Strategy::DfsCache, &q, &opts)
+    let mut second = execute_retrieve(&db, Strategy::DfsCache, &q, &opts)
         .unwrap()
         .values;
     first.sort_unstable();

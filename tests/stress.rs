@@ -8,7 +8,7 @@
 //! representation, checking answer agreement throughout — the heavyweight
 //! version of the default-suite equivalence tests.
 
-use complexobj::strategies::run_retrieve;
+use complexobj::strategies::execute_retrieve;
 use complexobj::{apply_update, ExecOptions, Query, Strategy};
 use cor_workload::{
     build_for_strategy, generate, generate_matrix, generate_sequence, run_matrix_point,
@@ -46,7 +46,7 @@ fn full_scale_strategy_equivalence_under_updates() {
             Query::Retrieve(r) => {
                 let mut reference: Option<Vec<i64>> = None;
                 for (s, db) in strategies.iter().zip(&dbs) {
-                    let mut v = run_retrieve(db, *s, r, &opts).expect("runs").values;
+                    let mut v = execute_retrieve(db, *s, r, &opts).expect("runs").values;
                     v.sort_unstable();
                     match &reference {
                         None => reference = Some(v),
@@ -112,10 +112,10 @@ fn tiny_buffer_thrash_soak() {
     for q in &sequence {
         match q {
             Query::Retrieve(r) => {
-                let mut a = run_retrieve(&cached, Strategy::DfsCache, r, &opts)
+                let mut a = execute_retrieve(&cached, Strategy::DfsCache, r, &opts)
                     .unwrap()
                     .values;
-                let mut b = run_retrieve(&plain, Strategy::Dfs, r, &opts)
+                let mut b = execute_retrieve(&plain, Strategy::Dfs, r, &opts)
                     .unwrap()
                     .values;
                 a.sort_unstable();

@@ -1,0 +1,298 @@
+//! Minimal API-compatible stand-in for `criterion`.
+//!
+//! Runs each benchmark in a warmup-then-measure loop and prints mean
+//! and best iteration times (plus throughput when configured) to
+//! stdout. No statistical analysis, HTML reports, or baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Target wall-clock time spent warming up each benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(50);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output to batch per timing in
+/// [`Bencher::iter_batched`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs; batch many per setup.
+    SmallInput,
+    /// Large per-iteration inputs; batch few per setup.
+    LargeInput,
+    /// Exactly one input per setup.
+    PerIteration,
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Build an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Benchmark `routine` by running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and calibration: find an iteration count that takes a
+        // measurable slice of time.
+        let mut iters: u64 = 1;
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if warmup_start.elapsed() >= WARMUP_TARGET {
+                // Aim each sample at ~1/10 of the measurement budget.
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let target = MEASURE_TARGET.as_secs_f64() / 10.0;
+                iters = ((target / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+                break;
+            }
+            iters = (iters * 2).min(1 << 24);
+        }
+        self.iters_per_sample = iters;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_TARGET || self.samples.len() < 2 {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= 200 {
+                break;
+            }
+        }
+    }
+
+    /// Benchmark `routine` on inputs produced by `setup`, excluding
+    /// setup time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One input per timed iteration; setup runs outside the timer.
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < WARMUP_TARGET {
+            let input = setup();
+            black_box(routine(input));
+        }
+        self.iters_per_sample = 1;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < MEASURE_TARGET || self.samples.len() < 2 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+            if self.samples.len() >= 5000 {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let per_iter = |d: &Duration| d.as_secs_f64() / self.iters_per_sample as f64;
+        let mean: f64 = self.samples.iter().map(per_iter).sum::<f64>() / self.samples.len() as f64;
+        let best = self
+            .samples
+            .iter()
+            .map(per_iter)
+            .fold(f64::INFINITY, f64::min);
+        let thr = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12} elem/s", format_rate(n as f64 / mean))
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12} B/s", format_rate(n as f64 / mean))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{label:<40} mean {:>12}  best {:>12}{thr}",
+            format_time(mean),
+            format_time(best)
+        );
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn format_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Benchmark a closure parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id), self.throughput);
+        self
+    }
+
+    /// Finish the group (separator line).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup {
+            name,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id.to_string(), None);
+        self
+    }
+
+    /// Accept (and ignore) CLI configuration, for compatibility.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

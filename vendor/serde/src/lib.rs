@@ -1,0 +1,13 @@
+//! Minimal stand-in for `serde`: the `Serialize` / `Deserialize` traits
+//! exist as markers (no serializer backends are present in this
+//! offline environment), and the derives expand to empty impls. Code
+//! can derive and bound on these traits; actual serialization requires
+//! restoring the real crate (see vendor/README.md).
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,120 @@
+//! No-op `Serialize` / `Deserialize` derives for the offline serde
+//! stand-in. The marker traits have no items, so the derives only need
+//! to name the type; generics are carried through verbatim.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract `(name, generics)` from a struct/enum definition, where
+/// `generics` is the raw `<...>` parameter list (or empty).
+fn parse_item(input: TokenStream) -> (String, String) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct`/`enum` keyword.
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Ident(id) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break;
+                }
+            }
+            _ => continue,
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum, got {other:?}"),
+    };
+    // Collect a generic parameter list if present: `<` ... matching `>`.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in tokens.by_ref() {
+                match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                    TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                    _ => {}
+                }
+                generics.push_str(&tt.to_string());
+                generics.push(' ');
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+/// Strip bounds/defaults from a generic list: `<T: Clone, const N: usize>`
+/// -> `<T, N>` for the type-argument position.
+fn generic_args(generics: &str) -> String {
+    if generics.is_empty() {
+        return String::new();
+    }
+    let inner = generics
+        .trim()
+        .trim_start_matches('<')
+        .trim_end_matches('>');
+    let mut args = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for ch in inner.chars() {
+        match ch {
+            '<' | '(' | '[' => {
+                depth += 1;
+                current.push(ch);
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                current.push(ch);
+            }
+            ',' if depth == 0 => {
+                args.push(std::mem::take(&mut current));
+            }
+            _ => current.push(ch),
+        }
+    }
+    if !current.trim().is_empty() {
+        args.push(current);
+    }
+    let names: Vec<String> = args
+        .iter()
+        .map(|a| {
+            let a = a.trim();
+            let a = a.strip_prefix("const ").unwrap_or(a).trim();
+            // Lifetime or ident up to `:`/`=`.
+            a.split([':', '=']).next().unwrap_or(a).trim().to_string()
+        })
+        .filter(|s| !s.is_empty())
+        .collect();
+    format!("<{}>", names.join(", "))
+}
+
+/// Derive the marker `serde::Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let args = generic_args(&generics);
+    format!("impl {generics} ::serde::Serialize for {name} {args} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive the marker `serde::Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let args = generic_args(&generics);
+    if generics.is_empty() {
+        format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+    } else {
+        let inner = generics
+            .trim()
+            .trim_start_matches('<')
+            .trim_end_matches('>');
+        format!("impl<'de, {inner}> ::serde::Deserialize<'de> for {name} {args} {{}}")
+    }
+    .parse()
+    .expect("generated impl parses")
+}
