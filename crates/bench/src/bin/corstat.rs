@@ -1,0 +1,383 @@
+//! `corstat` — the observability roll-up: run every strategy over one
+//! mixed workload with the full metrics layer enabled and report
+//! per-strategy mean I/O, latency quantiles, pool hit ratios per shard,
+//! and cache effectiveness, as a table and (optionally) JSON.
+//!
+//! ```text
+//! cargo run -p cor-bench --release --bin corstat [--scale F | --full]
+//!     [--json FILE]   also write the report as JSON
+//!     [--smoke]       tiny database, validate every report, exit 1 on
+//!                     any missing or non-finite metric (the CI gate)
+//! ```
+//!
+//! Unlike the figure binaries this one measures the *measuring*: it is
+//! the end-to-end exercise of `Engine::metrics()` and the exporters, and
+//! the numbers double as a health check that instrumentation never
+//! perturbs the paper's I/O accounting (see `docs/observability.md`).
+
+use complexobj::{CacheCounters, Query, Strategy};
+use cor_bench::BenchConfig;
+use cor_obs::MetricValue;
+use cor_pagestore::ShardTelemetrySnapshot;
+use cor_workload::{
+    fnum, format_table, generate, generate_sequence, Engine, MetricsReport, Params,
+};
+
+/// Everything the table and the JSON need for one strategy.
+struct StrategyStat {
+    strategy: Strategy,
+    retrieves: u64,
+    updates: u64,
+    mean_retrieve_io: f64,
+    latency_p50_ns: u64,
+    latency_p99_ns: u64,
+    latency_max_ns: u64,
+    pool: Vec<ShardTelemetrySnapshot>,
+    pool_total: ShardTelemetrySnapshot,
+    cache: Option<CacheCounters>,
+}
+
+/// The counter sample of `name` whose labels contain every `(k, v)` pair.
+fn counter(report: &MetricsReport, name: &str, want: &[(&str, &str)]) -> u64 {
+    sample(report, name, want)
+        .and_then(|v| match v {
+            MetricValue::Counter(c) => Some(*c),
+            _ => None,
+        })
+        .unwrap_or(0)
+}
+
+fn sample<'a>(
+    report: &'a MetricsReport,
+    name: &str,
+    want: &[(&str, &str)],
+) -> Option<&'a MetricValue> {
+    report
+        .snapshot
+        .family(name)?
+        .samples
+        .iter()
+        .find(|s| {
+            want.iter()
+                .all(|(k, v)| s.labels.iter().any(|(lk, lv)| lk == k && lv == v))
+        })
+        .map(|s| &s.value)
+}
+
+fn run_strategy(
+    params: &Params,
+    generated: &cor_workload::GeneratedDb,
+    strategy: Strategy,
+) -> (StrategyStat, MetricsReport) {
+    let engine = Engine::for_strategy_observed(params, generated, strategy).expect("engine builds");
+    engine.pool().flush_and_clear().expect("cold start");
+    let sequence = generate_sequence(params);
+    for q in &sequence {
+        match q {
+            Query::Retrieve(r) => {
+                engine.retrieve(strategy, r).expect("retrieve runs");
+            }
+            Query::Update(u) => {
+                engine.update(u).expect("update runs");
+            }
+        }
+    }
+    let report = engine.metrics().expect("observed engine reports");
+    let lbls = [("strategy", strategy.name()), ("op", "retrieve")];
+    let retrieves = counter(&report, "cor_query_total", &lbls);
+    let io = counter(&report, "cor_query_reads_total", &lbls)
+        + counter(&report, "cor_query_writes_total", &lbls);
+    let lat = sample(&report, "cor_query_latency_ns", &lbls);
+    let (p50, p99, max) = match lat {
+        Some(MetricValue::Histogram(h)) => (h.quantile(0.5), h.quantile(0.99), h.max()),
+        _ => (0, 0, 0),
+    };
+    let stat = StrategyStat {
+        strategy,
+        retrieves,
+        updates: counter(&report, "cor_query_total", &[("op", "update")]),
+        mean_retrieve_io: if retrieves > 0 {
+            io as f64 / retrieves as f64
+        } else {
+            0.0
+        },
+        latency_p50_ns: p50,
+        latency_p99_ns: p99,
+        latency_max_ns: max,
+        pool: report.pool.clone(),
+        pool_total: report.pool_total(),
+        cache: report.cache,
+    };
+    (stat, report)
+}
+
+fn us(ns: u64) -> String {
+    fnum(ns as f64 / 1000.0)
+}
+
+fn pct(ratio: f64) -> String {
+    format!("{:.1}", ratio * 100.0)
+}
+
+fn json_cache(c: &Option<CacheCounters>) -> String {
+    match c {
+        None => "null".into(),
+        Some(c) => format!(
+            "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"invalidations\":{},\
+             \"evictions\":{},\"hit_ratio\":{:.6}}}",
+            c.hits,
+            c.misses,
+            c.insertions,
+            c.invalidations,
+            c.evictions,
+            c.hit_ratio()
+        ),
+    }
+}
+
+fn json_shard(s: &ShardTelemetrySnapshot) -> String {
+    format!(
+        "{{\"shard\":{},\"hits\":{},\"misses\":{},\"evictions\":{},\"writebacks\":{},\
+         \"pin_waits\":{},\"hit_ratio\":{:.6}}}",
+        s.shard,
+        s.hits,
+        s.misses,
+        s.evictions,
+        s.writebacks,
+        s.pin_waits,
+        s.hit_ratio()
+    )
+}
+
+fn json_report(scale: f64, params: &Params, stats: &[StrategyStat]) -> String {
+    let strategies: Vec<String> = stats
+        .iter()
+        .map(|s| {
+            let shards: Vec<String> = s.pool.iter().map(json_shard).collect();
+            format!(
+                "{{\"strategy\":\"{}\",\"retrieves\":{},\"updates\":{},\
+                 \"mean_retrieve_io\":{:.6},\
+                 \"latency_ns\":{{\"p50\":{},\"p99\":{},\"max\":{}}},\
+                 \"pool\":{{\"hit_ratio\":{:.6},\"total\":{},\"shards\":[{}]}},\
+                 \"cache\":{}}}",
+                s.strategy.name(),
+                s.retrieves,
+                s.updates,
+                s.mean_retrieve_io,
+                s.latency_p50_ns,
+                s.latency_p99_ns,
+                s.latency_max_ns,
+                s.pool_total.hit_ratio(),
+                json_shard(&s.pool_total),
+                shards.join(","),
+                json_cache(&s.cache)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"scale\":{scale},\"parent_card\":{},\"sequence_len\":{},\"shards\":{},\
+         \"pr_update\":{},\"strategies\":[{}]}}\n",
+        params.parent_card,
+        params.sequence_len,
+        params.shards,
+        params.pr_update,
+        strategies.join(",")
+    )
+}
+
+/// Smoke gate: a metric that is missing, zero-where-it-cannot-be, or
+/// non-finite fails the run.
+fn smoke_check(stat: &StrategyStat, report: &MetricsReport) -> Result<(), String> {
+    let s = stat.strategy;
+    report.validate().map_err(|e| format!("{s}: {e}"))?;
+    if stat.retrieves == 0 {
+        return Err(format!("{s}: no retrieves recorded"));
+    }
+    if !stat.mean_retrieve_io.is_finite() || stat.mean_retrieve_io <= 0.0 {
+        return Err(format!(
+            "{s}: mean retrieve I/O {} not positive-finite",
+            stat.mean_retrieve_io
+        ));
+    }
+    if stat.latency_p50_ns == 0 || stat.latency_p50_ns > stat.latency_max_ns {
+        return Err(format!("{s}: implausible latency quantiles"));
+    }
+    if stat.pool.is_empty() || stat.pool_total.probes() == 0 {
+        return Err(format!("{s}: pool telemetry empty"));
+    }
+    if !stat.pool_total.hit_ratio().is_finite() {
+        return Err(format!("{s}: pool hit ratio not finite"));
+    }
+    if s.needs_cache() && stat.cache.is_none() {
+        return Err(format!("{s}: cache counters missing"));
+    }
+    Ok(())
+}
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    let smoke = cfg.has_flag("--smoke");
+    let json_path: Option<std::path::PathBuf> =
+        cfg.rest
+            .iter()
+            .position(|a| a == "--json")
+            .map(|i| match cfg.rest.get(i + 1) {
+                Some(p) if !p.starts_with("--") => p.into(),
+                _ => {
+                    eprintln!("error: --json needs a path");
+                    std::process::exit(2);
+                }
+            });
+    let unknown: Vec<&String> = cfg
+        .rest
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            a.as_str() != "--smoke"
+                && a.as_str() != "--json"
+                && !(*i > 0 && cfg.rest[i - 1] == "--json")
+        })
+        .map(|(_, a)| a)
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!("error: unknown flags {unknown:?}");
+        std::process::exit(2);
+    }
+
+    let params = if smoke {
+        Params {
+            parent_card: 200,
+            num_top: 10,
+            sequence_len: 40,
+            size_cache: 20,
+            buffer_pages: 16,
+            shards: 2,
+            pr_update: 0.2,
+            ..Params::paper_default()
+        }
+    } else {
+        Params {
+            shards: 4,
+            pr_update: 0.1,
+            ..cfg.base_params()
+        }
+    };
+    println!(
+        "corstat — per-strategy observability roll-up{}\n\
+         |ParentRel| = {}, buffer = {} pages x {} shards, {} queries, Pr(UPDATE) = {}\n",
+        if smoke { " (smoke)" } else { "" },
+        params.parent_card,
+        params.buffer_pages,
+        params.shards,
+        params.sequence_len,
+        params.pr_update
+    );
+
+    let generated = generate(&params);
+    let mut stats = Vec::new();
+    let mut failures = Vec::new();
+    for strategy in Strategy::ALL {
+        let (stat, report) = run_strategy(&params, &generated, strategy);
+        if smoke {
+            if let Err(e) = smoke_check(&stat, &report) {
+                failures.push(e);
+            }
+        }
+        stats.push(stat);
+    }
+
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.strategy.name().to_string(),
+                s.retrieves.to_string(),
+                s.updates.to_string(),
+                fnum(s.mean_retrieve_io),
+                us(s.latency_p50_ns),
+                us(s.latency_p99_ns),
+                us(s.latency_max_ns),
+                pct(s.pool_total.hit_ratio()),
+                s.cache
+                    .map_or_else(|| "-".to_string(), |c| pct(c.hit_ratio())),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &[
+                "Strategy",
+                "Retr",
+                "Upd",
+                "IO/retr",
+                "p50 us",
+                "p99 us",
+                "max us",
+                "pool hit%",
+                "cache hit%",
+            ],
+            &rows,
+        )
+    );
+    cfg.maybe_write_csv(
+        &[
+            "Strategy",
+            "Retr",
+            "Upd",
+            "IO_per_retrieve",
+            "p50_us",
+            "p99_us",
+            "max_us",
+            "pool_hit_pct",
+            "cache_hit_pct",
+        ],
+        &rows,
+    );
+
+    println!("per-shard pool telemetry (hits/misses/evictions/writebacks per stripe):");
+    let shard_rows: Vec<Vec<String>> = stats
+        .iter()
+        .flat_map(|s| {
+            s.pool.iter().map(|t| {
+                vec![
+                    s.strategy.name().to_string(),
+                    t.shard.to_string(),
+                    t.hits.to_string(),
+                    t.misses.to_string(),
+                    t.evictions.to_string(),
+                    t.writebacks.to_string(),
+                    pct(t.hit_ratio()),
+                ]
+            })
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["Strategy", "Shard", "Hits", "Misses", "Evict", "WriteBk", "Hit%"],
+            &shard_rows,
+        )
+    );
+
+    if let Some(path) = &json_path {
+        match std::fs::write(path, json_report(cfg.scale, &params, &stats)) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if smoke {
+        if failures.is_empty() {
+            println!("corstat smoke: OK ({} strategies validated)", stats.len());
+        } else {
+            for f in &failures {
+                eprintln!("corstat smoke FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # cor-obs
+//!
+//! Zero-external-dependency observability substrate for the complex-object
+//! reproduction. The paper's only observable is average I/O per query;
+//! every performance PR in this repo is expected to ship with *evidence* —
+//! hit ratios, per-component cost splits, latency distributions — and this
+//! crate provides the pieces every layer shares:
+//!
+//! * [`Counter`] / [`Gauge`] — relaxed-atomic scalars ([`metric`]);
+//! * [`Histogram`] — log-bucketed streaming histograms whose
+//!   [`HistSnapshot`]s merge exactly and answer quantiles ([`hist`]);
+//! * [`MetricsRegistry`] → [`MetricsSnapshot`] — named, labeled metric
+//!   families collected into one structured view ([`registry`]);
+//! * [`TraceRing`] — a lock-free bounded ring of query [`Span`]s
+//!   ([`trace`]);
+//! * [`to_prometheus`] / [`to_json`] — exporters over a snapshot, plus
+//!   [`parse_prometheus`] for validating the text output ([`export`]).
+//!
+//! Instrumentation is free when disabled: layers hold their telemetry in
+//! an `Option` fixed at construction, and every recording call is a
+//! handful of relaxed atomic adds when enabled.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod hist;
+pub mod metric;
+pub mod registry;
+pub mod trace;
+
+pub use export::{
+    escape_json, escape_label_value, parse_prometheus, to_json, to_prometheus, ParsedSample,
+};
+pub use hist::{bucket_index, bucket_upper, HistSnapshot, Histogram, HIST_BUCKETS};
+pub use metric::{hit_ratio, Counter, Gauge};
+pub use registry::{
+    labels, Labels, MetricFamily, MetricKind, MetricSample, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use trace::{Span, TraceRing};

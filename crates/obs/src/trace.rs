@@ -1,0 +1,214 @@
+//! Lock-free bounded span ring.
+//!
+//! Query spans (strategy, I/O delta, wall time) are pushed from whatever
+//! thread ran the query and harvested later by a reporter. The ring keeps
+//! the most recent `capacity` spans: writers claim a slot with one
+//! `fetch_add` ticket and publish through a per-slot sequence word
+//! (seqlock), so pushing never blocks and never allocates. A reader that
+//! races with a writer on the same slot simply skips that span — tracing
+//! is best-effort by design, unlike the exact metric counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One traced operation. All fields are plain `u64`s so a span can be
+/// published atomically field-by-field under the slot's seqlock; the
+/// pushing layer owns the meaning of `op`/`tag`/`payload` (the engine maps
+/// `op` to retrieve/update/sequence and `tag` to the strategy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Operation kind code (owned by the pushing layer).
+    pub op: u64,
+    /// Operation tag, e.g. a strategy id.
+    pub tag: u64,
+    /// Physical page reads attributed to the operation.
+    pub reads: u64,
+    /// Physical page writes attributed to the operation.
+    pub writes: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub wall_ns: u64,
+    /// Free-form payload, e.g. values returned.
+    pub payload: u64,
+}
+
+struct Slot {
+    /// Seqlock word: `2*ticket + 1` while the owning writer is mid-write,
+    /// `2*ticket + 2` once the span for `ticket` is published, 0 when the
+    /// slot has never been written.
+    seq: AtomicU64,
+    op: AtomicU64,
+    tag: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    wall_ns: AtomicU64,
+    payload: AtomicU64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            op: AtomicU64::new(0),
+            tag: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            wall_ns: AtomicU64::new(0),
+            payload: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-capacity ring of the most recent [`Span`]s.
+pub struct TraceRing {
+    slots: Vec<Slot>,
+    next: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.slots.len())
+            .field("pushed", &self.pushed())
+            .finish()
+    }
+}
+
+impl TraceRing {
+    /// A ring remembering the last `capacity` spans (at least 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs at least one slot");
+        TraceRing {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            next: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity in spans.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans pushed over the ring's lifetime (may exceed capacity).
+    pub fn pushed(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Record a span, overwriting the oldest when full. Wait-free.
+    pub fn push(&self, span: Span) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % self.slots.len() as u64) as usize];
+        // Seqlock write: odd = in progress, even = published.
+        slot.seq.store(2 * ticket + 1, Ordering::Release);
+        slot.op.store(span.op, Ordering::Relaxed);
+        slot.tag.store(span.tag, Ordering::Relaxed);
+        slot.reads.store(span.reads, Ordering::Relaxed);
+        slot.writes.store(span.writes, Ordering::Relaxed);
+        slot.wall_ns.store(span.wall_ns, Ordering::Relaxed);
+        slot.payload.store(span.payload, Ordering::Relaxed);
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+    }
+
+    /// The retained spans, oldest first. Spans being overwritten while the
+    /// snapshot runs are skipped rather than returned torn.
+    pub fn snapshot(&self) -> Vec<Span> {
+        let cap = self.slots.len() as u64;
+        let end = self.next.load(Ordering::Acquire);
+        let start = end.saturating_sub(cap);
+        let mut out = Vec::with_capacity((end - start) as usize);
+        for ticket in start..end {
+            let slot = &self.slots[(ticket % cap) as usize];
+            let before = slot.seq.load(Ordering::Acquire);
+            if before != 2 * ticket + 2 {
+                continue; // never written, mid-write, or already recycled
+            }
+            let span = Span {
+                op: slot.op.load(Ordering::Relaxed),
+                tag: slot.tag.load(Ordering::Relaxed),
+                reads: slot.reads.load(Ordering::Relaxed),
+                writes: slot.writes.load(Ordering::Relaxed),
+                wall_ns: slot.wall_ns.load(Ordering::Relaxed),
+                payload: slot.payload.load(Ordering::Relaxed),
+            };
+            if slot.seq.load(Ordering::Acquire) == before {
+                out.push(span);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(i: u64) -> Span {
+        Span {
+            op: 1,
+            tag: i % 6,
+            reads: i,
+            writes: i / 2,
+            wall_ns: i * 100,
+            payload: i,
+        }
+    }
+
+    #[test]
+    fn keeps_most_recent_in_order() {
+        let ring = TraceRing::new(4);
+        for i in 0..10 {
+            ring.push(span(i));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 4);
+        assert_eq!(
+            got.iter().map(|s| s.reads).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9],
+            "oldest first, last capacity spans retained"
+        );
+        assert_eq!(ring.pushed(), 10);
+    }
+
+    #[test]
+    fn partial_fill_returns_only_written() {
+        let ring = TraceRing::new(8);
+        ring.push(span(1));
+        ring.push(span(2));
+        assert_eq!(ring.snapshot().len(), 2);
+    }
+
+    #[test]
+    fn empty_ring_is_empty() {
+        assert!(TraceRing::new(3).snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_pushes_never_tear() {
+        let ring = TraceRing::new(16);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                s.spawn(move || {
+                    for i in 0..5_000u64 {
+                        // Internally consistent span: payload == reads.
+                        ring.push(Span {
+                            op: t,
+                            tag: t,
+                            reads: i,
+                            writes: i,
+                            wall_ns: i,
+                            payload: i,
+                        });
+                    }
+                });
+            }
+            // Reader races the writers.
+            for _ in 0..200 {
+                for sp in ring.snapshot() {
+                    assert_eq!(sp.reads, sp.payload, "torn span surfaced");
+                    assert_eq!(sp.reads, sp.writes, "torn span surfaced");
+                }
+            }
+        });
+        assert_eq!(ring.pushed(), 20_000);
+        assert_eq!(ring.snapshot().len(), 16);
+    }
+}

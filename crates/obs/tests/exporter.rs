@@ -1,0 +1,134 @@
+//! Exporter and histogram integration tests: a golden-file check that the
+//! Prometheus text output is stable and parses, plus properties over
+//! histogram snapshot merging.
+
+use cor_obs::{
+    labels, parse_prometheus, to_json, to_prometheus, HistSnapshot, Histogram, MetricsRegistry,
+    MetricsSnapshot,
+};
+use proptest::prelude::*;
+
+/// A deterministic snapshot exercising every metric kind, label escaping
+/// and histogram rendering.
+fn reference_snapshot() -> MetricsSnapshot {
+    let reg = MetricsRegistry::new();
+    for (shard, hits) in [(0u64, 90u64), (1, 41)] {
+        reg.counter(
+            "cor_pool_hits_total",
+            "buffer pool page-table hits",
+            labels(&[("shard", &shard.to_string())]),
+        )
+        .add(hits);
+    }
+    reg.gauge(
+        "cor_pool_hit_ratio",
+        "pool hit fraction",
+        labels(&[("shard", "0")]),
+    )
+    .set(1);
+    let lat = reg.histogram(
+        "cor_query_latency_ns",
+        "per-query wall time",
+        labels(&[("strategy", "DFS"), ("op", "retrieve")]),
+    );
+    for v in [3u64, 9, 9, 150, 4096, 70_000] {
+        lat.record(v);
+    }
+    let mut snap = reg.snapshot();
+    // A hand-pushed family with a label value needing every escape.
+    snap.push_counter(
+        "cor_escapes_total",
+        "label escaping fixture",
+        labels(&[("path", "a\\b\"c\nd")]),
+        1,
+    );
+    snap
+}
+
+#[test]
+fn prometheus_output_matches_golden_file() {
+    let text = to_prometheus(&reference_snapshot());
+    let golden = include_str!("golden/metrics.prom");
+    assert_eq!(
+        text, golden,
+        "Prometheus rendering drifted from tests/golden/metrics.prom; \
+         if the change is intentional, update the golden file"
+    );
+}
+
+#[test]
+fn golden_output_parses_with_cumulative_buckets() {
+    let text = to_prometheus(&reference_snapshot());
+    let parsed = parse_prometheus(&text).expect("exporter output must parse");
+    // Label escaping round-trips.
+    let esc = parsed
+        .iter()
+        .find(|p| p.name == "cor_escapes_total")
+        .unwrap();
+    assert_eq!(esc.labels[0].1, "a\\b\"c\nd");
+    // Histogram bucket lines are cumulative and end at the count.
+    let buckets: Vec<f64> = parsed
+        .iter()
+        .filter(|p| p.name == "cor_query_latency_ns_bucket")
+        .map(|p| p.value)
+        .collect();
+    assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "{buckets:?}");
+    let count = parsed
+        .iter()
+        .find(|p| p.name == "cor_query_latency_ns_count")
+        .unwrap();
+    assert_eq!(*buckets.last().unwrap(), count.value);
+    assert_eq!(count.value, 6.0);
+}
+
+#[test]
+fn json_twin_carries_the_same_numbers() {
+    let json = to_json(&reference_snapshot());
+    assert!(json.contains("\"name\":\"cor_pool_hits_total\""));
+    assert!(json.contains("\"count\":6"));
+    assert!(json.contains("\"path\":\"a\\\\b\\\"c\\nd\""));
+}
+
+fn hist_of(values: &[u64]) -> HistSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Merging per-stream snapshots is exactly the histogram of the
+    /// concatenated stream — the property the concurrent driver relies on
+    /// when it folds per-thread latency histograms together.
+    #[test]
+    fn merged_snapshots_equal_histogram_of_merged_stream(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(merged, hist_of(&all));
+    }
+
+    /// Quantiles never undershoot the true order statistic and respect the
+    /// bucket-width error bound.
+    #[test]
+    fn quantiles_bracket_true_order_statistics(
+        values in proptest::collection::vec(0u64..1_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let snap = hist_of(&values);
+        let mut values = values;
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let exact = values[rank - 1];
+        let est = snap.quantile(q);
+        prop_assert!(est >= exact, "estimate {} under true {}", est, exact);
+        prop_assert!(est <= snap.max(), "estimate above observed max");
+    }
+}

@@ -31,6 +31,7 @@ use crate::page::{PageId, PageMut, PageView};
 use crate::policy::ReplacementPolicy;
 use crate::shard::Shard;
 use crate::stats::IoStats;
+use crate::telemetry::ShardTelemetrySnapshot;
 use std::sync::Arc;
 
 /// Buffer size used throughout the paper's experiments (100 pages).
@@ -43,8 +44,13 @@ pub enum BufferError {
     NoFreeFrames {
         /// The page that needed a frame.
         pid: PageId,
+        /// Index of the shard the page is homed to.
+        shard: usize,
         /// How many frames of the page's shard were pinned.
         pinned: usize,
+        /// The shard's hit ratio at failure time, when the pool was built
+        /// with telemetry enabled.
+        hit_ratio: Option<f64>,
     },
     /// A page was freed while pinned.
     PagePinned(PageId),
@@ -55,10 +61,21 @@ pub enum BufferError {
 impl std::fmt::Display for BufferError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BufferError::NoFreeFrames { pid, pinned } => write!(
-                f,
-                "no frame for page {pid}: all {pinned} candidate frames are pinned"
-            ),
+            BufferError::NoFreeFrames {
+                pid,
+                shard,
+                pinned,
+                hit_ratio,
+            } => {
+                write!(
+                    f,
+                    "no frame for page {pid} in shard {shard}: all {pinned} candidate frames are pinned"
+                )?;
+                if let Some(ratio) = hit_ratio {
+                    write!(f, " (shard hit ratio {:.1}%)", ratio * 100.0)?;
+                }
+                Ok(())
+            }
             BufferError::PagePinned(p) => write!(f, "page {p} freed while pinned"),
             BufferError::Disk(e) => write!(f, "disk error: {e}"),
         }
@@ -100,6 +117,7 @@ pub struct BufferPoolBuilder {
     policy: ReplacementPolicy,
     shards: usize,
     stats: Option<Arc<IoStats>>,
+    telemetry: bool,
 }
 
 impl BufferPoolBuilder {
@@ -129,6 +147,15 @@ impl BufferPoolBuilder {
         self
     }
 
+    /// Enable per-shard behaviour telemetry (hits, misses, evictions,
+    /// write-backs, pin waits; default off). A disabled pool allocates no
+    /// counters and performs no telemetry work at all — [`IoStats`] totals
+    /// are identical either way.
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
     /// Disk manager backing the pool (default: a fresh in-memory
     /// [`MemDisk`]).
     pub fn disk(mut self, disk: Box<dyn DiskManager>) -> Self {
@@ -154,7 +181,7 @@ impl BufferPoolBuilder {
         let base = self.capacity / self.shards;
         let extra = self.capacity % self.shards;
         let shards: Vec<Shard> = (0..self.shards)
-            .map(|i| Shard::new(base + usize::from(i < extra)))
+            .map(|i| Shard::new(base + usize::from(i < extra), i, self.telemetry))
             .collect();
         BufferPool {
             disk: self.disk.unwrap_or_else(|| Box::new(MemDisk::new())),
@@ -198,6 +225,7 @@ impl BufferPool {
             policy: ReplacementPolicy::default(),
             shards: 1,
             stats: None,
+            telemetry: false,
         }
     }
 
@@ -246,6 +274,16 @@ impl BufferPool {
     /// Number of lock stripes.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Per-shard behaviour counters, one snapshot per stripe in index
+    /// order; `None` when the pool was built without
+    /// [`BufferPoolBuilder::telemetry`].
+    pub fn telemetry(&self) -> Option<Vec<ShardTelemetrySnapshot>> {
+        self.shards
+            .iter()
+            .map(Shard::telemetry_snapshot)
+            .collect::<Option<Vec<_>>>()
     }
 
     /// Number of pages in the underlying store.
@@ -469,15 +507,123 @@ mod tests {
         // Pin a, then try to touch b: the only frame is pinned.
         let err = p
             .read(a, |_| match p.read(b, |_| ()) {
-                Err(BufferError::NoFreeFrames { pid, pinned }) => {
+                Err(BufferError::NoFreeFrames {
+                    pid,
+                    shard,
+                    pinned,
+                    hit_ratio,
+                }) => {
                     assert_eq!(pid, b, "error names the requesting page");
+                    assert_eq!(shard, 0, "error names the page's home shard");
                     assert_eq!(pinned, 1, "error counts the pinned frames");
+                    assert_eq!(hit_ratio, None, "telemetry is off by default");
                     true
                 }
                 other => panic!("expected NoFreeFrames, got {other:?}"),
             })
             .unwrap();
         assert!(err, "expected NoFreeFrames while the sole frame is pinned");
+    }
+
+    #[test]
+    fn exhausted_telemetry_pool_reports_hit_ratio() {
+        let p = BufferPool::builder().capacity(1).telemetry(true).build();
+        let a = p.allocate_page().unwrap();
+        let b = p.allocate_page().unwrap();
+        p.read(a, |_| ()).unwrap(); // a miss (faulted back after b's alloc evicted it)
+        p.read(a, |_| ()).unwrap(); // a hit
+        let msg = p
+            .read(a, |_| {
+                let err = p.read(b, |_| ()).unwrap_err();
+                match &err {
+                    BufferError::NoFreeFrames { hit_ratio, .. } => {
+                        let r = hit_ratio.expect("telemetry pool reports a ratio");
+                        assert!(r.is_finite() && (0.0..=1.0).contains(&r), "ratio {r}");
+                    }
+                    other => panic!("expected NoFreeFrames, got {other:?}"),
+                }
+                err.to_string()
+            })
+            .unwrap();
+        assert!(
+            msg.contains("shard 0") && msg.contains("hit ratio"),
+            "diagnostic should carry shard and ratio: {msg}"
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_pool_behaviour() {
+        let p = BufferPool::builder().capacity(2).telemetry(true).build();
+        let pids: Vec<_> = (0..3).map(|_| p.allocate_page().unwrap()).collect();
+        for &pid in &pids {
+            p.write(pid, |mut pg| pg.init()).unwrap();
+        }
+        // Touching the evicted page is a miss; re-touching it is a hit.
+        p.read(pids[0], |_| ()).unwrap();
+        p.read(pids[0], |_| ()).unwrap();
+        let snaps = p.telemetry().expect("telemetry enabled");
+        assert_eq!(snaps.len(), 1);
+        let s = snaps[0];
+        assert_eq!(s.shard, 0);
+        assert!(s.misses >= 1, "fault after eviction counts a miss: {s:?}");
+        assert!(s.hits >= 1, "resident re-read counts a hit: {s:?}");
+        assert!(s.evictions >= 1, "capacity pressure evicts: {s:?}");
+        assert!(s.writebacks >= 1, "dirty victims are written back: {s:?}");
+        assert_eq!(s.pin_waits, 0);
+        assert!(s.hit_ratio() > 0.0 && s.hit_ratio() < 1.0);
+        // Flushes count write-backs too: dirty exactly one page on an
+        // otherwise-clean pool and flush it.
+        p.flush_all().unwrap();
+        let wb = p.telemetry().unwrap()[0].writebacks;
+        p.write(pids[0], |mut pg| pg.init()).unwrap();
+        p.flush_all().unwrap();
+        assert_eq!(p.telemetry().unwrap()[0].writebacks, wb + 1);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_io_accounting() {
+        let run = |telemetry: bool| {
+            let p = BufferPool::builder()
+                .capacity(3)
+                .telemetry(telemetry)
+                .build();
+            let pids: Vec<_> = (0..10).map(|_| p.allocate_page().unwrap()).collect();
+            for &pid in &pids {
+                p.write(pid, |mut pg| pg.init()).unwrap();
+            }
+            for &pid in &pids {
+                p.read(pid, |_| ()).unwrap();
+            }
+            p.flush_and_clear().unwrap();
+            p.stats().snapshot()
+        };
+        assert_eq!(run(false), run(true), "IoStats must be telemetry-blind");
+    }
+
+    #[test]
+    fn disabled_telemetry_returns_none() {
+        let p = pool(2);
+        assert!(p.telemetry().is_none());
+    }
+
+    #[test]
+    fn sharded_telemetry_reports_every_stripe() {
+        let p = BufferPool::builder()
+            .capacity(8)
+            .shards(4)
+            .telemetry(true)
+            .build();
+        let pids: Vec<_> = (0..32).map(|_| p.allocate_page().unwrap()).collect();
+        for &pid in &pids {
+            p.read(pid, |_| ()).unwrap();
+        }
+        let snaps = p.telemetry().unwrap();
+        assert_eq!(snaps.len(), 4);
+        for (i, s) in snaps.iter().enumerate() {
+            assert_eq!(s.shard, i, "snapshots come back in stripe order");
+        }
+        let total: u64 = snaps.iter().map(|s| s.probes()).sum();
+        assert_eq!(total, 32, "every pin probe lands in exactly one stripe");
     }
 
     #[test]

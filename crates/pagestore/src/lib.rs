@@ -16,7 +16,10 @@
 //!   global-LRU counts exactly; more shards serve concurrent streams);
 //! * [`policy`] — the pluggable replacement policies (LRU/FIFO/Clock);
 //! * [`stats`] — shared I/O counters with snapshot/delta support, used to
-//!   split query cost into the paper's `ParCost` and `ChildCost`.
+//!   split query cost into the paper's `ParCost` and `ChildCost`;
+//! * [`telemetry`] — opt-in per-shard behaviour counters (hits, misses,
+//!   evictions, write-backs, pin waits) that never perturb the [`stats`]
+//!   transfer counts.
 
 #![warn(missing_docs)]
 
@@ -26,6 +29,7 @@ pub mod page;
 pub mod policy;
 mod shard;
 pub mod stats;
+pub mod telemetry;
 
 pub use buffer::{BufferError, BufferPool, BufferPoolBuilder, DEFAULT_POOL_PAGES};
 pub use disk::{DiskError, DiskManager, FileDisk, MemDisk};
@@ -34,3 +38,4 @@ pub use page::{
 };
 pub use policy::ReplacementPolicy;
 pub use stats::{IoDelta, IoSnapshot, IoStats};
+pub use telemetry::{ShardTelemetry, ShardTelemetrySnapshot};

@@ -16,6 +16,7 @@ use crate::disk::DiskManager;
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use crate::policy::{ReplacementPolicy, ReplacementState};
 use crate::stats::IoStats;
+use crate::telemetry::{ShardTelemetry, ShardTelemetrySnapshot};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -43,10 +44,16 @@ struct ShardInner {
 pub(crate) struct Shard {
     frames: Vec<Frame>,
     inner: Mutex<ShardInner>,
+    /// Position of this stripe in the pool, reported in telemetry and in
+    /// [`BufferError::NoFreeFrames`] diagnostics.
+    index: usize,
+    /// Behaviour counters; `None` keeps the hot path free of telemetry
+    /// entirely (the "free when disabled" contract).
+    telemetry: Option<ShardTelemetry>,
 }
 
 impl Shard {
-    pub(crate) fn new(capacity: usize) -> Self {
+    pub(crate) fn new(capacity: usize, index: usize, telemetry: bool) -> Self {
         assert!(capacity > 0, "every shard needs at least one frame");
         let frames = (0..capacity)
             .map(|_| Frame {
@@ -65,6 +72,20 @@ impl Shard {
                 free_list: Vec::new(),
                 repl: ReplacementState::new(capacity),
             }),
+            index,
+            telemetry: telemetry.then(ShardTelemetry::default),
+        }
+    }
+
+    /// Telemetry counters for this stripe, when enabled.
+    pub(crate) fn telemetry_snapshot(&self) -> Option<ShardTelemetrySnapshot> {
+        self.telemetry.as_ref().map(|t| t.snapshot(self.index))
+    }
+
+    #[inline]
+    fn count(&self, f: impl FnOnce(&ShardTelemetry)) {
+        if let Some(t) = &self.telemetry {
+            f(t);
         }
     }
 
@@ -101,8 +122,10 @@ impl Shard {
         if let Some(&idx) = inner.page_table.get(&pid) {
             self.frames[idx].pin_count.fetch_add(1, Ordering::Acquire);
             inner.repl.on_hit(idx, tick, policy);
+            self.count(|t| t.hits.inc());
             return Ok(idx);
         }
+        self.count(|t| t.misses.inc());
         let idx = self.acquire_frame(&mut inner, pid, policy, disk, stats)?;
         {
             let mut st = self.frames[idx].state.write();
@@ -146,8 +169,9 @@ impl Shard {
 
     /// Find a victim frame (unpinned, per the replacement policy), write
     /// it back if dirty, detach it from the page table, and return it
-    /// pinned. On failure reports `pid` (the page that wanted a frame)
-    /// and how many frames were pinned.
+    /// pinned. On failure reports `pid` (the page that wanted a frame),
+    /// which stripe it is homed to, how many frames were pinned, and —
+    /// when telemetry is on — the stripe's hit ratio at failure time.
     fn acquire_frame(
         &self,
         inner: &mut ShardInner,
@@ -157,19 +181,21 @@ impl Shard {
         stats: &IoStats,
     ) -> Result<usize, BufferError> {
         let n = self.frames.len();
-        let victim = inner
-            .repl
-            .pick_victim(policy, n, |i| {
-                self.frames[i].pin_count.load(Ordering::Acquire) == 0
-            })
-            .ok_or_else(|| BufferError::NoFreeFrames {
+        let Some(victim) = inner.repl.pick_victim(policy, n, |i| {
+            self.frames[i].pin_count.load(Ordering::Acquire) == 0
+        }) else {
+            self.count(|t| t.pin_waits.inc());
+            return Err(BufferError::NoFreeFrames {
                 pid,
+                shard: self.index,
                 pinned: self
                     .frames
                     .iter()
                     .filter(|f| f.pin_count.load(Ordering::Acquire) != 0)
                     .count(),
-            })?;
+                hit_ratio: self.telemetry.as_ref().map(ShardTelemetry::hit_ratio),
+            });
+        };
         // Pin immediately so a concurrent caller cannot also claim it.
         self.frames[victim]
             .pin_count
@@ -183,10 +209,12 @@ impl Shard {
                     return Err(e.into());
                 }
                 stats.record_write();
+                self.count(|t| t.writebacks.inc());
                 st.dirty = false;
             }
             inner.page_table.remove(&st.page_id);
             st.page_id = PageId::MAX;
+            self.count(|t| t.evictions.inc());
         }
         Ok(victim)
     }
@@ -232,6 +260,7 @@ impl Shard {
         }
         disk.write_page(st.page_id, &st.data)?;
         stats.record_write();
+        self.count(|t| t.writebacks.inc());
         st.dirty = false;
         Ok(true)
     }
@@ -248,6 +277,7 @@ impl Shard {
             if st.dirty {
                 disk.write_page(st.page_id, &st.data)?;
                 stats.record_write();
+                self.count(|t| t.writebacks.inc());
                 st.dirty = false;
             }
         }
@@ -267,6 +297,7 @@ impl Shard {
             if st.dirty {
                 disk.write_page(st.page_id, &st.data)?;
                 stats.record_write();
+                self.count(|t| t.writebacks.inc());
                 st.dirty = false;
             }
             st.page_id = PageId::MAX;

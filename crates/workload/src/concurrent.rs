@@ -17,35 +17,52 @@
 //!
 //! [`run_sequence`]: crate::driver::run_sequence
 
+use crate::metrics::duration_ns;
 use crate::params::Params;
 use complexobj::strategies::execute_retrieve;
 use complexobj::{apply_update, CorDatabase, CorError, ExecOptions, Query, Strategy};
+use cor_obs::{HistSnapshot, Histogram};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Latency summary over a set of per-operation samples.
+///
+/// Derived from a streaming [`Histogram`], not a sorted sample vector:
+/// quantiles are the containing bucket's upper edge (within 25% above the
+/// true order statistic, never below it), the mean is exact, and
+/// summaries from different threads merge by bucket addition.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LatencySummary {
-    /// Mean per-operation latency.
+    /// Mean per-operation latency (exact).
     pub mean: Duration,
+    /// Median per-operation latency.
+    pub p50: Duration,
     /// 99th-percentile per-operation latency.
     pub p99: Duration,
-    /// Slowest single operation.
+    /// Slowest single operation (exact).
     pub max: Duration,
 }
 
 impl LatencySummary {
     /// Summarize a set of samples (empty input gives all-zero).
-    pub fn from_samples(samples: &mut [Duration]) -> Self {
-        if samples.is_empty() {
+    pub fn from_samples(samples: &[Duration]) -> Self {
+        let h = Histogram::new();
+        for d in samples {
+            h.record(duration_ns(*d));
+        }
+        Self::from_histogram(&h.snapshot())
+    }
+
+    /// Summarize an already-collected nanosecond histogram.
+    pub fn from_histogram(h: &HistSnapshot) -> Self {
+        if h.is_empty() {
             return LatencySummary::default();
         }
-        samples.sort_unstable();
-        let total: Duration = samples.iter().sum();
-        let p99_idx = (samples.len() * 99).div_ceil(100).saturating_sub(1);
         LatencySummary {
-            mean: total / samples.len() as u32,
-            p99: samples[p99_idx],
-            max: *samples.last().expect("non-empty"),
+            mean: Duration::from_nanos(h.mean().round() as u64),
+            p50: Duration::from_nanos(h.quantile(0.5)),
+            p99: Duration::from_nanos(h.quantile(0.99)),
+            max: Duration::from_nanos(h.max()),
         }
     }
 }
@@ -71,6 +88,9 @@ pub struct ConcurrentRunResult {
     pub elapsed: Duration,
     /// Per-operation latency summary across all streams.
     pub latency: LatencySummary,
+    /// The full per-operation latency histogram (nanoseconds) behind
+    /// [`Self::latency`], mergeable across runs.
+    pub latency_hist: HistSnapshot,
 }
 
 impl ConcurrentRunResult {
@@ -97,7 +117,29 @@ struct StreamTally {
     retrieves: usize,
     updates: usize,
     values_returned: u64,
-    latencies: Vec<Duration>,
+}
+
+/// One observation delivered to a live reporter while a concurrent run is
+/// in flight.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveTick {
+    /// Queries completed so far, across all streams.
+    pub queries_done: u64,
+    /// Wall-clock time since the run started.
+    pub elapsed: Duration,
+    /// Latency summary over the operations completed so far.
+    pub latency: LatencySummary,
+}
+
+impl LiveTick {
+    /// Throughput so far in queries per second.
+    pub fn queries_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.queries_done as f64 / secs
+    }
 }
 
 /// Run each of `sequences` as its own stream over scoped threads sharing
@@ -114,22 +156,64 @@ pub fn run_concurrent_streams(
     sequences: &[Vec<Query>],
     opts: &ExecOptions,
 ) -> Result<ConcurrentRunResult, CorError> {
+    run_concurrent_streams_observed(db, strategy, sequences, opts, None)
+}
+
+/// [`run_concurrent_streams`] with an optional live reporter: every
+/// `interval`, a monitor thread reads the shared latency histogram and
+/// progress counter (both lock-free; workers are never paused) and hands
+/// the callback a [`LiveTick`]. Use [`stderr_reporter`] for the standard
+/// progress line.
+pub fn run_concurrent_streams_observed(
+    db: &CorDatabase,
+    strategy: Strategy,
+    sequences: &[Vec<Query>],
+    opts: &ExecOptions,
+    reporter: Option<(Duration, &(dyn Fn(LiveTick) + Sync))>,
+) -> Result<ConcurrentRunResult, CorError> {
     assert!(!sequences.is_empty(), "at least one stream");
     db.pool().flush_and_clear()?;
     let stats = db.pool().stats().clone();
     let start_snap = stats.snapshot();
     let started = Instant::now();
 
+    let latency_hist = Histogram::new();
+    let done = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+
     let tallies: Vec<Result<StreamTally, CorError>> = std::thread::scope(|scope| {
+        if let Some((interval, callback)) = reporter {
+            let latency_hist = &latency_hist;
+            let done = &done;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut next = Instant::now() + interval;
+                while !stop.load(Ordering::Acquire) {
+                    // Short sleeps so the monitor exits promptly once the
+                    // workers finish, whatever the reporting interval.
+                    std::thread::sleep(interval.min(Duration::from_millis(5)));
+                    if Instant::now() < next {
+                        continue;
+                    }
+                    next += interval;
+                    callback(LiveTick {
+                        queries_done: done.load(Ordering::Relaxed),
+                        elapsed: started.elapsed(),
+                        latency: LatencySummary::from_histogram(&latency_hist.snapshot()),
+                    });
+                }
+            });
+        }
         let handles: Vec<_> = sequences
             .iter()
             .map(|sequence| {
+                let latency_hist = &latency_hist;
+                let done = &done;
                 scope.spawn(move || {
                     let mut tally = StreamTally {
                         retrieves: 0,
                         updates: 0,
                         values_returned: 0,
-                        latencies: Vec::with_capacity(sequence.len()),
                     };
                     for q in sequence {
                         let t0 = Instant::now();
@@ -144,20 +228,24 @@ pub fn run_concurrent_streams(
                                 tally.updates += 1;
                             }
                         }
-                        tally.latencies.push(t0.elapsed());
+                        latency_hist.record(duration_ns(t0.elapsed()));
+                        done.fetch_add(1, Ordering::Relaxed);
                     }
                     Ok(tally)
                 })
             })
             .collect();
-        handles
+        let tallies = handles
             .into_iter()
             .map(|h| h.join().expect("stream thread panicked"))
-            .collect()
+            .collect();
+        stop.store(true, Ordering::Release);
+        tallies
     });
 
     let elapsed = started.elapsed();
     let total_io = stats.snapshot().since(&start_snap).total();
+    let hist = latency_hist.snapshot();
 
     let mut result = ConcurrentRunResult {
         strategy,
@@ -168,18 +256,30 @@ pub fn run_concurrent_streams(
         total_io,
         values_returned: 0,
         elapsed,
-        latency: LatencySummary::default(),
+        latency: LatencySummary::from_histogram(&hist),
+        latency_hist: hist,
     };
-    let mut all_latencies = Vec::with_capacity(result.queries);
     for tally in tallies {
         let tally = tally?;
         result.retrieves += tally.retrieves;
         result.updates += tally.updates;
         result.values_returned += tally.values_returned;
-        all_latencies.extend(tally.latencies);
     }
-    result.latency = LatencySummary::from_samples(&mut all_latencies);
     Ok(result)
+}
+
+/// The standard live reporter: one progress line per tick on stderr
+/// (`[strategy] N queries, X q/s, p50 .., p99 ..`).
+pub fn stderr_reporter(strategy: Strategy) -> impl Fn(LiveTick) + Sync {
+    move |tick: LiveTick| {
+        eprintln!(
+            "[{strategy}] {} queries, {:.0} q/s, p50 {:?}, p99 {:?}",
+            tick.queries_done,
+            tick.queries_per_sec(),
+            tick.latency.p50,
+            tick.latency.p99,
+        );
+    }
 }
 
 /// Generate one query sequence per stream, each from its own derived
@@ -261,7 +361,9 @@ mod tests {
         assert_eq!(r.values_returned, expected);
         assert!(r.total_io > 0);
         assert!(r.queries_per_sec() > 0.0);
-        assert!(r.latency.mean <= r.latency.p99 && r.latency.p99 <= r.latency.max);
+        assert!(r.latency.p50 <= r.latency.p99 && r.latency.p99 <= r.latency.max);
+        assert!(r.latency.mean <= r.latency.max);
+        assert_eq!(r.latency_hist.count(), r.queries as u64);
     }
 
     #[test]
@@ -277,6 +379,43 @@ mod tests {
             .unwrap();
         assert!(r.updates > 0, "sequence mix includes updates");
         assert_eq!(r.retrieves + r.updates, r.queries);
+    }
+
+    #[test]
+    fn live_reporter_ticks_with_sane_progress() {
+        use std::sync::Mutex;
+        let p = Params {
+            sequence_len: 200,
+            ..tiny(4)
+        };
+        let generated = generate(&p);
+        let db = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+        let sequences = generate_stream_sequences(&p, 4);
+        let ticks: Mutex<Vec<LiveTick>> = Mutex::new(Vec::new());
+        let callback = |t: LiveTick| ticks.lock().unwrap().push(t);
+        let r = run_concurrent_streams_observed(
+            &db,
+            Strategy::Dfs,
+            &sequences,
+            &ExecOptions::default(),
+            Some((Duration::from_millis(1), &callback)),
+        )
+        .unwrap();
+        assert_eq!(r.queries, 4 * p.sequence_len);
+        let ticks = ticks.into_inner().unwrap();
+        // 800 cold-buffer queries take well over a millisecond; the
+        // monitor must have observed the run at least once mid-flight.
+        assert!(!ticks.is_empty(), "reporter never fired");
+        for w in ticks.windows(2) {
+            assert!(w[0].queries_done <= w[1].queries_done, "progress monotone");
+            assert!(w[0].elapsed <= w[1].elapsed, "clock monotone");
+        }
+        let last = ticks.last().unwrap();
+        assert!(last.queries_done <= r.queries as u64);
+        if last.queries_done > 0 {
+            assert!(last.queries_per_sec() > 0.0);
+            assert!(last.latency.p50 <= last.latency.max);
+        }
     }
 
     #[test]

@@ -240,10 +240,19 @@ pub fn generate(params: &Params) -> GeneratedDb {
 
 /// A buffer pool sized by `params` over a fresh in-memory disk.
 pub fn make_pool(params: &Params) -> Arc<BufferPool> {
+    make_pool_telemetry(params, false)
+}
+
+/// Like [`make_pool`], but optionally enabling per-shard telemetry
+/// counters. I/O accounting is identical either way; telemetry only adds
+/// separate hit/miss/eviction counters readable via
+/// [`BufferPool::telemetry`].
+pub fn make_pool_telemetry(params: &Params, telemetry: bool) -> Arc<BufferPool> {
     Arc::new(
         BufferPool::builder()
             .capacity(params.buffer_pages)
             .shards(params.shards)
+            .telemetry(telemetry)
             .build(),
     )
 }
@@ -256,7 +265,17 @@ pub fn build_for_strategy(
     generated: &GeneratedDb,
     strategy: Strategy,
 ) -> Result<CorDatabase, CorError> {
-    let pool = make_pool(params);
+    build_for_strategy_on(make_pool(params), params, generated, strategy)
+}
+
+/// [`build_for_strategy`] on a caller-supplied pool, so drivers can attach
+/// a telemetry-enabled pool (see [`make_pool_telemetry`]) or share a disk.
+pub fn build_for_strategy_on(
+    pool: Arc<BufferPool>,
+    params: &Params,
+    generated: &GeneratedDb,
+    strategy: Strategy,
+) -> Result<CorDatabase, CorError> {
     if strategy.needs_cluster() {
         let parents: Vec<(u64, Vec<Oid>)> = generated
             .spec

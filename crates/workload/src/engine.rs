@@ -24,9 +24,12 @@
 //! assert_eq!(out.values.len(), 8);
 //! ```
 
-use crate::concurrent::{run_concurrent_streams, ConcurrentRunResult};
-use crate::dbgen::{build_for_strategy, GeneratedDb};
+use crate::concurrent::{
+    run_concurrent_streams, run_concurrent_streams_observed, ConcurrentRunResult, LiveTick,
+};
+use crate::dbgen::{build_for_strategy, build_for_strategy_on, make_pool_telemetry, GeneratedDb};
 use crate::driver::{run_sequence, RunResult};
+use crate::metrics::{build_report, EngineMetrics, MetricsReport};
 use crate::params::Params;
 use complexobj::multilevel::{execute_multilevel, MultiDotQuery};
 use complexobj::procedural::{
@@ -39,6 +42,7 @@ use complexobj::{
 };
 use cor_pagestore::{BufferPool, IoDelta, ReplacementPolicy, DEFAULT_POOL_PAGES};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// What the engine is serving queries against.
 enum Backend {
@@ -56,6 +60,7 @@ enum Backend {
 pub struct Engine {
     backend: Backend,
     opts: ExecOptions,
+    metrics: Option<Arc<EngineMetrics>>,
 }
 
 /// Configures and builds an [`Engine`].
@@ -66,6 +71,7 @@ pub struct EngineBuilder {
     policy: ReplacementPolicy,
     cache: Option<CacheConfig>,
     opts: ExecOptions,
+    metrics: bool,
 }
 
 impl Default for EngineBuilder {
@@ -76,6 +82,7 @@ impl Default for EngineBuilder {
             policy: ReplacementPolicy::default(),
             cache: None,
             opts: ExecOptions::default(),
+            metrics: false,
         }
     }
 }
@@ -112,14 +119,30 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable the observability layer: per-shard pool telemetry, per-query
+    /// spans and streaming latency histograms, readable via
+    /// [`Engine::metrics`]. Disabled by default; when disabled no counters
+    /// are allocated and the hot paths skip instrumentation entirely.
+    /// [`IoStats`](cor_pagestore::IoStats) totals — the paper's cost
+    /// metric — are identical either way.
+    pub fn metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
+
     fn make_pool(&self) -> Arc<BufferPool> {
         Arc::new(
             BufferPool::builder()
                 .capacity(self.pool_pages)
                 .shards(self.shards)
                 .policy(self.policy)
+                .telemetry(self.metrics)
                 .build(),
         )
+    }
+
+    fn make_metrics(&self) -> Option<Arc<EngineMetrics>> {
+        self.metrics.then(|| Arc::new(EngineMetrics::new()))
     }
 
     /// Build a standard-representation engine.
@@ -128,6 +151,7 @@ impl EngineBuilder {
         Ok(Engine {
             backend: Backend::Oid(db),
             opts: self.opts,
+            metrics: self.make_metrics(),
         })
     }
 
@@ -141,6 +165,7 @@ impl EngineBuilder {
         Ok(Engine {
             backend: Backend::Oid(db),
             opts: self.opts,
+            metrics: self.make_metrics(),
         })
     }
 
@@ -155,6 +180,7 @@ impl EngineBuilder {
         Ok(Engine {
             backend: Backend::Levels(levels),
             opts: self.opts,
+            metrics: self.make_metrics(),
         })
     }
 
@@ -169,6 +195,7 @@ impl EngineBuilder {
         Ok(Engine {
             backend: Backend::Proc(db),
             opts: self.opts,
+            metrics: self.make_metrics(),
         })
     }
 }
@@ -192,6 +219,24 @@ impl Engine {
         Ok(Engine {
             backend: Backend::Oid(db),
             opts: ExecOptions::default(),
+            metrics: None,
+        })
+    }
+
+    /// [`Engine::for_strategy`] with the full observability layer enabled:
+    /// a telemetry pool plus engine-level spans and histograms, readable
+    /// via [`Engine::metrics`].
+    pub fn for_strategy_observed(
+        params: &Params,
+        generated: &GeneratedDb,
+        strategy: Strategy,
+    ) -> Result<Engine, CorError> {
+        let pool = make_pool_telemetry(params, true);
+        let db = build_for_strategy_on(pool, params, generated, strategy)?;
+        Ok(Engine {
+            backend: Backend::Oid(db),
+            opts: ExecOptions::default(),
+            metrics: Some(Arc::new(EngineMetrics::new())),
         })
     }
 
@@ -200,6 +245,7 @@ impl Engine {
         Engine {
             backend: Backend::Oid(db),
             opts: ExecOptions::default(),
+            metrics: None,
         }
     }
 
@@ -210,6 +256,7 @@ impl Engine {
         Engine {
             backend: Backend::Levels(levels),
             opts: ExecOptions::default(),
+            metrics: None,
         }
     }
 
@@ -254,6 +301,14 @@ impl Engine {
         }
     }
 
+    /// A span start, if this engine records metrics: the handle, the I/O
+    /// counters at entry, and the wall clock at entry.
+    fn span_start(&self) -> Option<(&Arc<EngineMetrics>, cor_pagestore::IoSnapshot, Instant)> {
+        self.metrics
+            .as_ref()
+            .map(|m| (m, self.pool().stats().snapshot(), Instant::now()))
+    }
+
     /// Run one retrieve. On OID engines this dispatches to the strategy;
     /// on procedural engines the caching mode is a property of the build,
     /// so `strategy` is ignored.
@@ -262,11 +317,17 @@ impl Engine {
         strategy: Strategy,
         query: &RetrieveQuery,
     ) -> Result<StrategyOutput, CorError> {
-        match &self.backend {
+        let obs = self.span_start();
+        let out = match &self.backend {
             Backend::Oid(db) => execute_retrieve(db, strategy, query, &self.opts),
             Backend::Levels(levels) => execute_retrieve(&levels[0], strategy, query, &self.opts),
             Backend::Proc(db) => execute_proc_retrieve(db, query),
+        }?;
+        if let Some((m, before, t0)) = obs {
+            let delta = self.pool().stats().snapshot().since(&before);
+            m.record_retrieve(strategy, delta, t0.elapsed(), out.values.len() as u64);
         }
+        Ok(out)
     }
 
     /// Run one multi-dot retrieve across the hierarchy (single-database
@@ -288,16 +349,35 @@ impl Engine {
     /// Apply one update (with whatever cache maintenance the build
     /// requires), returning the I/O spent.
     pub fn update(&self, update: &UpdateQuery) -> Result<IoDelta, CorError> {
-        match &self.backend {
+        let obs = self.metrics.as_ref().map(|m| (m, Instant::now()));
+        let delta = match &self.backend {
             Backend::Oid(db) => apply_update(db, update, db.has_cache()),
             Backend::Levels(levels) => apply_update(&levels[0], update, levels[0].has_cache()),
             Backend::Proc(db) => apply_proc_update(db, update),
+        }?;
+        if let Some((m, t0)) = obs {
+            m.record_update(delta, t0.elapsed());
         }
+        Ok(delta)
     }
 
     /// Run a measured query sequence from a cold buffer — the paper's
     /// experiment step, identical to the sequential driver's numbers.
     pub fn run_sequence(
+        &self,
+        strategy: Strategy,
+        sequence: &[Query],
+    ) -> Result<RunResult, CorError> {
+        let obs = self.span_start();
+        let result = self.run_sequence_inner(strategy, sequence)?;
+        if let Some((m, before, t0)) = obs {
+            let delta = self.pool().stats().snapshot().since(&before);
+            m.record_sequence(strategy, delta, t0.elapsed(), result.queries as u64);
+        }
+        Ok(result)
+    }
+
+    fn run_sequence_inner(
         &self,
         strategy: Strategy,
         sequence: &[Query],
@@ -366,6 +446,46 @@ impl Engine {
         let db = self.database()?;
         run_concurrent_streams(db, strategy, sequences, &self.opts)
     }
+
+    /// [`Engine::run_concurrent`] with a live progress reporter invoked
+    /// every `interval` from a monitor thread (see
+    /// [`crate::concurrent::stderr_reporter`] for a ready-made one).
+    pub fn run_concurrent_observed(
+        &self,
+        strategy: Strategy,
+        sequences: &[Vec<Query>],
+        interval: Duration,
+        reporter: &(dyn Fn(LiveTick) + Sync),
+    ) -> Result<ConcurrentRunResult, CorError> {
+        let db = self.database()?;
+        run_concurrent_streams_observed(
+            db,
+            strategy,
+            sequences,
+            &self.opts,
+            Some((interval, reporter)),
+        )
+    }
+
+    /// The engine-level instruments, if built with metrics enabled
+    /// ([`EngineBuilder::metrics`] or [`Engine::for_strategy_observed`]).
+    pub fn engine_metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// A complete observability report: engine spans and histograms,
+    /// per-shard pool telemetry (when the pool was built with telemetry),
+    /// and cache counters (when a cache is attached). `None` unless the
+    /// engine was built with metrics enabled.
+    pub fn metrics(&self) -> Option<MetricsReport> {
+        let m = self.metrics.as_ref()?;
+        let cache = match &self.backend {
+            Backend::Oid(db) => db.cache_counters(),
+            Backend::Levels(levels) => levels[0].cache_counters(),
+            Backend::Proc(db) => Some(db.cache_counters()),
+        };
+        Some(build_report(m, self.pool().telemetry(), cache))
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +524,85 @@ mod tests {
             assert_eq!(got.total_io, expected.total_io, "{strategy}");
             assert_eq!(got.values_returned, expected.values_returned, "{strategy}");
         }
+    }
+
+    #[test]
+    fn metrics_do_not_change_io_accounting() {
+        let p = tiny();
+        let generated = generate(&p);
+        let sequence = generate_sequence(&p);
+        for strategy in [Strategy::Dfs, Strategy::DfsCache] {
+            let plain = Engine::for_strategy(&p, &generated, strategy).unwrap();
+            let observed = Engine::for_strategy_observed(&p, &generated, strategy).unwrap();
+            assert!(plain.metrics().is_none());
+            let a = plain.run_sequence(strategy, &sequence).unwrap();
+            let b = observed.run_sequence(strategy, &sequence).unwrap();
+            assert_eq!(a.total_io, b.total_io, "{strategy}");
+            assert_eq!(a.values_returned, b.values_returned, "{strategy}");
+        }
+    }
+
+    #[test]
+    fn observed_engine_reports_spans_pool_and_cache() {
+        use crate::metrics::span_op;
+        let p = Params {
+            shards: 2,
+            ..tiny()
+        };
+        let generated = generate(&p);
+        let engine = Engine::for_strategy_observed(&p, &generated, Strategy::DfsCache).unwrap();
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 9,
+            attr: RetAttr::Ret1,
+        };
+        let out = engine.retrieve(Strategy::DfsCache, &q).unwrap();
+        let target = generated.spec.child_rels[0][0].oid;
+        engine
+            .update(&UpdateQuery {
+                targets: vec![target],
+                new_ret1: 1,
+            })
+            .unwrap();
+        let m = engine.engine_metrics().unwrap();
+        let spans = m.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].op, span_op::RETRIEVE);
+        assert_eq!(spans[0].payload, out.values.len() as u64);
+        assert_eq!(spans[1].op, span_op::UPDATE);
+        let report = engine.metrics().unwrap();
+        report.validate().unwrap();
+        let pool = &report.pool;
+        assert_eq!(pool.len(), 2, "one telemetry stripe per shard");
+        assert!(pool.iter().any(|s| s.probes() > 0));
+        let cache = report.cache.expect("DFSCACHE engine has a cache");
+        assert!(cache.probes() > 0);
+        let prom = report.to_prometheus();
+        assert!(prom.contains("cor_query_total"), "{prom}");
+        assert!(prom.contains("cor_pool_hit_ratio"), "{prom}");
+        let json = report.to_json();
+        assert!(json.contains("\"cor_query_latency_ns\""), "{json}");
+    }
+
+    #[test]
+    fn builder_metrics_cover_every_backend() {
+        let p = tiny();
+        let generated = generate(&p);
+        let engine = Engine::builder()
+            .pool_pages(16)
+            .metrics(true)
+            .build(&generated.spec)
+            .unwrap();
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 4,
+            attr: RetAttr::Ret1,
+        };
+        engine.retrieve(Strategy::Dfs, &q).unwrap();
+        let report = engine.metrics().unwrap();
+        report.validate().unwrap();
+        assert_eq!(report.pool.len(), 1);
+        assert!(report.cache.is_none(), "no cache attached");
     }
 
     #[test]

@@ -3,7 +3,8 @@
 //! The experiment harness of the reproduction: paper-parameterized database
 //! generation ([`dbgen`]), query-sequence generation ([`seqgen`]), the
 //! measuring driver ([`driver`]), experiment-point runners and parallel
-//! sweeps ([`experiment`]), and plain-text reporting ([`report`]).
+//! sweeps ([`experiment`]), plain-text reporting ([`report`]), and the
+//! engine-level observability layer ([`metrics`]).
 //!
 //! The defaults in [`Params::paper_default`] reproduce Sec. 4 of the paper;
 //! [`Params::scaled`] shrinks everything proportionally for quick runs.
@@ -34,14 +35,19 @@ pub mod engine;
 pub mod experiment;
 pub mod hierarchy;
 pub mod matrix;
+pub mod metrics;
 pub mod params;
 pub mod report;
 pub mod seqgen;
 
 pub use concurrent::{
-    generate_stream_sequences, run_concurrent_streams, ConcurrentRunResult, LatencySummary,
+    generate_stream_sequences, run_concurrent_streams, run_concurrent_streams_observed,
+    stderr_reporter, ConcurrentRunResult, LatencySummary, LiveTick,
 };
-pub use dbgen::{build_for_strategy, generate, make_pool, rng_for, GeneratedDb, SeedStream};
+pub use dbgen::{
+    build_for_strategy, build_for_strategy_on, generate, make_pool, make_pool_telemetry, rng_for,
+    GeneratedDb, SeedStream,
+};
 pub use driver::{run_sequence, run_sequence_trace, QueryTrace, RunResult};
 pub use engine::{Engine, EngineBuilder};
 pub use experiment::{
@@ -52,6 +58,9 @@ pub use hierarchy::{
     HierarchyParams,
 };
 pub use matrix::{generate_matrix, run_matrix_point, MatrixRunResult, MatrixSpec, MatrixSystem};
+pub use metrics::{
+    build_report, strategy_from_tag, strategy_tag, EngineMetrics, MetricsReport, REQUIRED_METRICS,
+};
 pub use params::Params;
 pub use report::{fnum, format_ascii_plot, format_region_map, format_table, write_csv};
 pub use seqgen::{

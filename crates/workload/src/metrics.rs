@@ -1,0 +1,466 @@
+//! Engine observability: per-strategy query metrics, spans, and the
+//! folded report.
+//!
+//! [`EngineMetrics`] owns the engine-level instruments — per-strategy
+//! query counters, I/O-delta counters, latency and I/O histograms, and a
+//! bounded lock-free span ring — all resolved from a
+//! [`MetricsRegistry`] once at construction so the hot path touches only
+//! relaxed atomics. [`MetricsReport`] folds those engine metrics together
+//! with the buffer pool's per-shard telemetry and the unit/procedural
+//! cache counters into one [`MetricsSnapshot`] that the Prometheus and
+//! JSON exporters render.
+//!
+//! Everything here *reads* [`IoStats`](cor_pagestore::IoStats) snapshots;
+//! nothing writes them. The paper's I/O counts are identical with metrics
+//! on or off.
+
+use complexobj::{CacheCounters, Strategy};
+use cor_obs::{labels, Counter, Histogram, MetricsRegistry, MetricsSnapshot, Span, TraceRing};
+use cor_pagestore::{IoDelta, ShardTelemetrySnapshot};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Default capacity of the engine's span ring.
+pub const DEFAULT_TRACE_SPANS: usize = 1024;
+
+/// Metric families every [`MetricsReport`] must carry; the `corstat`
+/// smoke gate fails if any is missing or non-finite.
+pub const REQUIRED_METRICS: &[&str] = &[
+    "cor_query_total",
+    "cor_query_reads_total",
+    "cor_query_writes_total",
+    "cor_query_latency_ns",
+    "cor_query_io_pages",
+];
+
+/// Span `op` codes pushed by the engine (the [`Span::op`] field).
+pub mod span_op {
+    /// One [`Engine::retrieve`](crate::Engine::retrieve) call.
+    pub const RETRIEVE: u64 = 1;
+    /// One [`Engine::update`](crate::Engine::update) call.
+    pub const UPDATE: u64 = 2;
+    /// One whole [`Engine::run_sequence`](crate::Engine::run_sequence)
+    /// call.
+    pub const SEQUENCE: u64 = 3;
+}
+
+/// The [`Span::tag`] value for `strategy` (its index in
+/// [`Strategy::ALL`]).
+pub fn strategy_tag(strategy: Strategy) -> u64 {
+    Strategy::ALL
+        .iter()
+        .position(|s| *s == strategy)
+        .expect("every strategy is in ALL") as u64
+}
+
+/// Invert [`strategy_tag`].
+pub fn strategy_from_tag(tag: u64) -> Option<Strategy> {
+    Strategy::ALL.get(tag as usize).copied()
+}
+
+/// Handles for one (strategy, op) cell.
+struct OpHandles {
+    queries: Arc<Counter>,
+    reads: Arc<Counter>,
+    writes: Arc<Counter>,
+    latency_ns: Arc<Histogram>,
+    io_pages: Arc<Histogram>,
+}
+
+impl OpHandles {
+    fn register(reg: &MetricsRegistry, strategy: Option<Strategy>, op: &str) -> OpHandles {
+        let lbls = match strategy {
+            Some(s) => labels(&[("strategy", s.name()), ("op", op)]),
+            None => labels(&[("op", op)]),
+        };
+        OpHandles {
+            queries: reg.counter(
+                "cor_query_total",
+                "queries served by the engine",
+                lbls.clone(),
+            ),
+            reads: reg.counter(
+                "cor_query_reads_total",
+                "physical page reads attributed to queries",
+                lbls.clone(),
+            ),
+            writes: reg.counter(
+                "cor_query_writes_total",
+                "physical page writes attributed to queries",
+                lbls.clone(),
+            ),
+            latency_ns: reg.histogram(
+                "cor_query_latency_ns",
+                "per-call wall time in nanoseconds",
+                lbls.clone(),
+            ),
+            io_pages: reg.histogram(
+                "cor_query_io_pages",
+                "per-call physical page transfers",
+                lbls,
+            ),
+        }
+    }
+
+    fn record(&self, delta: IoDelta, wall: Duration) {
+        self.queries.inc();
+        self.reads.add(delta.reads);
+        self.writes.add(delta.writes);
+        self.latency_ns.record(duration_ns(wall));
+        self.io_pages.record(delta.total());
+    }
+}
+
+/// Clamp a [`Duration`] to nanoseconds in `u64` (saturating — a span
+/// longer than ~584 years is not worth a panic).
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The engine's live instruments. Enabled at construction via
+/// [`EngineBuilder::metrics`](crate::EngineBuilder::metrics); an engine
+/// built without it holds no `EngineMetrics` and pays nothing.
+pub struct EngineMetrics {
+    registry: MetricsRegistry,
+    retrieve: Vec<OpHandles>,
+    sequence: Vec<OpHandles>,
+    update: OpHandles,
+    trace: TraceRing,
+}
+
+impl std::fmt::Debug for EngineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineMetrics")
+            .field("trace", &self.trace)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineMetrics {
+    /// Instruments with the default span-ring capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_SPANS)
+    }
+
+    /// Instruments remembering the last `trace_capacity` spans.
+    pub fn with_trace_capacity(trace_capacity: usize) -> Self {
+        let registry = MetricsRegistry::new();
+        let retrieve = Strategy::ALL
+            .iter()
+            .map(|s| OpHandles::register(&registry, Some(*s), "retrieve"))
+            .collect();
+        let sequence = Strategy::ALL
+            .iter()
+            .map(|s| OpHandles::register(&registry, Some(*s), "sequence"))
+            .collect();
+        let update = OpHandles::register(&registry, None, "update");
+        EngineMetrics {
+            registry,
+            retrieve,
+            sequence,
+            update,
+            trace: TraceRing::new(trace_capacity),
+        }
+    }
+
+    /// Record one retrieve: its I/O delta, wall time, and values returned.
+    pub fn record_retrieve(&self, strategy: Strategy, delta: IoDelta, wall: Duration, values: u64) {
+        self.retrieve[strategy_tag(strategy) as usize].record(delta, wall);
+        self.trace.push(Span {
+            op: span_op::RETRIEVE,
+            tag: strategy_tag(strategy),
+            reads: delta.reads,
+            writes: delta.writes,
+            wall_ns: duration_ns(wall),
+            payload: values,
+        });
+    }
+
+    /// Record one update.
+    pub fn record_update(&self, delta: IoDelta, wall: Duration) {
+        self.update.record(delta, wall);
+        self.trace.push(Span {
+            op: span_op::UPDATE,
+            tag: 0,
+            reads: delta.reads,
+            writes: delta.writes,
+            wall_ns: duration_ns(wall),
+            payload: 0,
+        });
+    }
+
+    /// Record one whole measured sequence (`queries` individual queries).
+    pub fn record_sequence(
+        &self,
+        strategy: Strategy,
+        delta: IoDelta,
+        wall: Duration,
+        queries: u64,
+    ) {
+        self.sequence[strategy_tag(strategy) as usize].record(delta, wall);
+        self.trace.push(Span {
+            op: span_op::SEQUENCE,
+            tag: strategy_tag(strategy),
+            reads: delta.reads,
+            writes: delta.writes,
+            wall_ns: duration_ns(wall),
+            payload: queries,
+        });
+    }
+
+    /// The retained spans, oldest first (best-effort under concurrency).
+    pub fn spans(&self) -> Vec<Span> {
+        self.trace.snapshot()
+    }
+
+    /// Spans pushed over the engine's lifetime.
+    pub fn spans_pushed(&self) -> u64 {
+        self.trace.pushed()
+    }
+
+    /// Snapshot of the engine-level metrics only (no pool or cache
+    /// sections — [`build_report`] folds those in).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// A complete observability report for one engine.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// Every metric — engine, pool, cache — in exporter-ready form.
+    pub snapshot: MetricsSnapshot,
+    /// The most recent query spans.
+    pub spans: Vec<Span>,
+    /// Per-shard pool telemetry (empty when the pool was built without
+    /// telemetry).
+    pub pool: Vec<ShardTelemetrySnapshot>,
+    /// Cache counters, when the engine carries a unit or procedural
+    /// cache.
+    pub cache: Option<CacheCounters>,
+}
+
+impl MetricsReport {
+    /// Render the report in Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        cor_obs::to_prometheus(&self.snapshot)
+    }
+
+    /// Render the report as JSON.
+    pub fn to_json(&self) -> String {
+        cor_obs::to_json(&self.snapshot)
+    }
+
+    /// Structural health check: all [`REQUIRED_METRICS`] present, every
+    /// gauge finite, histogram buckets consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        self.snapshot.validate(REQUIRED_METRICS)
+    }
+
+    /// Whole-pool roll-up of the per-shard telemetry (all-zero when the
+    /// pool ran without telemetry).
+    pub fn pool_total(&self) -> ShardTelemetrySnapshot {
+        let mut total = ShardTelemetrySnapshot::default();
+        for s in &self.pool {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+/// Fold engine metrics, pool telemetry, and cache counters into one
+/// report.
+pub fn build_report(
+    metrics: &EngineMetrics,
+    pool: Option<Vec<ShardTelemetrySnapshot>>,
+    cache: Option<CacheCounters>,
+) -> MetricsReport {
+    let mut snapshot = metrics.snapshot();
+    if let Some(shards) = &pool {
+        for s in shards {
+            let lbls = labels(&[("shard", &s.shard.to_string())]);
+            snapshot.push_counter(
+                "cor_pool_hits_total",
+                "buffer pool page-table hits",
+                lbls.clone(),
+                s.hits,
+            );
+            snapshot.push_counter(
+                "cor_pool_misses_total",
+                "buffer pool page faults",
+                lbls.clone(),
+                s.misses,
+            );
+            snapshot.push_counter(
+                "cor_pool_evictions_total",
+                "buffer pool evictions",
+                lbls.clone(),
+                s.evictions,
+            );
+            snapshot.push_counter(
+                "cor_pool_writebacks_total",
+                "dirty pages written back",
+                lbls.clone(),
+                s.writebacks,
+            );
+            snapshot.push_counter(
+                "cor_pool_pin_waits_total",
+                "pin attempts that found every frame pinned",
+                lbls.clone(),
+                s.pin_waits,
+            );
+            snapshot.push_gauge(
+                "cor_pool_hit_ratio",
+                "pool hit fraction per shard",
+                lbls,
+                s.hit_ratio(),
+            );
+        }
+    }
+    if let Some(c) = &cache {
+        let lbls = labels(&[]);
+        snapshot.push_counter(
+            "cor_cache_hits_total",
+            "cache probe hits",
+            lbls.clone(),
+            c.hits,
+        );
+        snapshot.push_counter(
+            "cor_cache_misses_total",
+            "cache probe misses",
+            lbls.clone(),
+            c.misses,
+        );
+        snapshot.push_counter(
+            "cor_cache_insertions_total",
+            "units materialized into the cache",
+            lbls.clone(),
+            c.insertions,
+        );
+        snapshot.push_counter(
+            "cor_cache_invalidations_total",
+            "units invalidated by updates",
+            lbls.clone(),
+            c.invalidations,
+        );
+        snapshot.push_counter(
+            "cor_cache_evictions_total",
+            "units evicted for room",
+            lbls.clone(),
+            c.evictions,
+        );
+        snapshot.push_gauge(
+            "cor_cache_hit_ratio",
+            "cache hit fraction",
+            lbls,
+            c.hit_ratio(),
+        );
+    }
+    MetricsReport {
+        snapshot,
+        spans: metrics.spans(),
+        pool: pool.unwrap_or_default(),
+        cache,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_tags_roundtrip() {
+        for s in Strategy::ALL {
+            assert_eq!(strategy_from_tag(strategy_tag(s)), Some(s));
+        }
+        assert_eq!(strategy_from_tag(99), None);
+    }
+
+    #[test]
+    fn recorded_queries_surface_in_snapshot() {
+        let m = EngineMetrics::with_trace_capacity(8);
+        let delta = IoDelta {
+            reads: 10,
+            writes: 2,
+        };
+        m.record_retrieve(Strategy::Dfs, delta, Duration::from_micros(5), 40);
+        m.record_retrieve(Strategy::Dfs, delta, Duration::from_micros(7), 40);
+        m.record_update(
+            IoDelta {
+                reads: 1,
+                writes: 1,
+            },
+            Duration::from_micros(3),
+        );
+        let report = build_report(&m, None, None);
+        report.validate().expect("complete report");
+        let totals = report.snapshot.family("cor_query_total").unwrap();
+        // 6 strategies x {retrieve, sequence} + update.
+        assert_eq!(totals.samples.len(), 13);
+        let spans = report.spans;
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].op, span_op::RETRIEVE);
+        assert_eq!(spans[0].reads, 10);
+        assert_eq!(spans[2].op, span_op::UPDATE);
+    }
+
+    #[test]
+    fn report_folds_pool_and_cache_sections() {
+        let m = EngineMetrics::new();
+        m.record_sequence(
+            Strategy::Bfs,
+            IoDelta {
+                reads: 5,
+                writes: 5,
+            },
+            Duration::from_millis(1),
+            20,
+        );
+        let pool = vec![
+            ShardTelemetrySnapshot {
+                shard: 0,
+                hits: 30,
+                misses: 10,
+                ..Default::default()
+            },
+            ShardTelemetrySnapshot {
+                shard: 1,
+                hits: 5,
+                misses: 5,
+                ..Default::default()
+            },
+        ];
+        let cache = CacheCounters {
+            hits: 8,
+            misses: 2,
+            insertions: 2,
+            invalidations: 1,
+            evictions: 0,
+        };
+        let report = build_report(&m, Some(pool), Some(cache));
+        report.validate().expect("complete report");
+        assert_eq!(
+            report
+                .snapshot
+                .family("cor_pool_hits_total")
+                .unwrap()
+                .samples
+                .len(),
+            2
+        );
+        assert!(report.snapshot.family("cor_cache_hit_ratio").is_some());
+        let total = report.pool_total();
+        assert_eq!(total.hits, 35);
+        assert_eq!(total.probes(), 50);
+        let text = report.to_prometheus();
+        assert!(text.contains("cor_pool_hit_ratio{shard=\"0\"} 0.75"));
+        let json = report.to_json();
+        assert!(json.contains("cor_cache_hits_total"));
+    }
+}

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> corstat smoke (observability gate)"
+cargo run -q -p cor-bench --bin corstat -- --smoke
+
 echo "All checks passed."

@@ -22,15 +22,21 @@
 //!    SMART strategies;
 //! 5. [`workload`] — the parameterized generator, sequence driver and
 //!    experiment sweeps behind the figure reproductions in `cor-bench`.
+//!
+//! Orthogonal to the stack, [`obs`] is the zero-dependency metrics layer
+//! (counters, streaming histograms, span ring, Prometheus/JSON export)
+//! that the pool, caches and `Engine` report into — see
+//! `docs/observability.md`.
 
 #![warn(missing_docs)]
 
 pub use complexobj;
 pub use cor_access as access;
+pub use cor_obs as obs;
 pub use cor_pagestore as pagestore;
 pub use cor_relational as relational;
 pub use cor_workload as workload;
 
 pub use complexobj::ExecOptions;
 pub use cor_pagestore::{BufferPool, BufferPoolBuilder, ReplacementPolicy};
-pub use cor_workload::{Engine, EngineBuilder};
+pub use cor_workload::{Engine, EngineBuilder, MetricsReport};

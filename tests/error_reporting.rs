@@ -19,9 +19,17 @@ fn pool() -> Arc<BufferPool> {
 #[test]
 fn error_messages_are_informative() {
     assert!(DiskError::BadPage(7).to_string().contains("7"));
-    let exhausted = BufferError::NoFreeFrames { pid: 7, pinned: 3 }.to_string();
+    let exhausted = BufferError::NoFreeFrames {
+        pid: 7,
+        shard: 1,
+        pinned: 3,
+        hit_ratio: Some(0.25),
+    }
+    .to_string();
     assert!(exhausted.contains("pinned"));
     assert!(exhausted.contains('7') && exhausted.contains('3'));
+    assert!(exhausted.contains("shard 1"), "{exhausted}");
+    assert!(exhausted.contains("25.0%"), "{exhausted}");
     assert!(AccessError::BadKeyLen(3).to_string().contains("3"));
     assert!(AccessError::EntryTooLarge.to_string().contains("large"));
     assert!(AccessError::UnsortedBulkLoad
