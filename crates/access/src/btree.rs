@@ -27,6 +27,7 @@
 
 use crate::sync_cell::SyncCell;
 use crate::AccessError;
+use cor_obs::{Phase, PhaseGuard};
 use cor_pagestore::{BufferPool, PageId, NO_PAGE, PAGE_SIZE};
 use std::sync::Arc;
 
@@ -505,6 +506,9 @@ impl BTreeFile {
 
     /// Descend from the root to the leaf that owns `key`.
     fn find_leaf(&self, key: &[u8]) -> Result<PageId, AccessError> {
+        // Internal-page faults during the descent are index navigation
+        // unless a strategy has claimed a more specific bracket.
+        let _phase = PhaseGuard::enter_default(Phase::IndexDescent);
         let mut page = self.root.get();
         loop {
             let (leaf, child) = self.pool.read(page, |p| {
@@ -540,15 +544,18 @@ impl BTreeFile {
             return Err(AccessError::BadKeyLen(key.len()));
         }
         let key_len = self.key_len;
-        let hit = self.pool.read(hint, |p| {
-            let d = p.bytes();
-            if !node::is_leaf(d) {
-                return None;
-            }
-            node::search(d, key, key_len)
-                .ok()
-                .map(|i| node::entry_val(d, i, key_len).to_vec())
-        })?;
+        let hit = {
+            let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
+            self.pool.read(hint, |p| {
+                let d = p.bytes();
+                if !node::is_leaf(d) {
+                    return None;
+                }
+                node::search(d, key, key_len)
+                    .ok()
+                    .map(|i| node::entry_val(d, i, key_len).to_vec())
+            })?
+        };
         match hit {
             Some(v) => Ok(Some(v)),
             None => self.get(key),
@@ -591,6 +598,7 @@ impl BTreeFile {
     /// unit after a TID probe for its first member.
     pub fn leaf_entries(&self, leaf: PageId) -> Result<Entries, AccessError> {
         let key_len = self.key_len;
+        let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
         let entries = self.pool.read(leaf, |p| {
             let d = p.bytes();
             if !node::is_leaf(d) {
@@ -607,6 +615,7 @@ impl BTreeFile {
             return Err(AccessError::BadKeyLen(key.len()));
         }
         let leaf = self.find_leaf(key)?;
+        let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
         let v = self.pool.read(leaf, |p| {
             let d = p.bytes();
             node::search(d, key, self.key_len)
@@ -1158,6 +1167,7 @@ impl Iterator for BTreeRange {
                 return None;
             }
             let leaf = self.next_leaf;
+            let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
             let (entries, next, past_hi) = self
                 .pool
                 .read(leaf, |p| {

@@ -13,6 +13,7 @@
 
 use crate::heap::{HeapFile, HeapScan};
 use crate::AccessError;
+use cor_obs::{Phase, PhaseGuard};
 use cor_pagestore::BufferPool;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -49,6 +50,9 @@ pub fn external_sort(
     let mut current_bytes = 0usize;
 
     let flush = |current: &mut Vec<Vec<u8>>, runs: &mut Vec<HeapFile>| -> Result<(), AccessError> {
+        // Spill I/O belongs to the sort even when the sort runs inside a
+        // broader bracket (e.g. a merge join consuming this stream).
+        let _phase = PhaseGuard::enter(Phase::Sort);
         current.sort_unstable();
         if dedup {
             current.dedup();
@@ -85,9 +89,12 @@ pub fn external_sort(
 
     let mut scans: Vec<HeapScan> = runs.iter().map(|r| r.scan()).collect();
     let mut heap = BinaryHeap::new();
-    for (i, scan) in scans.iter_mut().enumerate() {
-        if let Some((_, rec)) = scan.next() {
-            heap.push(Reverse((rec, i)));
+    {
+        let _phase = PhaseGuard::enter(Phase::Sort);
+        for (i, scan) in scans.iter_mut().enumerate() {
+            if let Some((_, rec)) = scan.next() {
+                heap.push(Reverse((rec, i)));
+            }
         }
     }
     Ok(SortedStream::Merge(MergeRuns {
@@ -135,7 +142,12 @@ impl Iterator for MergeRuns {
     fn next(&mut self) -> Option<Self::Item> {
         loop {
             let Reverse((rec, i)) = self.heap.pop()?;
-            if let Some((_, next)) = self.scans[i].next() {
+            if let Some((_, next)) = {
+                // Run read-back is sort I/O regardless of who consumes the
+                // merged stream.
+                let _phase = PhaseGuard::enter(Phase::Sort);
+                self.scans[i].next()
+            } {
                 self.heap.push(Reverse((next, i)));
             }
             if self.dedup {

@@ -175,8 +175,23 @@ fn json_report(scale: f64, params: &Params, stats: &[StrategyStat]) -> String {
         })
         .collect();
     format!(
-        "{{\"scale\":{scale},\"parent_card\":{},\"sequence_len\":{},\"shards\":{},\
+        "{{\"schema_version\":1,\"scale\":{scale},\
+         \"params\":{{\"parent_card\":{},\"size_unit\":{},\"use_factor\":{},\
+         \"overlap_factor\":{},\"num_top\":{},\"size_cache\":{},\"buffer_pages\":{},\
+         \"sequence_len\":{},\"shards\":{},\"pr_update\":{},\"seed\":{}}},\
+         \"parent_card\":{},\"sequence_len\":{},\"shards\":{},\
          \"pr_update\":{},\"strategies\":[{}]}}\n",
+        params.parent_card,
+        params.size_unit,
+        params.use_factor,
+        params.overlap_factor,
+        params.num_top,
+        params.size_cache,
+        params.buffer_pages,
+        params.sequence_len,
+        params.shards,
+        params.pr_update,
+        params.seed,
         params.parent_card,
         params.sequence_len,
         params.shards,

@@ -15,6 +15,7 @@
 
 use crate::ilock::{HashKey, ILockTable};
 use cor_access::{AccessError, HashFile};
+use cor_obs::{Phase, PhaseGuard};
 use cor_pagestore::BufferPool;
 use cor_relational::Oid;
 use std::collections::{BTreeMap, HashMap};
@@ -227,6 +228,7 @@ impl UnitCache {
             self.counters.misses += 1;
             return Ok(None);
         }
+        let _phase = PhaseGuard::enter(Phase::CacheProbe);
         let bytes = self
             .file
             .get(&hashkey.to_le_bytes())?
@@ -251,6 +253,7 @@ impl UnitCache {
         members: &[Oid],
         records: &[Vec<u8>],
     ) -> Result<(), AccessError> {
+        let _phase = PhaseGuard::enter(Phase::CacheMaintain);
         if self.entries.contains_key(&hashkey) {
             // Already cached (two objects sharing a unit raced to
             // materialize it within one query): refresh the value.
@@ -279,6 +282,7 @@ impl UnitCache {
     }
 
     fn evict_one(&mut self) -> Result<(), AccessError> {
+        let _phase = PhaseGuard::enter(Phase::CacheMaintain);
         let victim = match self.policy {
             EvictionPolicy::Lru => self.lru.keys().next().copied(),
             EvictionPolicy::Random => {
@@ -308,6 +312,7 @@ impl UnitCache {
     /// An update hit subobject `oid`: delete every cached unit holding an
     /// I-lock for it. Returns how many units were invalidated.
     pub fn invalidate_subobject(&mut self, oid: Oid) -> Result<usize, AccessError> {
+        let _phase = PhaseGuard::enter(Phase::CacheMaintain);
         let holders = self.ilocks.holders(oid);
         for &hashkey in &holders {
             let meta = self

@@ -590,6 +590,7 @@ impl CorDatabase {
 
     /// Rewrite parent `key`'s cached column (None clears it).
     fn inside_write(&self, key: u64, payload: Option<&[u8]>) -> Result<(), CorError> {
+        let _phase = cor_obs::PhaseGuard::enter(cor_obs::Phase::CacheMaintain);
         let Storage::Standard { parent, .. } = &self.storage else {
             return Err(CorError::WrongRepresentation("standard"));
         };

@@ -289,6 +289,7 @@ impl ProcDatabase {
         let ProcCaching::InsideValues(capacity) = self.caching else {
             return Ok(());
         };
+        let _phase = cor_obs::PhaseGuard::enter(cor_obs::Phase::CacheMaintain);
         let payload = encode_unit_value(records);
         if payload.len() + 300 > cor_pagestore::MAX_RECORD {
             // Result too large to inline next to the tuple: skip caching.
@@ -326,6 +327,7 @@ impl ProcDatabase {
     }
 
     fn inside_clear(&self, key: u64) -> Result<(), CorError> {
+        let _phase = cor_obs::PhaseGuard::enter(cor_obs::Phase::CacheMaintain);
         let pkey = Oid::new(PROC_PARENT_REL, key).to_key_bytes();
         let Some(rec) = self.parent.get(&pkey)? else {
             return Ok(());

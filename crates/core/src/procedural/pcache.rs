@@ -19,6 +19,7 @@
 use crate::cache::{decode_unit_value, encode_unit_value, CacheCounters};
 use crate::procedural::predicate::StoredQuery;
 use cor_access::{AccessError, HashFile};
+use cor_obs::{Phase, PhaseGuard};
 use cor_pagestore::BufferPool;
 use cor_relational::{Oid, OID_BYTES};
 use std::collections::{BTreeMap, HashMap};
@@ -156,6 +157,7 @@ impl ProcCache {
             self.counters.misses += 1;
             return Ok(None);
         }
+        let _phase = PhaseGuard::enter(Phase::CacheProbe);
         let bytes = self
             .file
             .get(&hashkey.to_le_bytes())?
@@ -176,6 +178,7 @@ impl ProcCache {
         query: &StoredQuery,
         result: &CachedResult,
     ) -> Result<bool, AccessError> {
+        let _phase = PhaseGuard::enter(Phase::CacheMaintain);
         let hashkey = query.hashkey();
         let encoded = result.encode();
         if encoded.len() + 8 + 2 > cor_pagestore::MAX_RECORD {
@@ -222,6 +225,7 @@ impl ProcCache {
         old_rets: &[i64; 3],
         new_rets: &[i64; 3],
     ) -> Result<usize, AccessError> {
+        let _phase = PhaseGuard::enter(Phase::CacheMaintain);
         let victims: Vec<u64> = self
             .entries
             .iter()

@@ -22,6 +22,7 @@ use crate::database::CorDatabase;
 use crate::query::{extract_ret, RetAttr, RetrieveQuery, StrategyOutput};
 use crate::CorError;
 use cor_access::{external_sort, merge_join, BTreeFile, HeapFile};
+use cor_obs::{Phase, PhaseGuard};
 use cor_pagestore::PAGE_SIZE;
 use cor_relational::{Oid, RelId};
 use std::collections::BTreeMap;
@@ -80,11 +81,15 @@ pub(crate) fn join_fetch(
 
     // Form the temporary relation (heap file of 10-byte OID records) and
     // materialize it — the paper charges BFS for temp formation.
-    let temp = HeapFile::create(Arc::clone(db.pool()))?;
-    for oid in oids {
-        temp.append(&oid.to_key_bytes())?;
-    }
-    temp.flush()?;
+    let temp = {
+        let _phase = PhaseGuard::enter(Phase::TempBuild);
+        let temp = HeapFile::create(Arc::clone(db.pool()))?;
+        for oid in oids {
+            temp.append(&oid.to_key_bytes())?;
+        }
+        temp.flush()?;
+        temp
+    };
 
     let use_merge = match opts.join {
         JoinChoice::ForceMerge => true,
@@ -96,25 +101,37 @@ pub(crate) fn join_fetch(
     };
 
     if use_merge {
-        let sorted = external_sort(
-            db.pool(),
-            temp.scan().map(|(_, rec)| rec),
-            opts.sort_work_mem,
-            dedup,
-        )?;
+        // Reading the temp back and sorting it is sort work; run spills
+        // re-assert their own Sort bracket inside.
+        let sorted = {
+            let _phase = PhaseGuard::enter(Phase::Sort);
+            external_sort(
+                db.pool(),
+                temp.scan().map(|(_, rec)| rec),
+                opts.sort_work_mem,
+                dedup,
+            )?
+        };
+        // The co-scan of the OID-ordered ChildRel leaves is the join
+        // proper (sort-stream pulls retag themselves as Sort).
+        let _phase = PhaseGuard::enter(Phase::MergeJoin);
         for (_oid, rec) in merge_join(sorted, tree.scan_all()) {
             values.push(extract_ret(&rec, attr));
         }
     } else {
         // Iterative substitution: probe per temp record, "fetched exactly
-        // as in DFS". BFSNODUP still dedups first.
+        // as in DFS" — so leave the probes to the index-level default
+        // tags. BFSNODUP still dedups first.
         if dedup {
-            let keys = external_sort(
-                db.pool(),
-                temp.scan().map(|(_, rec)| rec),
-                opts.sort_work_mem,
-                true,
-            )?;
+            let keys = {
+                let _phase = PhaseGuard::enter(Phase::Sort);
+                external_sort(
+                    db.pool(),
+                    temp.scan().map(|(_, rec)| rec),
+                    opts.sort_work_mem,
+                    true,
+                )?
+            };
             for key in keys {
                 probe_one(tree, &key, attr, values)?;
             }

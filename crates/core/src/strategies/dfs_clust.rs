@@ -17,6 +17,7 @@ use crate::database::{cluster_key, decode_cluster_key, CorDatabase};
 use crate::query::{extract_ret, RetrieveQuery, StrategyOutput};
 use crate::CorError;
 use cor_access::decode;
+use cor_obs::{Phase, PhaseGuard};
 use cor_relational::Oid;
 use std::collections::HashMap;
 
@@ -32,6 +33,9 @@ pub fn dfs_clust(db: &CorDatabase, query: &RetrieveQuery) -> Result<StrategyOutp
     let hi_k = cluster_key(query.hi, true, Oid::new(u16::MAX, u64::MAX));
     let mut parents: Vec<(u64, Vec<Oid>)> = Vec::new();
     let mut scanned_children: HashMap<Oid, Vec<u8>> = HashMap::new();
+    // The whole range scan — objects and co-clustered subobjects alike —
+    // is one physical cluster traversal.
+    let _scan_phase = PhaseGuard::enter(Phase::ClusterScan);
     for (k, rec) in cluster.range(&lo_k, &hi_k)? {
         let (_, is_child, oid) = decode_cluster_key(&k).expect("well-formed cluster key");
         if is_child {

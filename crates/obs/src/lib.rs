@@ -14,7 +14,12 @@
 //! * [`TraceRing`] — a lock-free bounded ring of query [`Span`]s
 //!   ([`trace`]);
 //! * [`to_prometheus`] / [`to_json`] — exporters over a snapshot, plus
-//!   [`parse_prometheus`] for validating the text output ([`export`]).
+//!   [`parse_prometheus`] for validating the text output ([`export`]);
+//! * [`Phase`] / [`PhaseGuard`] / [`PhaseProfile`] — thread-scoped phase
+//!   attribution for physical I/O, so a profiler can say *where* each
+//!   page went, not just how many moved ([`phase`]);
+//! * [`costmodel`] — the paper's closed-form expected-I/O formulas per
+//!   strategy, for predicted-vs-measured comparison.
 //!
 //! Instrumentation is free when disabled: layers hold their telemetry in
 //! an `Option` fixed at construction, and every recording call is a
@@ -22,9 +27,11 @@
 
 #![warn(missing_docs)]
 
+pub mod costmodel;
 pub mod export;
 pub mod hist;
 pub mod metric;
+pub mod phase;
 pub mod registry;
 pub mod trace;
 
@@ -33,6 +40,10 @@ pub use export::{
 };
 pub use hist::{bucket_index, bucket_upper, HistSnapshot, Histogram, HIST_BUCKETS};
 pub use metric::{hit_ratio, Counter, Gauge};
+pub use phase::{
+    current_phase, enable_timing, take_thread_wall, Phase, PhaseGuard, PhaseProfile, PhaseSnapshot,
+    PHASE_COUNT,
+};
 pub use registry::{
     labels, Labels, MetricFamily, MetricKind, MetricSample, MetricValue, MetricsRegistry,
     MetricsSnapshot,

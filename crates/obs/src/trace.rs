@@ -61,6 +61,11 @@ impl Slot {
 pub struct TraceRing {
     slots: Vec<Slot>,
     next: AtomicU64,
+    /// Spans a [`snapshot`](TraceRing::snapshot) could not return because a
+    /// writer held or recycled the slot mid-read. Every ticket below the
+    /// snapshot's end was claimed by a writer, so each skip is a real span
+    /// lost to the race, not an empty slot.
+    race_skips: AtomicU64,
 }
 
 impl std::fmt::Debug for TraceRing {
@@ -79,6 +84,7 @@ impl TraceRing {
         TraceRing {
             slots: (0..capacity).map(|_| Slot::new()).collect(),
             next: AtomicU64::new(0),
+            race_skips: AtomicU64::new(0),
         }
     }
 
@@ -90,6 +96,18 @@ impl TraceRing {
     /// Spans pushed over the ring's lifetime (may exceed capacity).
     pub fn pushed(&self) -> u64 {
         self.next.load(Ordering::Relaxed)
+    }
+
+    /// Spans skipped by snapshots racing writers (see `race_skips`).
+    pub fn race_skips(&self) -> u64 {
+        self.race_skips.load(Ordering::Relaxed)
+    }
+
+    /// Total spans lost to observation so far: ring overwrite (only the
+    /// last `capacity` survive) plus reader/writer race skips. Lets a
+    /// consumer distinguish "no queries ran" from "spans were dropped".
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.capacity() as u64) + self.race_skips()
     }
 
     /// Record a span, overwriting the oldest when full. Wait-free.
@@ -118,7 +136,11 @@ impl TraceRing {
             let slot = &self.slots[(ticket % cap) as usize];
             let before = slot.seq.load(Ordering::Acquire);
             if before != 2 * ticket + 2 {
-                continue; // never written, mid-write, or already recycled
+                // Every ticket below `end` was claimed by a writer, so this
+                // span exists but is mid-write or already recycled: a real
+                // loss to the race, counted so consumers can see it.
+                self.race_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
             }
             let span = Span {
                 op: slot.op.load(Ordering::Relaxed),
@@ -130,6 +152,8 @@ impl TraceRing {
             };
             if slot.seq.load(Ordering::Acquire) == before {
                 out.push(span);
+            } else {
+                self.race_skips.fetch_add(1, Ordering::Relaxed);
             }
         }
         out
@@ -178,6 +202,20 @@ mod tests {
     #[test]
     fn empty_ring_is_empty() {
         assert!(TraceRing::new(3).snapshot().is_empty());
+    }
+
+    #[test]
+    fn dropped_counts_overwrite_and_race_skips() {
+        let ring = TraceRing::new(4);
+        assert_eq!(ring.dropped(), 0, "empty ring has lost nothing");
+        for i in 0..10 {
+            ring.push(span(i));
+        }
+        // No reader raced a writer, so losses are pure overwrite.
+        assert_eq!(ring.race_skips(), 0);
+        assert_eq!(ring.dropped(), 6);
+        ring.snapshot();
+        assert_eq!(ring.race_skips(), 0, "quiescent snapshot skips nothing");
     }
 
     #[test]

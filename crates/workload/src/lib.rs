@@ -33,6 +33,7 @@ pub mod dbgen;
 pub mod driver;
 pub mod engine;
 pub mod experiment;
+pub mod explain;
 pub mod hierarchy;
 pub mod matrix;
 pub mod metrics;
@@ -53,6 +54,7 @@ pub use engine::{Engine, EngineBuilder};
 pub use experiment::{
     best_strategy, compare_strategies, default_threads, parallel_map, run_point, run_point_with,
 };
+pub use explain::{measure_geometry, workload_from_params, ExplainReport, PhaseRow};
 pub use hierarchy::{
     build_hierarchy, generate_hierarchy_specs, snapshot_hierarchy, total_hierarchy_io,
     HierarchyParams,

@@ -31,6 +31,7 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "cor_query_writes_total",
     "cor_query_latency_ns",
     "cor_query_io_pages",
+    "cor_trace_spans_dropped_total",
 ];
 
 /// Span `op` codes pushed by the engine (the [`Span::op`] field).
@@ -224,6 +225,12 @@ impl EngineMetrics {
         self.trace.pushed()
     }
 
+    /// Spans lost to observation: ring overwrite plus snapshot/writer
+    /// race skips. Distinguishes "no queries ran" from "spans dropped".
+    pub fn spans_dropped(&self) -> u64 {
+        self.trace.dropped()
+    }
+
     /// Snapshot of the engine-level metrics only (no pool or cache
     /// sections — [`build_report`] folds those in).
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -238,6 +245,10 @@ pub struct MetricsReport {
     pub snapshot: MetricsSnapshot,
     /// The most recent query spans.
     pub spans: Vec<Span>,
+    /// Spans lost to ring overwrite or reader/writer races by the time
+    /// this report was assembled (tracing is best-effort; this makes the
+    /// loss visible instead of silent).
+    pub spans_dropped: u64,
     /// Per-shard pool telemetry (empty when the pool was built without
     /// telemetry).
     pub pool: Vec<ShardTelemetrySnapshot>,
@@ -362,9 +373,20 @@ pub fn build_report(
             c.hit_ratio(),
         );
     }
+    // Snapshot the ring before reading the drop count, so losses caused
+    // by this very snapshot are included in the figure it reports.
+    let spans = metrics.spans();
+    let spans_dropped = metrics.spans_dropped();
+    snapshot.push_counter(
+        "cor_trace_spans_dropped_total",
+        "query spans lost to ring overwrite or snapshot races",
+        labels(&[]),
+        spans_dropped,
+    );
     MetricsReport {
         snapshot,
-        spans: metrics.spans(),
+        spans,
+        spans_dropped,
         pool: pool.unwrap_or_default(),
         cache,
     }
@@ -408,6 +430,33 @@ mod tests {
         assert_eq!(spans[0].op, span_op::RETRIEVE);
         assert_eq!(spans[0].reads, 10);
         assert_eq!(spans[2].op, span_op::UPDATE);
+    }
+
+    #[test]
+    fn report_surfaces_span_drops_in_both_exporters() {
+        let m = EngineMetrics::with_trace_capacity(2);
+        let delta = IoDelta {
+            reads: 1,
+            writes: 0,
+        };
+        for _ in 0..5 {
+            m.record_retrieve(Strategy::Dfs, delta, Duration::from_micros(1), 1);
+        }
+        assert_eq!(m.spans_pushed(), 5);
+        assert_eq!(m.spans_dropped(), 3, "ring of 2 overwrote 3 spans");
+        let report = build_report(&m, None, None);
+        report.validate().expect("complete report");
+        assert_eq!(report.spans_dropped, 3);
+        assert_eq!(report.spans.len(), 2);
+        let fam = report
+            .snapshot
+            .family("cor_trace_spans_dropped_total")
+            .expect("drop counter exported");
+        assert_eq!(fam.samples.len(), 1);
+        assert!(report
+            .to_prometheus()
+            .contains("cor_trace_spans_dropped_total 3"));
+        assert!(report.to_json().contains("cor_trace_spans_dropped_total"));
     }
 
     #[test]

@@ -16,4 +16,10 @@ cargo test --workspace -q
 echo "==> corstat smoke (observability gate)"
 cargo run -q -p cor-bench --bin corstat -- --smoke
 
+echo "==> explain smoke (phase-attribution + cost-model gate)"
+cargo run -q -p cor-bench --bin explain -- --smoke --jsonl results/explain/smoke.jsonl
+
+echo "==> explain replay (deterministic I/O regression gate)"
+cargo run -q -p cor-bench --bin explain -- --replay results/explain/smoke.jsonl
+
 echo "All checks passed."
