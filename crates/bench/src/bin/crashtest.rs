@@ -1,0 +1,410 @@
+//! `crashtest` — the durability fault-injection harness.
+//!
+//! Runs a deterministic mixed retrieve/update/checkpoint workload on a
+//! WAL-attached engine over a [`FaultyDisk`], kills the data disk at a
+//! randomized injected write (clean drop or torn page), recovers the
+//! surviving store from the log, and verifies every live page
+//! byte-identically against an *oracle*: the identical run allowed to
+//! finish the failing write, then flushed — the exact state the crashed
+//! run would have reached. Recovery is then run a second time to prove
+//! redo idempotence.
+//!
+//! ```text
+//! cargo run -p cor-bench --release --bin crashtest [--points N]
+//!     [--seed S]    workload + sampling seed (default 42)
+//!     [--points N]  injected crash points (default 100)
+//!     [--smoke]     fixed seed, 6 crash points — the CI gate
+//! ```
+//!
+//! A report lands in `results/crashtest/report.{txt,json}`; exit status
+//! is non-zero if any crash point fails verification.
+
+use complexobj::{CacheConfig, Query, Strategy};
+use cor_pagestore::{DiskManager, FaultMode, FaultyDisk, MemDisk, PAGE_SIZE};
+use cor_wal::{recover, FsyncPolicy, MemLogStore, RecoveryStats, Wal, WalConfig};
+use cor_workload::{generate, generate_sequence, Engine, GeneratedDb, Params};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Checkpoint every this many queries, so crash points land before,
+/// between, and after checkpoints (exercising DPT redo horizons and
+/// segment GC).
+const CHECKPOINT_EVERY: usize = 16;
+
+fn params(seed: u64) -> Params {
+    Params {
+        parent_card: 150,
+        num_top: 5,
+        sequence_len: 60,
+        buffer_pages: 12,
+        size_cache: 20,
+        pr_update: 0.4,
+        seed,
+        ..Params::paper_default()
+    }
+}
+
+struct Rig {
+    faulty: Arc<FaultyDisk<Arc<MemDisk>>>,
+    store: Arc<MemLogStore>,
+    engine: Engine,
+}
+
+fn build_rig(generated: &GeneratedDb, p: &Params) -> Rig {
+    let disk = Arc::new(MemDisk::new());
+    let faulty = Arc::new(FaultyDisk::new(disk));
+    let store = Arc::new(MemLogStore::new());
+    let wal = Arc::new(Wal::new(
+        store.clone(),
+        WalConfig {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 64 * 1024,
+        },
+    ));
+    let engine = Engine::open_durable(
+        &generated.spec,
+        Engine::builder()
+            .pool_pages(p.buffer_pages)
+            .cache(CacheConfig {
+                capacity: p.size_cache,
+                ..CacheConfig::default()
+            })
+            .disk(faulty.clone())
+            .wal(wal),
+    )
+    .expect("durable engine builds on a fresh store");
+    Rig {
+        faulty,
+        store,
+        engine,
+    }
+}
+
+thread_local! {
+    static IN_WORKLOAD: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install a panic hook that stays silent for panics raised inside
+/// [`run_workload`] and delegates to the default hook everywhere else.
+/// Access-layer scan iterators `.expect()` their pool reads, so a disk
+/// killed mid-query surfaces as a panic rather than an `Err` — for this
+/// harness that panic *is* the simulated process death and should not
+/// spam a backtrace per crash point.
+fn install_quiet_hook() {
+    let default = panic::take_hook();
+    panic::set_hook(Box::new(move |info| {
+        if !IN_WORKLOAD.with(|f| f.get()) {
+            default(info);
+        }
+    }));
+}
+
+/// Run the workload until it finishes or the disk dies. Returns how many
+/// queries completed. A query that panics (dead disk reached through an
+/// infallible scan path) counts the same as one that returns `Err`: the
+/// run stops there. The `.expect` sites fire on an already-returned
+/// `Result`, after page guards are dropped, so the pool remains usable —
+/// the oracle still flushes after its single injected failure.
+fn run_workload(engine: &Engine, sequence: &[Query]) -> usize {
+    IN_WORKLOAD.with(|f| f.set(true));
+    let mut completed = sequence.len();
+    for (i, q) in sequence.iter().enumerate() {
+        let ok = panic::catch_unwind(AssertUnwindSafe(|| match q {
+            Query::Retrieve(r) => engine.retrieve(Strategy::DfsCache, r).is_ok(),
+            Query::Update(u) => engine.update(u).is_ok(),
+        }))
+        .unwrap_or(false);
+        if !ok {
+            completed = i;
+            break;
+        }
+        if (i + 1) % CHECKPOINT_EVERY == 0 && engine.checkpoint().is_err() {
+            completed = i + 1;
+            break;
+        }
+    }
+    IN_WORKLOAD.with(|f| f.set(false));
+    completed
+}
+
+struct PointResult {
+    nth_write: u64,
+    mode: &'static str,
+    queries_done: usize,
+    stats: RecoveryStats,
+    pages_compared: u32,
+    pages_excluded: usize,
+    failures: Vec<String>,
+}
+
+fn run_point(
+    generated: &GeneratedDb,
+    p: &Params,
+    sequence: &[Query],
+    nth: u64,
+    mode: FaultMode,
+    mode_name: &'static str,
+) -> PointResult {
+    // Oracle: the identical run, but the injected write *lands* before
+    // the op fails (FailStop), so flushing afterwards materializes the
+    // exact state the log describes at the crash instant.
+    let oracle = build_rig(generated, p);
+    oracle.faulty.arm(nth, FaultMode::FailStop);
+    let oracle_done = run_workload(&oracle.engine, sequence);
+    let freed = oracle.engine.pool().free_page_ids();
+    oracle
+        .engine
+        .pool()
+        .flush_all()
+        .expect("oracle flush after disarmed fail-stop");
+    let oracle_disk: Arc<MemDisk> = oracle.faulty.inner().clone();
+
+    // Faulty run: same ops, same nth write, but the disk dies there.
+    let rig = build_rig(generated, p);
+    rig.faulty.arm(nth, mode);
+    let queries_done = run_workload(&rig.engine, sequence);
+    let Rig {
+        faulty,
+        store,
+        engine,
+    } = rig;
+    drop(engine); // dirty frames are lost with the "process"
+    store.crash(); // and so is the log's unsynced tail (none: fsync Always)
+
+    let mut failures = Vec::new();
+    if queries_done != oracle_done {
+        failures.push(format!(
+            "divergence: faulty run served {queries_done} queries, oracle {oracle_done}"
+        ));
+    }
+
+    let disk: &Arc<MemDisk> = faulty.inner();
+    let stats = match recover(disk, store.as_ref()) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("recovery failed: {e}"));
+            RecoveryStats::default()
+        }
+    };
+
+    let mut pages_compared = 0;
+    if failures.is_empty() {
+        if disk.num_pages() != oracle_disk.num_pages() {
+            failures.push(format!(
+                "page count: recovered {} vs oracle {}",
+                disk.num_pages(),
+                oracle_disk.num_pages()
+            ));
+        }
+        let mut a = [0u8; PAGE_SIZE];
+        let mut b = [0u8; PAGE_SIZE];
+        for pid in 0..disk.num_pages().min(oracle_disk.num_pages()) {
+            // Pages on the free list at the crash instant hold garbage by
+            // definition; every live page must match the oracle exactly.
+            if freed.contains(&pid) {
+                continue;
+            }
+            disk.read_page(pid, &mut a)
+                .expect("recovered page readable");
+            oracle_disk
+                .read_page(pid, &mut b)
+                .expect("oracle page readable");
+            if a != b {
+                failures.push(format!("page {pid} differs from oracle"));
+            } else {
+                pages_compared += 1;
+            }
+        }
+
+        // Redo idempotence: a second recovery pass must be a no-op.
+        let before: Vec<[u8; PAGE_SIZE]> = (0..disk.num_pages())
+            .map(|pid| {
+                let mut buf = [0u8; PAGE_SIZE];
+                disk.read_page(pid, &mut buf).unwrap();
+                buf
+            })
+            .collect();
+        match recover(disk, store.as_ref()) {
+            Ok(_) => {
+                for (pid, prev) in before.iter().enumerate() {
+                    disk.read_page(pid as u32, &mut a).unwrap();
+                    if &a != prev {
+                        failures.push(format!("double recovery changed page {pid}"));
+                    }
+                }
+            }
+            Err(e) => failures.push(format!("second recovery failed: {e}")),
+        }
+    }
+
+    PointResult {
+        nth_write: nth,
+        mode: mode_name,
+        queries_done,
+        stats,
+        pages_compared,
+        pages_excluded: freed.len(),
+        failures,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<u64>().ok())
+    };
+    let seed = if smoke {
+        42
+    } else {
+        flag("--seed").unwrap_or(42)
+    };
+    let points = if smoke {
+        6
+    } else {
+        flag("--points").unwrap_or(100) as usize
+    };
+
+    install_quiet_hook();
+    let p = params(seed);
+    let generated = generate(&p);
+    let sequence = generate_sequence(&p);
+
+    // Dry run: how many data-page writes does the full workload issue?
+    // Crash points are sampled from that budget (1-based, post-build).
+    let dry = build_rig(&generated, &p);
+    let base = dry.faulty.writes_observed();
+    let done = run_workload(&dry.engine, &sequence);
+    assert_eq!(done, sequence.len(), "dry run must complete");
+    dry.engine.pool().flush_all().expect("dry run flush");
+    let budget = dry.faulty.writes_observed() - base;
+    assert!(budget > 0, "workload issues no writes — nothing to test");
+    drop(dry);
+
+    eprintln!(
+        "crashtest: seed {seed}, {} queries, {budget} workload writes, {points} crash points",
+        sequence.len()
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A5_47E5_7000_0001);
+    let mut results: Vec<PointResult> = Vec::with_capacity(points);
+    for i in 0..points {
+        let nth = rng.random_range(1..=budget);
+        // Alternate clean write loss with torn pages (a random prefix of
+        // the new bytes lands over the old page).
+        let (mode, name) = if i % 2 == 0 {
+            (FaultMode::CrashDrop, "crash-drop")
+        } else {
+            (
+                FaultMode::CrashTorn {
+                    keep: rng.random_range(1..PAGE_SIZE),
+                },
+                "torn-page",
+            )
+        };
+        let r = run_point(&generated, &p, &sequence, nth, mode, name);
+        if !r.failures.is_empty() {
+            eprintln!(
+                "  point {i}: write {} ({}) FAILED: {}",
+                r.nth_write,
+                r.mode,
+                r.failures.join("; ")
+            );
+        }
+        results.push(r);
+    }
+
+    let failed: Vec<&PointResult> = results.iter().filter(|r| !r.failures.is_empty()).collect();
+    let total_redo: u64 = results
+        .iter()
+        .map(|r| r.stats.images_applied + r.stats.deltas_applied)
+        .sum();
+    let total_skip: u64 = results.iter().map(|r| r.stats.deltas_skipped).sum();
+    let torn_points = results.iter().filter(|r| r.mode == "torn-page").count();
+    let with_ckpt = results
+        .iter()
+        .filter(|r| r.stats.checkpoint_lsn.is_some())
+        .count();
+
+    let mut txt = String::new();
+    txt.push_str(&format!(
+        "crashtest  seed={seed}  queries={}  workload_writes={budget}\n\
+         points={}  crash_drop={}  torn_page={torn_points}\n\
+         passed={}  failed={}\n\
+         recovered_with_checkpoint={with_ckpt}\n\
+         records_redone={total_redo}  deltas_skipped={total_skip}\n",
+        sequence.len(),
+        results.len(),
+        results.len() - torn_points,
+        results.len() - failed.len(),
+        failed.len(),
+    ));
+    txt.push_str("\npoint  write  mode        queries  redo  compared  excluded  status\n");
+    for (i, r) in results.iter().enumerate() {
+        txt.push_str(&format!(
+            "{:>5}  {:>5}  {:<10}  {:>7}  {:>4}  {:>8}  {:>8}  {}\n",
+            i,
+            r.nth_write,
+            r.mode,
+            r.queries_done,
+            r.stats.images_applied + r.stats.deltas_applied,
+            r.pages_compared,
+            r.pages_excluded,
+            if r.failures.is_empty() { "ok" } else { "FAIL" },
+        ));
+    }
+
+    let json_points: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"nth_write\":{},\"mode\":\"{}\",\"queries_done\":{},\
+                 \"records_scanned\":{},\"images_applied\":{},\"deltas_applied\":{},\
+                 \"deltas_skipped\":{},\"checkpoint_lsn\":{},\"pages_compared\":{},\
+                 \"pages_excluded\":{},\"failures\":[{}]}}",
+                r.nth_write,
+                r.mode,
+                r.queries_done,
+                r.stats.records_scanned,
+                r.stats.images_applied,
+                r.stats.deltas_applied,
+                r.stats.deltas_skipped,
+                r.stats
+                    .checkpoint_lsn
+                    .map_or("null".into(), |l| l.to_string()),
+                r.pages_compared,
+                r.pages_excluded,
+                r.failures
+                    .iter()
+                    .map(|f| format!("\"{}\"", f.replace('"', "'")))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"schema_version\":1,\"seed\":{seed},\"queries\":{},\"workload_writes\":{budget},\
+         \"points\":{},\"passed\":{},\"failed\":{},\"points_detail\":[{}]}}\n",
+        sequence.len(),
+        results.len(),
+        results.len() - failed.len(),
+        failed.len(),
+        json_points.join(","),
+    );
+
+    std::fs::create_dir_all("results/crashtest").expect("results dir");
+    std::fs::write("results/crashtest/report.txt", &txt).expect("write txt report");
+    std::fs::write("results/crashtest/report.json", &json).expect("write json report");
+    print!("{txt}");
+    eprintln!("report: results/crashtest/report.{{txt,json}}");
+
+    if !failed.is_empty() {
+        std::process::exit(1);
+    }
+}

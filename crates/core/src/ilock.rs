@@ -123,4 +123,74 @@ mod tests {
         t.unlock_unit(5, &[oid(1)]);
         assert_eq!(t.locked_subobjects(), 0);
     }
+
+    #[test]
+    fn recache_after_invalidation_restores_locks() {
+        // An update invalidates a cached unit (holders → unlock); a later
+        // retrieve re-caches the same hashkey. The new incarnation's locks
+        // must be indistinguishable from the first.
+        let mut t = ILockTable::new();
+        let members = [oid(1), oid(2), oid(3)];
+        t.lock_unit(100, &members);
+        for h in t.holders(oid(2)) {
+            t.unlock_unit(h, &members);
+        }
+        assert_eq!(t.locked_subobjects(), 0, "invalidation released all locks");
+
+        t.lock_unit(100, &members);
+        assert_eq!(t.holders(oid(1)), vec![100]);
+        assert_eq!(t.holders(oid(3)), vec![100]);
+        assert_eq!(t.locked_subobjects(), 3);
+    }
+
+    #[test]
+    fn shared_subobject_invalidates_every_holder_but_releases_each_once() {
+        // oid(2) belongs to three cached units. Updating it must name all
+        // three for invalidation; unlocking them one by one must not
+        // disturb locks the others still hold on non-shared members.
+        let mut t = ILockTable::new();
+        t.lock_unit(100, &[oid(1), oid(2)]);
+        t.lock_unit(200, &[oid(2), oid(3)]);
+        t.lock_unit(300, &[oid(2)]);
+
+        let mut holders = t.holders(oid(2));
+        holders.sort_unstable();
+        assert_eq!(holders, vec![100, 200, 300]);
+
+        t.unlock_unit(300, &[oid(2)]);
+        let mut holders = t.holders(oid(2));
+        holders.sort_unstable();
+        assert_eq!(holders, vec![100, 200], "other holders keep their locks");
+        assert_eq!(t.holders(oid(1)), vec![100]);
+        assert_eq!(t.holders(oid(3)), vec![200]);
+
+        t.unlock_unit(100, &[oid(1), oid(2)]);
+        t.unlock_unit(200, &[oid(2), oid(3)]);
+        assert_eq!(t.locked_subobjects(), 0);
+    }
+
+    #[test]
+    fn eviction_releases_exactly_the_evicted_units_locks() {
+        // A cache eviction releases the victim's locks with the member
+        // list recorded at caching time — even when that list partially
+        // overlaps a surviving unit's members.
+        let mut t = ILockTable::new();
+        t.lock_unit(100, &[oid(1), oid(2), oid(3)]);
+        t.lock_unit(200, &[oid(3), oid(4)]);
+
+        t.unlock_unit(100, &[oid(1), oid(2), oid(3)]); // evict unit 100
+        assert!(t.holders(oid(1)).is_empty());
+        assert!(t.holders(oid(2)).is_empty());
+        assert_eq!(
+            t.holders(oid(3)),
+            vec![200],
+            "shared member keeps 200's lock"
+        );
+        assert_eq!(t.holders(oid(4)), vec![200]);
+        assert_eq!(t.locked_subobjects(), 2);
+
+        // Double release (eviction raced with invalidation) is harmless.
+        t.unlock_unit(100, &[oid(1), oid(2), oid(3)]);
+        assert_eq!(t.holders(oid(3)), vec![200]);
+    }
 }

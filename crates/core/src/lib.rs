@@ -97,6 +97,8 @@ pub enum CorError {
     UnknownRelation(RelId),
     /// The strategy needs a cache and none is attached.
     NoCache,
+    /// The durability subsystem (WAL append, fsync, checkpoint) failed.
+    Durability(String),
 }
 
 impl std::fmt::Display for CorError {
@@ -109,6 +111,7 @@ impl std::fmt::Display for CorError {
             }
             CorError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
             CorError::NoCache => write!(f, "no unit cache attached to this database"),
+            CorError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }

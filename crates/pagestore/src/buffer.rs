@@ -27,11 +27,12 @@
 //! exact under any thread count.
 
 use crate::disk::{DiskError, DiskManager, MemDisk};
-use crate::page::{PageId, PageMut, PageView};
+use crate::page::{PageBuf, PageId, PageMut, PageView};
 use crate::policy::ReplacementPolicy;
 use crate::shard::Shard;
 use crate::stats::IoStats;
 use crate::telemetry::ShardTelemetrySnapshot;
+use crate::wal::{Lsn, WalHook, NO_LSN};
 use std::sync::Arc;
 
 /// Buffer size used throughout the paper's experiments (100 pages).
@@ -118,6 +119,7 @@ pub struct BufferPoolBuilder {
     shards: usize,
     stats: Option<Arc<IoStats>>,
     telemetry: bool,
+    wal: Option<Arc<dyn WalHook>>,
 }
 
 impl BufferPoolBuilder {
@@ -163,6 +165,16 @@ impl BufferPoolBuilder {
         self
     }
 
+    /// Attach a write-ahead log (default: none). With a hook attached
+    /// the pool logs every page mutation, stamps page LSNs, and enforces
+    /// WAL-before-data on every write-back (see [`crate::wal`]). Without
+    /// one, every hot path is byte-for-byte the historical code: no
+    /// pre-image copies, no stamping, identical [`IoStats`].
+    pub fn wal(mut self, wal: Arc<dyn WalHook>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
     /// Build the pool.
     ///
     /// # Panics
@@ -188,6 +200,7 @@ impl BufferPoolBuilder {
             stats: self.stats.unwrap_or_default(),
             policy: self.policy,
             shards,
+            wal: self.wal,
         }
     }
 }
@@ -214,6 +227,7 @@ pub struct BufferPool {
     stats: Arc<IoStats>,
     policy: ReplacementPolicy,
     shards: Vec<Shard>,
+    wal: Option<Arc<dyn WalHook>>,
 }
 
 impl BufferPool {
@@ -226,7 +240,13 @@ impl BufferPool {
             shards: 1,
             stats: None,
             telemetry: false,
+            wal: None,
         }
+    }
+
+    /// The attached WAL hook, if any.
+    fn wal_ref(&self) -> Option<&dyn WalHook> {
+        self.wal.as_deref()
     }
 
     /// Create a single-shard LRU pool of `capacity` frames over `disk`,
@@ -318,7 +338,30 @@ impl BufferPool {
         };
         self.stats.record_allocation();
         let shard = self.shard_of(pid);
-        let idx = shard.allocate_into(pid, self.policy, self.disk.as_ref(), &self.stats)?;
+        let idx = shard.allocate_into(
+            pid,
+            self.policy,
+            self.disk.as_ref(),
+            &self.stats,
+            self.wal_ref(),
+        )?;
+        // Log the zeroed page as a full image: the frame is dirty with no
+        // log record behind it, and a recycled page id may carry stale
+        // bytes in the store that redo must be able to overwrite.
+        if let Some(wal) = self.wal_ref() {
+            let mut st = shard.frame(idx).state.write();
+            match wal.log_page_image(pid, &st.data) {
+                Ok(lsn) => {
+                    PageMut::new(&mut st.data[..]).set_lsn(lsn);
+                    st.rec_lsn = lsn;
+                }
+                Err(e) => {
+                    drop(st);
+                    shard.unpin(idx);
+                    return Err(e.into());
+                }
+            }
+        }
         shard.unpin(idx);
         Ok(pid)
     }
@@ -331,7 +374,13 @@ impl BufferPool {
         f: impl FnOnce(PageView<'_>) -> R,
     ) -> Result<R, BufferError> {
         let shard = self.shard_of(pid);
-        let idx = shard.pin(pid, self.policy, self.disk.as_ref(), &self.stats)?;
+        let idx = shard.pin(
+            pid,
+            self.policy,
+            self.disk.as_ref(),
+            &self.stats,
+            self.wal_ref(),
+        )?;
         let result = {
             let st = shard.frame(idx).state.read();
             f(PageView::new(&st.data[..]))
@@ -349,11 +398,47 @@ impl BufferPool {
         f: impl FnOnce(PageMut<'_>) -> R,
     ) -> Result<R, BufferError> {
         let shard = self.shard_of(pid);
-        let idx = shard.pin(pid, self.policy, self.disk.as_ref(), &self.stats)?;
-        let result = {
-            let mut st = shard.frame(idx).state.write();
-            st.dirty = true;
-            f(PageMut::new(&mut st.data[..]))
+        let idx = shard.pin(
+            pid,
+            self.policy,
+            self.disk.as_ref(),
+            &self.stats,
+            self.wal_ref(),
+        )?;
+        let result = match self.wal_ref() {
+            None => {
+                let mut st = shard.frame(idx).state.write();
+                st.dirty = true;
+                f(PageMut::new(&mut st.data[..]))
+            }
+            Some(wal) => {
+                // Capture the pre-image, run the closure, log the change,
+                // then stamp the record's LSN into the page. Stamping
+                // happens *after* the closure (init() zeroes the LSN
+                // word) and after logging (the logged after-image must
+                // match what redo reconstructs: redo re-stamps rec.lsn
+                // the same way).
+                let mut st = shard.frame(idx).state.write();
+                st.dirty = true;
+                let pre: PageBuf = *st.data;
+                let r = f(PageMut::new(&mut st.data[..]));
+                if pre[..] != st.data[..] {
+                    match wal.log_page_write(pid, &pre, &st.data) {
+                        Ok(lsn) => {
+                            PageMut::new(&mut st.data[..]).set_lsn(lsn);
+                            if st.rec_lsn == NO_LSN {
+                                st.rec_lsn = lsn;
+                            }
+                        }
+                        Err(e) => {
+                            drop(st);
+                            shard.unpin(idx);
+                            return Err(e.into());
+                        }
+                    }
+                }
+                r
+            }
         };
         shard.unpin(idx);
         Ok(result)
@@ -374,6 +459,18 @@ impl BufferPool {
         self.shards.iter().map(Shard::free_pages).sum()
     }
 
+    /// The page ids currently on the free lists, sorted. Freed pages hold
+    /// garbage by definition, so crash-recovery verification excludes
+    /// them from byte comparisons.
+    pub fn free_page_ids(&self) -> Vec<PageId> {
+        let mut ids = Vec::new();
+        for shard in &self.shards {
+            shard.collect_free(&mut ids);
+        }
+        ids.sort_unstable();
+        ids
+    }
+
     /// Write one page back to disk if it is resident and dirty (counting
     /// the write). Returns whether a write happened. Used to materialize
     /// temporary relations: the paper charges BFS for "forming the
@@ -381,13 +478,13 @@ impl BufferPool {
     /// buffer.
     pub fn flush_page(&self, pid: PageId) -> Result<bool, BufferError> {
         self.shard_of(pid)
-            .flush_page(pid, self.disk.as_ref(), &self.stats)
+            .flush_page(pid, self.disk.as_ref(), &self.stats, self.wal_ref())
     }
 
     /// Write all dirty resident pages back to disk (counting the writes).
     pub fn flush_all(&self) -> Result<(), BufferError> {
         for shard in &self.shards {
-            shard.flush_all(self.disk.as_ref(), &self.stats)?;
+            shard.flush_all(self.disk.as_ref(), &self.stats, self.wal_ref())?;
         }
         Ok(())
     }
@@ -397,9 +494,23 @@ impl BufferPool {
     /// empty buffer, as a fresh INGRES session would.
     pub fn flush_and_clear(&self) -> Result<(), BufferError> {
         for shard in &self.shards {
-            shard.flush_and_clear(self.disk.as_ref(), &self.stats)?;
+            shard.flush_and_clear(self.disk.as_ref(), &self.stats, self.wal_ref())?;
         }
         Ok(())
+    }
+
+    /// The dirty-page table: `(page_id, recLSN)` for every dirty resident
+    /// page, where recLSN is the log record that first dirtied the page
+    /// since its last write-back. Captured into checkpoint records so
+    /// recovery knows how far back redo must start. Pages dirtied without
+    /// a WAL attached carry no recLSN and are omitted.
+    pub fn dirty_page_table(&self) -> Vec<(PageId, Lsn)> {
+        let mut dpt = Vec::new();
+        for shard in &self.shards {
+            shard.collect_dirty(&mut dpt);
+        }
+        dpt.sort_unstable();
+        dpt
     }
 
     /// Number of pages currently resident.

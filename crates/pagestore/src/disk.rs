@@ -5,27 +5,61 @@
 //! default store is [`MemDisk`], an in-memory page vector that gives exact,
 //! noise-free transfer counts. [`FileDisk`] is a real file-backed store for
 //! anyone who wants wall-clock numbers on actual hardware.
+//!
+//! For crash-recovery testing, [`FaultyDisk`] wraps any store and injects
+//! faults at a chosen operation ordinal: dropped writes (process dies with
+//! the write never reaching the medium), torn writes (power fails mid-
+//! sector), fail-stop (the write lands, then the process dies — the oracle
+//! side of the crashtest harness), and short reads.
 
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Errors from disk-manager operations.
 #[derive(Debug)]
 pub enum DiskError {
     /// A page id past the end of the store was referenced.
     BadPage(PageId),
-    /// Underlying file I/O failed (file-backed stores only).
-    Io(std::io::Error),
+    /// Underlying file I/O failed, with the operation and the path (or
+    /// store description) it failed on.
+    Io {
+        /// What the store was doing: `"read"`, `"write"`, `"allocate"`,
+        /// `"sync"`, `"wal append"`, ...
+        op: &'static str,
+        /// The file path or store description the operation targeted.
+        path: String,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// An injected fault killed the store ([`FaultyDisk`] only). Every
+    /// operation after a crash fault fails with this — the process is
+    /// "dead" until the harness recovers from the log.
+    Crashed,
+}
+
+impl DiskError {
+    /// Build an [`Io`](DiskError::Io) with operation and path context.
+    pub fn io(op: &'static str, path: impl Into<String>, source: std::io::Error) -> Self {
+        DiskError::Io {
+            op,
+            path: path.into(),
+            source,
+        }
+    }
 }
 
 impl std::fmt::Display for DiskError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DiskError::BadPage(p) => write!(f, "page {p} out of range"),
-            DiskError::Io(e) => write!(f, "file I/O error: {e}"),
+            DiskError::Io { op, path, source } => {
+                write!(f, "I/O error during {op} on {path}: {source}")
+            }
+            DiskError::Crashed => write!(f, "store crashed (injected fault)"),
         }
     }
 }
@@ -33,16 +67,25 @@ impl std::fmt::Display for DiskError {
 impl std::error::Error for DiskError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            DiskError::Io(e) => Some(e),
+            DiskError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
 }
 
-impl From<std::io::Error> for DiskError {
-    fn from(e: std::io::Error) -> Self {
-        DiskError::Io(e)
-    }
+/// When a [`FileDisk`] forces written pages down to the storage medium.
+///
+/// The paper's I/O-count yardstick is unaffected either way; this matters
+/// only for crash durability of file-backed stores and for wall-clock
+/// honesty when benchmarking real hardware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Leave flushing to the OS page cache (the historical behaviour).
+    #[default]
+    OsCache,
+    /// `fdatasync` on every [`DiskManager::sync`] call, which the buffer
+    /// pool issues after `flush_all`/`flush_page` batches.
+    Fsync,
 }
 
 /// A store of fixed-size pages addressed by [`PageId`].
@@ -63,6 +106,33 @@ pub trait DiskManager: Send + Sync {
     fn allocate_page(&self) -> Result<PageId, DiskError>;
     /// Number of allocated pages.
     fn num_pages(&self) -> u32;
+    /// Force previously written pages down to the storage medium. A no-op
+    /// for stores without a medium to sync ([`MemDisk`]) or with
+    /// [`Durability::OsCache`].
+    fn sync(&self) -> Result<(), DiskError> {
+        Ok(())
+    }
+}
+
+/// Shared handles delegate, so a caller can keep a reference to a store
+/// (to arm faults on it, or to inspect the medium after a crash) while
+/// the buffer pool owns a `Box<Arc<...>>` of the same store.
+impl<D: DiskManager + ?Sized> DiskManager for std::sync::Arc<D> {
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<(), DiskError> {
+        (**self).read_page(id, buf)
+    }
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<(), DiskError> {
+        (**self).write_page(id, buf)
+    }
+    fn allocate_page(&self) -> Result<PageId, DiskError> {
+        (**self).allocate_page()
+    }
+    fn num_pages(&self) -> u32 {
+        (**self).num_pages()
+    }
+    fn sync(&self) -> Result<(), DiskError> {
+        (**self).sync()
+    }
 }
 
 /// In-memory page store.
@@ -116,22 +186,38 @@ impl DiskManager for MemDisk {
 pub struct FileDisk {
     file: Mutex<File>,
     num_pages: Mutex<u32>,
+    durability: Durability,
+    path: String,
 }
 
 impl FileDisk {
-    /// Open (or create) a page file at `path`.
+    /// Open (or create) a page file at `path` with default (OS page
+    /// cache) durability.
     pub fn open(path: &Path) -> Result<Self, DiskError> {
+        Self::open_with(path, Durability::default())
+    }
+
+    /// Open (or create) a page file at `path` with an explicit
+    /// [`Durability`] policy.
+    pub fn open_with(path: &Path, durability: Durability) -> Result<Self, DiskError> {
+        let display = path.display().to_string();
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
-            .open(path)?;
-        let len = file.metadata()?.len();
+            .open(path)
+            .map_err(|e| DiskError::io("open", &display, e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| DiskError::io("stat", &display, e))?
+            .len();
         let num_pages = (len / PAGE_SIZE as u64) as u32;
         Ok(FileDisk {
             file: Mutex::new(file),
             num_pages: Mutex::new(num_pages),
+            durability,
+            path: display,
         })
     }
 }
@@ -142,8 +228,10 @@ impl DiskManager for FileDisk {
             return Err(DiskError::BadPage(id));
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        file.read_exact(buf)?;
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+            .map_err(|e| DiskError::io("seek", &self.path, e))?;
+        file.read_exact(buf)
+            .map_err(|e| DiskError::io("read", &self.path, e))?;
         Ok(())
     }
 
@@ -152,8 +240,10 @@ impl DiskManager for FileDisk {
             return Err(DiskError::BadPage(id));
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        file.write_all(buf)?;
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+            .map_err(|e| DiskError::io("seek", &self.path, e))?;
+        file.write_all(buf)
+            .map_err(|e| DiskError::io("write", &self.path, e))?;
         Ok(())
     }
 
@@ -161,14 +251,236 @@ impl DiskManager for FileDisk {
         let mut n = self.num_pages.lock();
         let id = *n;
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-        file.write_all(&[0u8; PAGE_SIZE])?;
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
+            .map_err(|e| DiskError::io("seek", &self.path, e))?;
+        file.write_all(&[0u8; PAGE_SIZE])
+            .map_err(|e| DiskError::io("allocate", &self.path, e))?;
         *n += 1;
         Ok(id)
     }
 
     fn num_pages(&self) -> u32 {
         *self.num_pages.lock()
+    }
+
+    fn sync(&self) -> Result<(), DiskError> {
+        if self.durability == Durability::Fsync {
+            self.file
+                .lock()
+                .sync_data()
+                .map_err(|e| DiskError::io("sync", &self.path, e))?;
+        }
+        Ok(())
+    }
+}
+
+/// The fault a [`FaultyDisk`] injects when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The trigger write never reaches the inner store; the disk is dead
+    /// afterwards (every later operation returns
+    /// [`DiskError::Crashed`]). Models a crash *before* the write.
+    CrashDrop,
+    /// The first `keep` bytes of the trigger write reach the inner store,
+    /// the rest keep the page's previous contents; the disk is dead
+    /// afterwards. Models a power failure mid-write (torn page).
+    CrashTorn {
+        /// How many leading bytes of the write survive.
+        keep: usize,
+    },
+    /// The trigger write lands *completely*, then the operation reports
+    /// failure once and the fault disarms — the store stays usable. This
+    /// is the oracle side of the crashtest protocol: both runs abort on
+    /// the same operation, but the oracle's state is intact.
+    FailStop,
+    /// The trigger *read* fails once (as an [`DiskError::Io`] with
+    /// `op = "read"`), then the fault disarms.
+    ShortRead,
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Remaining operations (writes, or reads for `ShortRead`) before
+    /// the fault fires. `None` = disarmed.
+    countdown: Option<u64>,
+    mode: FaultMode,
+    /// Once true, every operation fails with `Crashed`.
+    dead: bool,
+    /// Total `write_page` calls observed (including after disarm), for
+    /// dry runs that size the crash-point space.
+    writes_seen: u64,
+    /// How many faults have fired.
+    fired: u64,
+}
+
+/// A [`DiskManager`] wrapper that injects crashes, torn writes, and read
+/// errors at a precise operation ordinal.
+///
+/// Arm it with [`arm`](FaultyDisk::arm): the fault fires on the `nth`
+/// *subsequent* write (1-based; or read, for [`FaultMode::ShortRead`]).
+/// The crash modes leave the wrapper "dead" so any further pool traffic
+/// errors out — exactly what a process that lost power would observe on
+/// its next run: nothing, because there is no next operation.
+pub struct FaultyDisk<D> {
+    inner: D,
+    state: Mutex<FaultState>,
+    faults_fired: AtomicU64,
+}
+
+impl<D: DiskManager> FaultyDisk<D> {
+    /// Wrap `inner` with no fault armed.
+    pub fn new(inner: D) -> Self {
+        FaultyDisk {
+            inner,
+            state: Mutex::new(FaultState {
+                countdown: None,
+                mode: FaultMode::FailStop,
+                dead: false,
+                writes_seen: 0,
+                fired: 0,
+            }),
+            faults_fired: AtomicU64::new(0),
+        }
+    }
+
+    /// Arm the fault: fire `mode` on the `nth` subsequent qualifying
+    /// operation (1-based). Re-arming replaces any pending fault.
+    pub fn arm(&self, nth: u64, mode: FaultMode) {
+        assert!(nth >= 1, "fault ordinal is 1-based");
+        let mut st = self.state.lock();
+        st.countdown = Some(nth);
+        st.mode = mode;
+    }
+
+    /// Disarm any pending fault (the store stays dead if a crash fault
+    /// already fired).
+    pub fn disarm(&self) {
+        self.state.lock().countdown = None;
+    }
+
+    /// Has a crash fault fired, leaving the store dead?
+    pub fn is_dead(&self) -> bool {
+        self.state.lock().dead
+    }
+
+    /// Total `write_page` calls observed so far, including while
+    /// disarmed. Dry runs use this to size the crash-point space.
+    pub fn writes_observed(&self) -> u64 {
+        self.state.lock().writes_seen
+    }
+
+    /// How many injected faults have fired.
+    pub fn faults_fired(&self) -> u64 {
+        self.faults_fired.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped store (for oracle flushing after a `FailStop`).
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    /// Decrement the countdown; returns the mode if the fault fires now.
+    fn tick(st: &mut FaultState, is_write: bool) -> Option<FaultMode> {
+        let qualifies = match st.mode {
+            FaultMode::ShortRead => !is_write,
+            _ => is_write,
+        };
+        if !qualifies {
+            return None;
+        }
+        let n = st.countdown.as_mut()?;
+        *n -= 1;
+        if *n == 0 {
+            st.countdown = None;
+            st.fired += 1;
+            Some(st.mode)
+        } else {
+            None
+        }
+    }
+}
+
+impl<D: DiskManager> DiskManager for FaultyDisk<D> {
+    fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<(), DiskError> {
+        let fired = {
+            let mut st = self.state.lock();
+            if st.dead {
+                return Err(DiskError::Crashed);
+            }
+            Self::tick(&mut st, false)
+        };
+        if let Some(FaultMode::ShortRead) = fired {
+            self.faults_fired.fetch_add(1, Ordering::Relaxed);
+            return Err(DiskError::io(
+                "read",
+                format!("faulty-disk page {id}"),
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "injected short read"),
+            ));
+        }
+        self.inner.read_page(id, buf)
+    }
+
+    fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<(), DiskError> {
+        let fired = {
+            let mut st = self.state.lock();
+            if st.dead {
+                return Err(DiskError::Crashed);
+            }
+            st.writes_seen += 1;
+            let fired = Self::tick(&mut st, true);
+            if matches!(
+                fired,
+                Some(FaultMode::CrashDrop) | Some(FaultMode::CrashTorn { .. })
+            ) {
+                st.dead = true;
+            }
+            fired
+        };
+        match fired {
+            None => self.inner.write_page(id, buf),
+            Some(FaultMode::CrashDrop) => {
+                self.faults_fired.fetch_add(1, Ordering::Relaxed);
+                Err(DiskError::Crashed)
+            }
+            Some(FaultMode::CrashTorn { keep }) => {
+                self.faults_fired.fetch_add(1, Ordering::Relaxed);
+                // Splice: old page tail survives under the new head.
+                let keep = keep.min(PAGE_SIZE);
+                let mut torn = [0u8; PAGE_SIZE];
+                self.inner.read_page(id, &mut torn)?;
+                torn[..keep].copy_from_slice(&buf[..keep]);
+                self.inner.write_page(id, &torn)?;
+                Err(DiskError::Crashed)
+            }
+            Some(FaultMode::FailStop) => {
+                self.faults_fired.fetch_add(1, Ordering::Relaxed);
+                self.inner.write_page(id, buf)?;
+                Err(DiskError::io(
+                    "write",
+                    format!("faulty-disk page {id}"),
+                    std::io::Error::other("injected fail-stop (write landed)"),
+                ))
+            }
+            Some(FaultMode::ShortRead) => unreachable!("ShortRead never fires on writes"),
+        }
+    }
+
+    fn allocate_page(&self) -> Result<PageId, DiskError> {
+        if self.state.lock().dead {
+            return Err(DiskError::Crashed);
+        }
+        self.inner.allocate_page()
+    }
+
+    fn num_pages(&self) -> u32 {
+        self.inner.num_pages()
+    }
+
+    fn sync(&self) -> Result<(), DiskError> {
+        if self.state.lock().dead {
+            return Err(DiskError::Crashed);
+        }
+        self.inner.sync()
     }
 }
 
@@ -229,5 +541,123 @@ mod tests {
         d.read_page(1, &mut r).unwrap();
         assert_eq!(r[0], 0xAB);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn filedisk_fsync_durability_syncs_without_error() {
+        let dir = std::env::temp_dir().join(format!("cor-filedisk-sync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let d = FileDisk::open_with(&path, Durability::Fsync).unwrap();
+        let p = d.allocate_page().unwrap();
+        d.write_page(p, &[9u8; PAGE_SIZE]).unwrap();
+        d.sync().unwrap();
+        // OsCache mode: sync is a no-op and also succeeds.
+        let d2 = FileDisk::open_with(&path, Durability::OsCache).unwrap();
+        d2.sync().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn out_of_range_and_io_error_display_carry_context() {
+        // Out-of-range: page id appears in the message.
+        let d = MemDisk::new();
+        let mut buf = [0u8; PAGE_SIZE];
+        let e = d.read_page(41, &mut buf).unwrap_err();
+        assert_eq!(e.to_string(), "page 41 out of range");
+
+        // FileDisk out-of-range is checked before any file I/O.
+        let dir = std::env::temp_dir().join(format!("cor-filedisk-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.db");
+        let d = FileDisk::open(&path).unwrap();
+        assert!(matches!(
+            d.read_page(3, &mut buf),
+            Err(DiskError::BadPage(3))
+        ));
+
+        // I/O errors name the op and the path, and expose the source.
+        let e = DiskError::io(
+            "read",
+            path.display().to_string(),
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "boom"),
+        );
+        let msg = e.to_string();
+        assert!(msg.contains("read"), "op missing from: {msg}");
+        assert!(msg.contains("pages.db"), "path missing from: {msg}");
+        assert!(msg.contains("boom"), "source missing from: {msg}");
+        assert!(std::error::Error::source(&e).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_disk_crash_drop_loses_the_write_and_kills_the_store() {
+        let d = FaultyDisk::new(MemDisk::new());
+        let p = d.allocate_page().unwrap();
+        d.write_page(p, &[1u8; PAGE_SIZE]).unwrap();
+        d.arm(1, FaultMode::CrashDrop);
+        assert!(matches!(
+            d.write_page(p, &[2u8; PAGE_SIZE]),
+            Err(DiskError::Crashed)
+        ));
+        assert!(d.is_dead());
+        assert_eq!(d.faults_fired(), 1);
+        // Everything after the crash fails...
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(matches!(d.read_page(p, &mut buf), Err(DiskError::Crashed)));
+        assert!(matches!(d.allocate_page(), Err(DiskError::Crashed)));
+        assert!(matches!(d.sync(), Err(DiskError::Crashed)));
+        // ...but the medium kept the pre-crash version.
+        d.inner().read_page(p, &mut buf).unwrap();
+        assert_eq!(buf[0], 1, "dropped write must not reach the medium");
+    }
+
+    #[test]
+    fn faulty_disk_torn_write_splices_head_onto_old_tail() {
+        let d = FaultyDisk::new(MemDisk::new());
+        let p = d.allocate_page().unwrap();
+        d.write_page(p, &[1u8; PAGE_SIZE]).unwrap();
+        d.arm(1, FaultMode::CrashTorn { keep: 512 });
+        assert!(matches!(
+            d.write_page(p, &[2u8; PAGE_SIZE]),
+            Err(DiskError::Crashed)
+        ));
+        let mut buf = [0u8; PAGE_SIZE];
+        d.inner().read_page(p, &mut buf).unwrap();
+        assert!(buf[..512].iter().all(|&b| b == 2), "new head");
+        assert!(buf[512..].iter().all(|&b| b == 1), "old tail");
+    }
+
+    #[test]
+    fn faulty_disk_fail_stop_lands_the_write_then_disarms() {
+        let d = FaultyDisk::new(MemDisk::new());
+        let p = d.allocate_page().unwrap();
+        d.arm(2, FaultMode::FailStop);
+        d.write_page(p, &[1u8; PAGE_SIZE]).unwrap(); // countdown 2 -> 1
+        let e = d.write_page(p, &[2u8; PAGE_SIZE]).unwrap_err();
+        assert!(e.to_string().contains("fail-stop"), "got: {e}");
+        assert!(!d.is_dead());
+        // The write landed, and the store works again (disarmed).
+        let mut buf = [0u8; PAGE_SIZE];
+        d.read_page(p, &mut buf).unwrap();
+        assert_eq!(buf[0], 2);
+        d.write_page(p, &[3u8; PAGE_SIZE]).unwrap();
+        assert_eq!(d.writes_observed(), 3);
+    }
+
+    #[test]
+    fn faulty_disk_short_read_fires_on_reads_only_then_disarms() {
+        let d = FaultyDisk::new(MemDisk::new());
+        let p = d.allocate_page().unwrap();
+        d.arm(1, FaultMode::ShortRead);
+        // Writes never trigger a ShortRead fault.
+        d.write_page(p, &[7u8; PAGE_SIZE]).unwrap();
+        let mut buf = [0u8; PAGE_SIZE];
+        let e = d.read_page(p, &mut buf).unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("read") && msg.contains("short read"), "{msg}");
+        // Disarmed: next read succeeds.
+        d.read_page(p, &mut buf).unwrap();
+        assert_eq!(buf[0], 7);
     }
 }

@@ -19,7 +19,10 @@
 //!   split query cost into the paper's `ParCost` and `ChildCost`;
 //! * [`telemetry`] — opt-in per-shard behaviour counters (hits, misses,
 //!   evictions, write-backs, pin waits) that never perturb the [`stats`]
-//!   transfer counts.
+//!   transfer counts;
+//! * [`wal`] — the write-ahead-log seam: per-page LSNs and the
+//!   [`wal::WalHook`] through which the pool logs mutations and enforces
+//!   WAL-before-data (the log implementation lives in `cor-wal`).
 
 #![warn(missing_docs)]
 
@@ -30,12 +33,14 @@ pub mod policy;
 mod shard;
 pub mod stats;
 pub mod telemetry;
+pub mod wal;
 
 pub use buffer::{BufferError, BufferPool, BufferPoolBuilder, DEFAULT_POOL_PAGES};
-pub use disk::{DiskError, DiskManager, FileDisk, MemDisk};
+pub use disk::{DiskError, DiskManager, Durability, FaultMode, FaultyDisk, FileDisk, MemDisk};
 pub use page::{
     PageBuf, PageError, PageId, PageMut, PageView, SlotId, MAX_RECORD, NO_PAGE, PAGE_SIZE,
 };
 pub use policy::ReplacementPolicy;
 pub use stats::{IoDelta, IoSnapshot, IoStats};
 pub use telemetry::{ShardTelemetry, ShardTelemetrySnapshot};
+pub use wal::{Lsn, WalHook, NO_LSN};

@@ -17,7 +17,10 @@
 //! * header: `slot_count: u16`, `free_end: u16` (start of the record area),
 //!   `flags: u32` and `next: u32` (both owned by the access layer — heap
 //!   files chain pages through `next`, B-trees mark leaf/internal in
-//!   `flags`), plus a 4-byte reserved word.
+//!   `flags`), plus `lsn: u32` — the page LSN, owned by the buffer pool's
+//!   WAL hook (see [`crate::wal`]); zero on pools without a log attached.
+//!   The B-tree's custom node layout leaves the same bytes (12..16)
+//!   untouched, so the LSN word is valid for every page in the store.
 //! * slot: `offset: u16`, `len: u16`. A dead slot has `offset == u16::MAX`.
 
 /// Size of every page, matching the INGRES 2 KB data page of the paper.
@@ -29,6 +32,8 @@ const HEADER_SIZE: usize = 16;
 const SLOT_SIZE: usize = 4;
 /// Sentinel offset marking a dead (deleted) slot.
 const DEAD: u16 = u16::MAX;
+/// Byte offset of the page LSN in the header (the formerly reserved word).
+const LSN_OFFSET: usize = 12;
 
 /// An owned page buffer.
 pub type PageBuf = [u8; PAGE_SIZE];
@@ -126,6 +131,13 @@ impl<'a> PageView<'a> {
         get_u32(self.data, 8)
     }
 
+    /// The page LSN: the log record that produced this page version, or
+    /// [`NO_LSN`](crate::wal::NO_LSN) if the page was never logged.
+    /// Stamped by the buffer pool, never by access methods.
+    pub fn lsn(&self) -> u32 {
+        get_u32(self.data, LSN_OFFSET)
+    }
+
     /// Bytes of a live record, or `None` for dead/out-of-range slots.
     pub fn record(&self, slot: SlotId) -> Option<&'a [u8]> {
         if slot >= self.slot_count() {
@@ -219,6 +231,13 @@ impl<'a> PageMut<'a> {
     /// Set the access-layer `next` page pointer.
     pub fn set_next(&mut self, next: PageId) {
         put_u32(self.data, 8, next);
+    }
+
+    /// Stamp the page LSN. Reserved for the buffer pool (after logging a
+    /// mutation) and the recovery redo pass (after applying a record);
+    /// access methods must leave the word alone.
+    pub fn set_lsn(&mut self, lsn: u32) {
+        put_u32(self.data, LSN_OFFSET, lsn);
     }
 
     /// Insert a record, compacting the page first if fragmentation requires
@@ -490,6 +509,24 @@ mod tests {
         p.set_next(42);
         assert_eq!(p.view().flags(), 0xDEAD_BEEF);
         assert_eq!(p.view().next(), 42);
+    }
+
+    #[test]
+    fn lsn_word_roundtrips_and_is_independent_of_page_content() {
+        let mut buf = fresh();
+        let mut p = PageMut::new(&mut buf);
+        assert_eq!(p.view().lsn(), 0, "init zeroes the LSN word");
+        let s = p.insert(b"payload").unwrap();
+        p.set_lsn(0xABCD_1234);
+        assert_eq!(p.view().lsn(), 0xABCD_1234);
+        // Record operations never disturb the LSN word, and vice versa.
+        p.update(s, b"PAYLOAD").unwrap();
+        p.set_flags(7);
+        p.set_next(9);
+        assert_eq!(p.view().lsn(), 0xABCD_1234);
+        assert_eq!(p.view().record(s).unwrap(), b"PAYLOAD");
+        assert_eq!(p.view().flags(), 7);
+        assert_eq!(p.view().next(), 9);
     }
 
     #[test]

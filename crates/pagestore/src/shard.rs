@@ -13,10 +13,11 @@
 
 use crate::buffer::BufferError;
 use crate::disk::DiskManager;
-use crate::page::{PageBuf, PageId, PAGE_SIZE};
+use crate::page::{PageBuf, PageId, PageView, PAGE_SIZE};
 use crate::policy::{ReplacementPolicy, ReplacementState};
 use crate::stats::IoStats;
 use crate::telemetry::{ShardTelemetry, ShardTelemetrySnapshot};
+use crate::wal::{Lsn, WalHook, NO_LSN};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -24,7 +25,36 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub(crate) struct FrameData {
     pub(crate) page_id: PageId,
     pub(crate) dirty: bool,
+    /// recLSN: the log record that first dirtied this frame since its
+    /// last write-back ([`NO_LSN`] when clean or when no WAL is
+    /// attached). Reported in the checkpoint dirty-page table; redo must
+    /// start no later than the minimum recLSN over all dirty frames.
+    pub(crate) rec_lsn: Lsn,
     pub(crate) data: Box<PageBuf>,
+}
+
+/// Uphold WAL-before-data for one frame about to be written back: the
+/// log must be durable through the frame's page LSN before the page
+/// bytes may reach the disk manager.
+fn wal_before_data(wal: Option<&dyn WalHook>, st: &FrameData) -> Result<(), BufferError> {
+    if let Some(w) = wal {
+        let lsn = PageView::new(&st.data[..]).lsn();
+        if lsn != NO_LSN {
+            w.flush_to(lsn)?;
+        }
+    }
+    Ok(())
+}
+
+/// Bookkeeping after a successful write-back: the frame is clean, its
+/// dirty-period is over, and the log must image the page again before
+/// trusting deltas (the write-back created a fresh torn-write hazard).
+fn after_write_back(wal: Option<&dyn WalHook>, st: &mut FrameData) {
+    st.dirty = false;
+    st.rec_lsn = NO_LSN;
+    if let Some(w) = wal {
+        w.page_flushed(st.page_id);
+    }
 }
 
 pub(crate) struct Frame {
@@ -61,6 +91,7 @@ impl Shard {
                 state: RwLock::new(FrameData {
                     page_id: PageId::MAX,
                     dirty: false,
+                    rec_lsn: NO_LSN,
                     data: Box::new([0u8; PAGE_SIZE]),
                 }),
             })
@@ -116,6 +147,7 @@ impl Shard {
         policy: ReplacementPolicy,
         disk: &dyn DiskManager,
         stats: &IoStats,
+        wal: Option<&dyn WalHook>,
     ) -> Result<usize, BufferError> {
         let mut inner = self.inner.lock();
         let tick = inner.repl.advance();
@@ -126,7 +158,7 @@ impl Shard {
             return Ok(idx);
         }
         self.count(|t| t.misses.inc());
-        let idx = self.acquire_frame(&mut inner, pid, policy, disk, stats)?;
+        let idx = self.acquire_frame(&mut inner, pid, policy, disk, stats, wal)?;
         {
             let mut st = self.frames[idx].state.write();
             if let Err(e) = disk.read_page(pid, &mut st.data) {
@@ -138,6 +170,7 @@ impl Shard {
             stats.record_read();
             st.page_id = pid;
             st.dirty = false;
+            st.rec_lsn = NO_LSN;
         }
         inner.page_table.insert(pid, idx);
         inner.repl.on_load(idx, tick);
@@ -153,12 +186,14 @@ impl Shard {
         policy: ReplacementPolicy,
         disk: &dyn DiskManager,
         stats: &IoStats,
+        wal: Option<&dyn WalHook>,
     ) -> Result<usize, BufferError> {
         let mut inner = self.inner.lock();
-        let idx = self.acquire_frame(&mut inner, pid, policy, disk, stats)?;
+        let idx = self.acquire_frame(&mut inner, pid, policy, disk, stats, wal)?;
         let mut st = self.frames[idx].state.write();
         st.page_id = pid;
         st.dirty = true;
+        st.rec_lsn = NO_LSN;
         st.data.fill(0);
         drop(st);
         inner.page_table.insert(pid, idx);
@@ -179,6 +214,7 @@ impl Shard {
         policy: ReplacementPolicy,
         disk: &dyn DiskManager,
         stats: &IoStats,
+        wal: Option<&dyn WalHook>,
     ) -> Result<usize, BufferError> {
         let n = self.frames.len();
         let Some(victim) = inner.repl.pick_victim(policy, n, |i| {
@@ -203,14 +239,16 @@ impl Shard {
         let mut st = self.frames[victim].state.write();
         if st.page_id != PageId::MAX {
             if st.dirty {
-                if let Err(e) = disk.write_page(st.page_id, &st.data) {
+                let written = wal_before_data(wal, &st)
+                    .and_then(|()| disk.write_page(st.page_id, &st.data).map_err(Into::into));
+                if let Err(e) = written {
                     drop(st);
                     self.unpin(victim);
-                    return Err(e.into());
+                    return Err(e);
                 }
                 stats.record_write();
                 self.count(|t| t.writebacks.inc());
-                st.dirty = false;
+                after_write_back(wal, &mut st);
             }
             inner.page_table.remove(&st.page_id);
             st.page_id = PageId::MAX;
@@ -231,6 +269,7 @@ impl Shard {
             let mut st = self.frames[idx].state.write();
             st.page_id = PageId::MAX;
             st.dirty = false;
+            st.rec_lsn = NO_LSN;
         }
         debug_assert!(!inner.free_list.contains(&pid), "double free of page {pid}");
         inner.free_list.push(pid);
@@ -242,6 +281,11 @@ impl Shard {
         self.inner.lock().free_list.len()
     }
 
+    /// Append the recycled page ids homed here to `out`.
+    pub(crate) fn collect_free(&self, out: &mut Vec<PageId>) {
+        out.extend_from_slice(&self.inner.lock().free_list);
+    }
+
     /// Write `pid` back to disk if resident and dirty. Returns whether a
     /// write happened.
     pub(crate) fn flush_page(
@@ -249,6 +293,7 @@ impl Shard {
         pid: PageId,
         disk: &dyn DiskManager,
         stats: &IoStats,
+        wal: Option<&dyn WalHook>,
     ) -> Result<bool, BufferError> {
         let inner = self.inner.lock();
         let Some(&idx) = inner.page_table.get(&pid) else {
@@ -258,10 +303,11 @@ impl Shard {
         if !st.dirty {
             return Ok(false);
         }
+        wal_before_data(wal, &st)?;
         disk.write_page(st.page_id, &st.data)?;
         stats.record_write();
         self.count(|t| t.writebacks.inc());
-        st.dirty = false;
+        after_write_back(wal, &mut st);
         Ok(true)
     }
 
@@ -270,15 +316,17 @@ impl Shard {
         &self,
         disk: &dyn DiskManager,
         stats: &IoStats,
+        wal: Option<&dyn WalHook>,
     ) -> Result<(), BufferError> {
         let inner = self.inner.lock();
         for &idx in inner.page_table.values() {
             let mut st = self.frames[idx].state.write();
             if st.dirty {
+                wal_before_data(wal, &st)?;
                 disk.write_page(st.page_id, &st.data)?;
                 stats.record_write();
                 self.count(|t| t.writebacks.inc());
-                st.dirty = false;
+                after_write_back(wal, &mut st);
             }
         }
         Ok(())
@@ -289,21 +337,35 @@ impl Shard {
         &self,
         disk: &dyn DiskManager,
         stats: &IoStats,
+        wal: Option<&dyn WalHook>,
     ) -> Result<(), BufferError> {
         let mut inner = self.inner.lock();
         for (_, idx) in inner.page_table.drain() {
             let mut st = self.frames[idx].state.write();
             debug_assert_eq!(self.frames[idx].pin_count.load(Ordering::Acquire), 0);
             if st.dirty {
+                wal_before_data(wal, &st)?;
                 disk.write_page(st.page_id, &st.data)?;
                 stats.record_write();
                 self.count(|t| t.writebacks.inc());
-                st.dirty = false;
+                after_write_back(wal, &mut st);
             }
             st.page_id = PageId::MAX;
         }
         inner.repl.reset();
         Ok(())
+    }
+
+    /// Append this shard's `(page_id, recLSN)` pairs for dirty resident
+    /// frames — its slice of the checkpoint dirty-page table.
+    pub(crate) fn collect_dirty(&self, out: &mut Vec<(PageId, Lsn)>) {
+        let inner = self.inner.lock();
+        for (&pid, &idx) in inner.page_table.iter() {
+            let st = self.frames[idx].state.read();
+            if st.dirty && st.rec_lsn != NO_LSN {
+                out.push((pid, st.rec_lsn));
+            }
+        }
     }
 
     /// Number of pages resident in this shard.

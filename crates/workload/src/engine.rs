@@ -40,7 +40,8 @@ use complexobj::{
     apply_update, CacheConfig, ClusterAssignment, CorDatabase, CorError, DatabaseSpec, ExecOptions,
     Query, RetrieveQuery, Strategy, StrategyOutput, UpdateQuery,
 };
-use cor_pagestore::{BufferPool, IoDelta, ReplacementPolicy, DEFAULT_POOL_PAGES};
+use cor_pagestore::{BufferPool, DiskManager, IoDelta, ReplacementPolicy, DEFAULT_POOL_PAGES};
+use cor_wal::{CheckpointInfo, Wal};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -61,10 +62,11 @@ pub struct Engine {
     backend: Backend,
     opts: ExecOptions,
     metrics: Option<Arc<EngineMetrics>>,
+    wal: Option<Arc<Wal>>,
 }
 
 /// Configures and builds an [`Engine`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct EngineBuilder {
     pool_pages: usize,
     shards: usize,
@@ -72,6 +74,23 @@ pub struct EngineBuilder {
     cache: Option<CacheConfig>,
     opts: ExecOptions,
     metrics: bool,
+    disk: Option<Arc<dyn DiskManager>>,
+    wal: Option<Arc<Wal>>,
+}
+
+impl std::fmt::Debug for EngineBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineBuilder")
+            .field("pool_pages", &self.pool_pages)
+            .field("shards", &self.shards)
+            .field("policy", &self.policy)
+            .field("cache", &self.cache)
+            .field("opts", &self.opts)
+            .field("metrics", &self.metrics)
+            .field("disk", &self.disk.is_some())
+            .field("wal", &self.wal.is_some())
+            .finish()
+    }
 }
 
 impl Default for EngineBuilder {
@@ -83,6 +102,8 @@ impl Default for EngineBuilder {
             cache: None,
             opts: ExecOptions::default(),
             metrics: false,
+            disk: None,
+            wal: None,
         }
     }
 }
@@ -119,6 +140,26 @@ impl EngineBuilder {
         self
     }
 
+    /// Back the pool with an explicit page store instead of the default
+    /// private [`MemDisk`](cor_pagestore::MemDisk) — a
+    /// [`FileDisk`](cor_pagestore::FileDisk), a crash-test
+    /// [`FaultyDisk`](cor_pagestore::FaultyDisk), or a shared handle the
+    /// caller keeps for post-crash inspection.
+    pub fn disk(mut self, disk: Arc<dyn DiskManager>) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// Attach a write-ahead log: every page mutation is logged before the
+    /// page can reach the disk, and [`Engine::checkpoint`] becomes
+    /// available. [`IoStats`](cor_pagestore::IoStats) totals — the
+    /// paper's cost metric — are identical with or without a WAL; log
+    /// I/O is accounted by the WAL's own counters.
+    pub fn wal(mut self, wal: Arc<Wal>) -> Self {
+        self.wal = Some(wal);
+        self
+    }
+
     /// Enable the observability layer: per-shard pool telemetry, per-query
     /// spans and streaming latency histograms, readable via
     /// [`Engine::metrics`]. Disabled by default; when disabled no counters
@@ -131,14 +172,18 @@ impl EngineBuilder {
     }
 
     fn make_pool(&self) -> Arc<BufferPool> {
-        Arc::new(
-            BufferPool::builder()
-                .capacity(self.pool_pages)
-                .shards(self.shards)
-                .policy(self.policy)
-                .telemetry(self.metrics)
-                .build(),
-        )
+        let mut b = BufferPool::builder()
+            .capacity(self.pool_pages)
+            .shards(self.shards)
+            .policy(self.policy)
+            .telemetry(self.metrics);
+        if let Some(disk) = &self.disk {
+            b = b.disk(Box::new(disk.clone()));
+        }
+        if let Some(wal) = &self.wal {
+            b = b.wal(wal.clone());
+        }
+        Arc::new(b.build())
     }
 
     fn make_metrics(&self) -> Option<Arc<EngineMetrics>> {
@@ -152,6 +197,7 @@ impl EngineBuilder {
             backend: Backend::Oid(db),
             opts: self.opts,
             metrics: self.make_metrics(),
+            wal: self.wal,
         })
     }
 
@@ -166,6 +212,7 @@ impl EngineBuilder {
             backend: Backend::Oid(db),
             opts: self.opts,
             metrics: self.make_metrics(),
+            wal: self.wal,
         })
     }
 
@@ -181,6 +228,7 @@ impl EngineBuilder {
             backend: Backend::Levels(levels),
             opts: self.opts,
             metrics: self.make_metrics(),
+            wal: self.wal,
         })
     }
 
@@ -196,6 +244,7 @@ impl EngineBuilder {
             backend: Backend::Proc(db),
             opts: self.opts,
             metrics: self.make_metrics(),
+            wal: self.wal,
         })
     }
 }
@@ -220,6 +269,7 @@ impl Engine {
             backend: Backend::Oid(db),
             opts: ExecOptions::default(),
             metrics: None,
+            wal: None,
         })
     }
 
@@ -237,6 +287,7 @@ impl Engine {
             backend: Backend::Oid(db),
             opts: ExecOptions::default(),
             metrics: Some(Arc::new(EngineMetrics::new())),
+            wal: None,
         })
     }
 
@@ -246,6 +297,7 @@ impl Engine {
             backend: Backend::Oid(db),
             opts: ExecOptions::default(),
             metrics: None,
+            wal: None,
         }
     }
 
@@ -257,6 +309,7 @@ impl Engine {
             backend: Backend::Levels(levels),
             opts: ExecOptions::default(),
             metrics: None,
+            wal: None,
         }
     }
 
@@ -299,6 +352,54 @@ impl Engine {
             Backend::Levels(levels) => levels[0].pool(),
             Backend::Proc(db) => db.pool(),
         }
+    }
+
+    /// Build a durable standard-representation engine: the builder must
+    /// carry both a [`disk`](EngineBuilder::disk) and a
+    /// [`wal`](EngineBuilder::wal), and the disk must be a **fresh**
+    /// (empty) store.
+    ///
+    /// Only fresh stores are supported because the catalog — relation
+    /// roots, OID maps, cache metadata — lives in memory and is rebuilt
+    /// by `build`; reopening a non-empty store would serve queries
+    /// against a catalog that no longer matches its pages. Crash
+    /// recovery is page-level: run [`cor_wal::recover`] over the
+    /// surviving disk + log, then verify or rebuild (see
+    /// `docs/durability.md`).
+    pub fn open_durable(spec: &DatabaseSpec, builder: EngineBuilder) -> Result<Engine, CorError> {
+        let disk = builder.disk.as_ref().ok_or_else(|| {
+            CorError::Durability("open_durable needs an explicit disk (EngineBuilder::disk)".into())
+        })?;
+        if builder.wal.is_none() {
+            return Err(CorError::Durability(
+                "open_durable needs a WAL (EngineBuilder::wal)".into(),
+            ));
+        }
+        if disk.num_pages() != 0 {
+            return Err(CorError::Durability(format!(
+                "open_durable requires a fresh store, found {} existing pages; \
+                 run cor_wal::recover for crash recovery and rebuild the database",
+                disk.num_pages()
+            )));
+        }
+        builder.build(spec)
+    }
+
+    /// The attached write-ahead log, if this engine runs durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Take a checkpoint: log the pool's dirty-page table, fsync, and
+    /// garbage-collect log segments below the new redo horizon. Bounds
+    /// both recovery time and log size. Errors on engines without a WAL.
+    pub fn checkpoint(&self) -> Result<CheckpointInfo, CorError> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| CorError::Durability("checkpoint needs a WAL attached".into()))?;
+        wal.checkpoint(&self.pool().dirty_page_table())
+            .map_err(|e| CorError::Durability(format!("checkpoint failed: {e}")))
     }
 
     /// A span start, if this engine records metrics: the handle, the I/O
@@ -484,7 +585,12 @@ impl Engine {
             Backend::Levels(levels) => levels[0].cache_counters(),
             Backend::Proc(db) => Some(db.cache_counters()),
         };
-        Some(build_report(m, self.pool().telemetry(), cache))
+        Some(build_report(
+            m,
+            self.pool().telemetry(),
+            cache,
+            self.wal.as_ref().map(|w| w.stats()),
+        ))
     }
 }
 
@@ -700,6 +806,157 @@ mod tests {
             .run_sequence(Strategy::Dfs, &[Query::Retrieve(q)])
             .unwrap();
         assert_eq!(r.retrieves, 1);
+    }
+
+    fn durable_rig() -> (
+        Arc<cor_pagestore::MemDisk>,
+        Arc<cor_wal::MemLogStore>,
+        Arc<Wal>,
+        EngineBuilder,
+    ) {
+        let disk = Arc::new(cor_pagestore::MemDisk::new());
+        let store = Arc::new(cor_wal::MemLogStore::new());
+        let wal = Arc::new(Wal::new(store.clone(), cor_wal::WalConfig::default()));
+        let builder = Engine::builder()
+            .pool_pages(16)
+            .cache(CacheConfig::default())
+            .disk(disk.clone())
+            .wal(wal.clone());
+        (disk, store, wal, builder)
+    }
+
+    /// A mixed workload covering ChildRel updates plus cache unit
+    /// insertion (retrieve materializes) and invalidation (update).
+    fn durable_workload(engine: &Engine, generated: &crate::dbgen::GeneratedDb) {
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 9,
+            attr: RetAttr::Ret1,
+        };
+        engine.retrieve(Strategy::DfsCache, &q).unwrap();
+        for (i, sub) in generated.spec.child_rels[0].iter().take(6).enumerate() {
+            engine
+                .update(&UpdateQuery {
+                    targets: vec![sub.oid],
+                    new_ret1: 1000 + i as i64,
+                })
+                .unwrap();
+            if i == 2 {
+                engine.checkpoint().unwrap();
+            }
+            engine.retrieve(Strategy::DfsCache, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn wal_attachment_leaves_io_stats_identical() {
+        // The paper's cost metric must not move when durability is on:
+        // log I/O bypasses the pool counters entirely.
+        let p = tiny();
+        let generated = generate(&p);
+        let sequence = generate_sequence(&p);
+        let plain = Engine::builder()
+            .pool_pages(16)
+            .cache(CacheConfig::default())
+            .build(&generated.spec)
+            .unwrap();
+        let expected = plain.run_sequence(Strategy::DfsCache, &sequence).unwrap();
+
+        let (_, _, wal, builder) = durable_rig();
+        let durable = builder.build(&generated.spec).unwrap();
+        let got = durable.run_sequence(Strategy::DfsCache, &sequence).unwrap();
+        assert_eq!(got.total_io, expected.total_io);
+        assert_eq!(got.par_io, expected.par_io);
+        assert_eq!(got.child_io, expected.child_io);
+        assert_eq!(got.update_io, expected.update_io);
+        assert_eq!(got.values_returned, expected.values_returned);
+        assert!(wal.stats().appends > 0, "the run was actually logged");
+    }
+
+    #[test]
+    fn crashed_engine_recovers_byte_identically_to_an_uncrashed_run() {
+        let p = tiny();
+        let generated = generate(&p);
+
+        // Oracle: identical run, no crash, everything flushed.
+        let (oracle_disk, _, _, oracle_builder) = durable_rig();
+        let oracle = Engine::open_durable(&generated.spec, oracle_builder).unwrap();
+        durable_workload(&oracle, &generated);
+        let freed = oracle.pool().free_page_ids();
+        oracle.pool().flush_all().unwrap();
+
+        // Crashing run: same ops, then the pool dies with its dirty
+        // frames and only the durable log + flushed pages survive.
+        let (disk, store, _, builder) = durable_rig();
+        let engine = Engine::open_durable(&generated.spec, builder).unwrap();
+        durable_workload(&engine, &generated);
+        drop(engine);
+        store.crash();
+
+        let stats = cor_wal::recover(disk.as_ref(), store.as_ref()).unwrap();
+        assert!(stats.records_scanned > 0);
+        assert!(stats.checkpoint_lsn.is_some());
+
+        use cor_pagestore::DiskManager;
+        assert_eq!(disk.num_pages(), oracle_disk.num_pages());
+        let mut compared = 0;
+        for pid in 0..disk.num_pages() {
+            // Pages on the free list at crash time hold garbage by
+            // definition; every live page must match exactly.
+            if freed.contains(&pid) {
+                continue;
+            }
+            let mut a = [0u8; cor_pagestore::PAGE_SIZE];
+            let mut b = [0u8; cor_pagestore::PAGE_SIZE];
+            disk.read_page(pid, &mut a).unwrap();
+            oracle_disk.read_page(pid, &mut b).unwrap();
+            assert_eq!(a, b, "page {pid} differs from the uncrashed oracle");
+            compared += 1;
+        }
+        assert!(compared > 0);
+    }
+
+    #[test]
+    fn open_durable_rejects_missing_pieces_and_used_stores() {
+        let p = tiny();
+        let generated = generate(&p);
+        let err = Engine::open_durable(&generated.spec, Engine::builder())
+            .err()
+            .expect("no disk/wal must be rejected");
+        assert!(matches!(err, CorError::Durability(_)), "{err}");
+
+        let (disk, _, _, builder) = durable_rig();
+        use cor_pagestore::DiskManager;
+        disk.allocate_page().unwrap(); // not fresh any more
+        let err = Engine::open_durable(&generated.spec, builder)
+            .err()
+            .expect("non-empty store must be rejected");
+        assert!(err.to_string().contains("fresh store"), "{err}");
+
+        // A plain engine has no checkpoint.
+        let engine = Engine::builder()
+            .pool_pages(16)
+            .build(&generated.spec)
+            .unwrap();
+        assert!(engine.wal().is_none());
+        assert!(matches!(engine.checkpoint(), Err(CorError::Durability(_))));
+    }
+
+    #[test]
+    fn durable_engine_reports_wal_metrics() {
+        let p = tiny();
+        let generated = generate(&p);
+        let (_, _, _, builder) = durable_rig();
+        let engine = builder.metrics(true).build(&generated.spec).unwrap();
+        durable_workload(&engine, &generated);
+        let report = engine.metrics().unwrap();
+        report.validate().unwrap();
+        let w = report.wal.as_ref().expect("wal section present");
+        assert!(w.appends > 0 && w.images > 0 && w.checkpoints > 0);
+        let prom = report.to_prometheus();
+        assert!(prom.contains("cor_wal_appends_total"), "{prom}");
+        assert!(prom.contains("cor_wal_durable_lsn"), "{prom}");
+        assert!(report.to_json().contains("cor_wal_fsyncs_total"));
     }
 
     #[test]

@@ -276,7 +276,9 @@ impl Engine {
         // flush then finds nothing dirty).
         self.pool().flush_and_clear()?;
         let before = profile.snapshot();
-        let io_before = stats.snapshot();
+        // A consistent cut: another stream incrementing between this
+        // snapshot's fields would otherwise skew the attribution window.
+        let io_before = stats.snapshot_consistent();
         enable_timing(true);
         take_thread_wall(); // discard anything accrued before the run
         let t0 = std::time::Instant::now();
@@ -285,7 +287,7 @@ impl Engine {
         let wall = take_thread_wall();
         enable_timing(false);
         let snap: PhaseSnapshot = profile.snapshot().since(&before);
-        let total = stats.snapshot().since(&io_before);
+        let total = stats.snapshot_consistent().since(&io_before);
 
         let phases: Vec<PhaseRow> = Phase::ALL
             .iter()

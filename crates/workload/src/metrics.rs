@@ -17,6 +17,7 @@
 use complexobj::{CacheCounters, Strategy};
 use cor_obs::{labels, Counter, Histogram, MetricsRegistry, MetricsSnapshot, Span, TraceRing};
 use cor_pagestore::{IoDelta, ShardTelemetrySnapshot};
+use cor_wal::WalStatsSnapshot;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -255,6 +256,8 @@ pub struct MetricsReport {
     /// Cache counters, when the engine carries a unit or procedural
     /// cache.
     pub cache: Option<CacheCounters>,
+    /// Write-ahead-log counters, when the engine runs durable.
+    pub wal: Option<WalStatsSnapshot>,
 }
 
 impl MetricsReport {
@@ -285,12 +288,13 @@ impl MetricsReport {
     }
 }
 
-/// Fold engine metrics, pool telemetry, and cache counters into one
-/// report.
+/// Fold engine metrics, pool telemetry, cache counters, and WAL
+/// counters into one report.
 pub fn build_report(
     metrics: &EngineMetrics,
     pool: Option<Vec<ShardTelemetrySnapshot>>,
     cache: Option<CacheCounters>,
+    wal: Option<WalStatsSnapshot>,
 ) -> MetricsReport {
     let mut snapshot = metrics.snapshot();
     if let Some(shards) = &pool {
@@ -373,6 +377,57 @@ pub fn build_report(
             c.hit_ratio(),
         );
     }
+    if let Some(w) = &wal {
+        let lbls = labels(&[]);
+        snapshot.push_counter(
+            "cor_wal_appends_total",
+            "log records appended",
+            lbls.clone(),
+            w.appends,
+        );
+        snapshot.push_counter(
+            "cor_wal_fsyncs_total",
+            "physical log syncs issued",
+            lbls.clone(),
+            w.fsyncs,
+        );
+        snapshot.push_counter(
+            "cor_wal_bytes_total",
+            "serialized log bytes appended",
+            lbls.clone(),
+            w.bytes,
+        );
+        snapshot.push_counter(
+            "cor_wal_images_total",
+            "full-page-image records appended",
+            lbls.clone(),
+            w.images,
+        );
+        snapshot.push_counter(
+            "cor_wal_deltas_total",
+            "byte-range delta records appended",
+            lbls.clone(),
+            w.deltas,
+        );
+        snapshot.push_counter(
+            "cor_wal_checkpoints_total",
+            "checkpoint records appended",
+            lbls.clone(),
+            w.checkpoints,
+        );
+        snapshot.push_gauge(
+            "cor_wal_appended_lsn",
+            "highest LSN appended to the log",
+            lbls.clone(),
+            w.appended_lsn as f64,
+        );
+        snapshot.push_gauge(
+            "cor_wal_durable_lsn",
+            "highest LSN known durable",
+            lbls,
+            w.durable_lsn as f64,
+        );
+    }
     // Snapshot the ring before reading the drop count, so losses caused
     // by this very snapshot are included in the figure it reports.
     let spans = metrics.spans();
@@ -389,6 +444,7 @@ pub fn build_report(
         spans_dropped,
         pool: pool.unwrap_or_default(),
         cache,
+        wal,
     }
 }
 
@@ -420,7 +476,7 @@ mod tests {
             },
             Duration::from_micros(3),
         );
-        let report = build_report(&m, None, None);
+        let report = build_report(&m, None, None, None);
         report.validate().expect("complete report");
         let totals = report.snapshot.family("cor_query_total").unwrap();
         // 6 strategies x {retrieve, sequence} + update.
@@ -444,7 +500,7 @@ mod tests {
         }
         assert_eq!(m.spans_pushed(), 5);
         assert_eq!(m.spans_dropped(), 3, "ring of 2 overwrote 3 spans");
-        let report = build_report(&m, None, None);
+        let report = build_report(&m, None, None, None);
         report.validate().expect("complete report");
         assert_eq!(report.spans_dropped, 3);
         assert_eq!(report.spans.len(), 2);
@@ -492,7 +548,7 @@ mod tests {
             invalidations: 1,
             evictions: 0,
         };
-        let report = build_report(&m, Some(pool), Some(cache));
+        let report = build_report(&m, Some(pool), Some(cache), None);
         report.validate().expect("complete report");
         assert_eq!(
             report

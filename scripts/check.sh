@@ -22,4 +22,7 @@ cargo run -q -p cor-bench --bin explain -- --smoke --jsonl results/explain/smoke
 echo "==> explain replay (deterministic I/O regression gate)"
 cargo run -q -p cor-bench --bin explain -- --replay results/explain/smoke.jsonl
 
+echo "==> crashtest smoke (durability gate: crash, recover, verify vs oracle)"
+cargo run -q --release -p cor-bench --bin crashtest -- --smoke
+
 echo "All checks passed."
