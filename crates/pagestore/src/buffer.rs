@@ -419,6 +419,7 @@ impl BufferPool {
                 // match what redo reconstructs: redo re-stamps rec.lsn
                 // the same way).
                 let mut st = shard.frame(idx).state.write();
+                let was_dirty = st.dirty;
                 st.dirty = true;
                 let pre: PageBuf = *st.data;
                 let r = f(PageMut::new(&mut st.data[..]));
@@ -431,6 +432,14 @@ impl BufferPool {
                             }
                         }
                         Err(e) => {
+                            // The mutation never made the log, so it must
+                            // not stay in the pool either: a frame holding
+                            // unlogged bytes would make every later delta
+                            // unreconstructable at redo. Restore the
+                            // pre-image (which the log fully describes)
+                            // and the prior dirty state.
+                            *st.data = pre;
+                            st.dirty = was_dirty;
                             drop(st);
                             shard.unpin(idx);
                             return Err(e.into());
@@ -959,6 +968,92 @@ mod tests {
         }
         assert_eq!(p.free_pages(), 0);
         assert_eq!(p.num_pages(), grown, "no growth while recycling");
+    }
+
+    /// A WAL hook that hands out sequential LSNs and can be told to fail
+    /// its next page-write log call.
+    struct FlakyHook {
+        next: std::sync::atomic::AtomicU32,
+        fail_writes: std::sync::atomic::AtomicBool,
+    }
+
+    impl FlakyHook {
+        fn new() -> Self {
+            FlakyHook {
+                next: std::sync::atomic::AtomicU32::new(0),
+                fail_writes: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    use crate::wal::WalHook;
+    use std::sync::atomic::Ordering;
+
+    impl WalHook for FlakyHook {
+        fn log_page_write(
+            &self,
+            _pid: PageId,
+            _before: &PageBuf,
+            _after: &PageBuf,
+        ) -> Result<Lsn, DiskError> {
+            if self.fail_writes.load(Ordering::SeqCst) {
+                return Err(DiskError::io(
+                    "wal append",
+                    "flaky-hook",
+                    std::io::Error::other("injected"),
+                ));
+            }
+            Ok(self.next.fetch_add(1, Ordering::SeqCst) + 1)
+        }
+        fn log_page_image(&self, _pid: PageId, _image: &PageBuf) -> Result<Lsn, DiskError> {
+            Ok(self.next.fetch_add(1, Ordering::SeqCst) + 1)
+        }
+        fn flush_to(&self, _lsn: Lsn) -> Result<(), DiskError> {
+            Ok(())
+        }
+        fn page_flushed(&self, _pid: PageId) {}
+    }
+
+    #[test]
+    fn failed_log_append_rolls_the_frame_back() {
+        let hook = Arc::new(FlakyHook::new());
+        let p = BufferPool::builder().capacity(4).wal(hook.clone()).build();
+        let pid = p.allocate_page().unwrap();
+        p.write(pid, |mut pg| {
+            pg.init();
+            pg.insert(b"logged").unwrap();
+        })
+        .unwrap();
+        p.flush_page(pid).unwrap(); // frame clean, last state fully logged
+        let before = p
+            .read(pid, |v| {
+                let mut b = [0u8; crate::PAGE_SIZE];
+                b.copy_from_slice(v.bytes());
+                b
+            })
+            .unwrap();
+
+        hook.fail_writes.store(true, Ordering::SeqCst);
+        let err = p.write(pid, |mut pg| {
+            pg.insert(b"unlogged").unwrap();
+        });
+        assert!(matches!(err, Err(BufferError::Disk(_))));
+        hook.fail_writes.store(false, Ordering::SeqCst);
+
+        // The unlogged mutation must be gone and the frame clean again:
+        // the pool never holds state the log cannot reconstruct.
+        let after = p
+            .read(pid, |v| {
+                let mut b = [0u8; crate::PAGE_SIZE];
+                b.copy_from_slice(v.bytes());
+                b
+            })
+            .unwrap();
+        assert_eq!(before[..], after[..], "mutation rolled back");
+        let w = p.stats().writes();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().writes(), w, "frame restored to clean");
+        assert!(p.dirty_page_table().is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use cor_pagestore::wal::{Lsn, WalHook, NO_LSN};
 use cor_pagestore::{DiskError, PageBuf, PageId, PAGE_SIZE};
 
-use crate::record::{decode_stream, Record, RecordBody};
+use crate::record::{decode_stream, Record, RecordBody, MAX_CHECKPOINT_DPT};
 use crate::store::LogStore;
 
 /// When the log syncs appended records to stable storage.
@@ -94,10 +94,13 @@ pub struct WalStatsSnapshot {
 pub struct CheckpointInfo {
     /// LSN of the checkpoint record.
     pub lsn: Lsn,
-    /// Redo horizon implied by this checkpoint: `min(lsn, min recLSN)`.
+    /// Redo horizon recorded by this checkpoint:
+    /// `min(begin LSN, min recLSN)`, with the begin LSN captured before
+    /// the dirty-page table so concurrently logged writes stay covered.
     /// Log records below it are dead and their segments eligible for GC.
     pub redo_start: Lsn,
-    /// Entries in the dirty-page table.
+    /// Entries in the dirty-page table (the full table, even when the
+    /// stored record truncates it to [`MAX_CHECKPOINT_DPT`]).
     pub dirty_pages: usize,
     /// Whole log segments garbage-collected below the redo horizon.
     pub segments_removed: usize,
@@ -118,6 +121,12 @@ struct WalInner {
     active_seg_bytes: usize,
     /// Appends since the last sync, for [`FsyncPolicy::EveryN`].
     appends_since_sync: u32,
+    /// Set when an append or sync against the store failed. A failed
+    /// append may have left garbage bytes in the active segment; any
+    /// record appended after that garbage would be invisible to recovery
+    /// (decoding stops at the first bad frame), so the log refuses all
+    /// further appends instead of silently dropping acknowledged work.
+    poisoned: bool,
 }
 
 /// The write-ahead log. Cheap to share: `Arc<Wal>` implements
@@ -147,6 +156,7 @@ impl Wal {
                 imaged: HashSet::new(),
                 active_seg_bytes: 0,
                 appends_since_sync: 0,
+                poisoned: false,
             }),
             appends: AtomicU64::new(0),
             fsyncs: AtomicU64::new(0),
@@ -222,7 +232,13 @@ impl Wal {
             inner.appends_since_sync = 0;
             return Ok(());
         }
-        self.store.sync()?;
+        if let Err(e) = self.store.sync() {
+            // After a failed fsync the kernel may have dropped the dirty
+            // pages it could not write; a later "successful" sync would
+            // prove nothing about these bytes. Fail fast from here on.
+            inner.poisoned = true;
+            return Err(e);
+        }
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
         inner.durable_lsn = inner.appended_lsn;
         inner.appends_since_sync = 0;
@@ -233,6 +249,11 @@ impl Wal {
     /// when the active one is over size, and applies the group-commit
     /// policy afterwards.
     fn append_record(&self, inner: &mut WalInner, body: RecordBody) -> io::Result<Lsn> {
+        if inner.poisoned {
+            return Err(io::Error::other(
+                "write-ahead log poisoned by an earlier append/sync failure",
+            ));
+        }
         if inner.active_seg_bytes >= self.config.segment_bytes {
             // Close the segment durably, then start a fresh one named by
             // the LSN this record will carry.
@@ -245,7 +266,13 @@ impl Wal {
         let rec = Record { lsn, body };
         let mut buf = Vec::with_capacity(rec.encoded_len());
         rec.encode(&mut buf);
-        self.store.append(&buf)?;
+        if let Err(e) = self.store.append(&buf) {
+            // The record may have landed partially: everything appended
+            // after it would sit behind a bad frame and be dropped at
+            // recovery, so no further appends may be acknowledged.
+            inner.poisoned = true;
+            return Err(e);
+        }
         inner.next_lsn += 1;
         inner.appended_lsn = lsn;
         inner.active_seg_bytes += buf.len();
@@ -264,16 +291,42 @@ impl Wal {
         Ok(lsn)
     }
 
-    /// Take a fuzzy checkpoint: append a checkpoint record carrying
-    /// `dirty_pages` (the pool's dirty-page table), sync the log, reset
-    /// the full-page-write epoch, and garbage-collect segments below the
-    /// new redo horizon.
-    pub fn checkpoint(&self, dirty_pages: &[(PageId, Lsn)]) -> io::Result<CheckpointInfo> {
+    /// Take a fuzzy checkpoint: capture a *begin LSN*, call `capture_dpt`
+    /// for the pool's dirty-page table, append a checkpoint record
+    /// carrying the redo horizon `min(begin LSN, min recLSN)`, sync the
+    /// log, reset the full-page-write epoch, and garbage-collect segments
+    /// below the horizon.
+    ///
+    /// Taking the dirty-page table through a closure is what makes the
+    /// checkpoint race-free against concurrent writers (ARIES
+    /// begin/end-checkpoint): the begin LSN is read **before** the table
+    /// is captured, so a page write logged in the window between the
+    /// capture and the checkpoint append either carries an LSN `>=` the
+    /// begin LSN (covered by redo regardless of the table) or finished
+    /// updating its frame before the capture saw it (present in the
+    /// table). The closure runs without the log lock held, so it may
+    /// itself append records (the pool's frame latches order before the
+    /// log lock).
+    pub fn checkpoint(
+        &self,
+        capture_dpt: impl FnOnce() -> Vec<(PageId, Lsn)>,
+    ) -> io::Result<CheckpointInfo> {
+        let begin_lsn = self.inner.lock().next_lsn;
+        let mut dirty_pages = capture_dpt();
+        let total_dirty = dirty_pages.len();
+        let redo_lsn = dirty_pages
+            .iter()
+            .map(|&(_, rec_lsn)| rec_lsn)
+            .min()
+            .unwrap_or(begin_lsn)
+            .min(begin_lsn);
+        dirty_pages.truncate(MAX_CHECKPOINT_DPT);
         let mut inner = self.inner.lock();
         let lsn = self.append_record(
             &mut inner,
             RecordBody::Checkpoint {
-                dirty_pages: dirty_pages.to_vec(),
+                redo_lsn,
+                dirty_pages,
             },
         )?;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
@@ -281,17 +334,11 @@ impl Wal {
         // New FPW epoch: the next write to any page logs a full image,
         // so redo from this checkpoint never trusts a torn page.
         inner.imaged.clear();
-        let redo_start = dirty_pages
-            .iter()
-            .map(|&(_, rec_lsn)| rec_lsn)
-            .min()
-            .unwrap_or(lsn)
-            .min(lsn);
-        let segments_removed = self.store.gc_before(redo_start)?;
+        let segments_removed = self.store.gc_before(redo_lsn)?;
         Ok(CheckpointInfo {
             lsn,
-            redo_start,
-            dirty_pages: dirty_pages.len(),
+            redo_start: redo_lsn,
+            dirty_pages: total_dirty,
             segments_removed,
         })
     }
@@ -331,37 +378,47 @@ impl WalHook for Wal {
             }
         };
         let body = if image {
-            inner.imaged.insert(pid);
-            self.images.fetch_add(1, Ordering::Relaxed);
             RecordBody::PageImage {
                 pid,
                 image: Box::new(*after),
             }
         } else {
             let (s, e) = diff_range(before, after).expect("checked above");
-            self.deltas.fetch_add(1, Ordering::Relaxed);
             RecordBody::PageDelta {
                 pid,
                 offset: s as u16,
                 bytes: after[s..e].to_vec(),
             }
         };
-        self.append_record(&mut inner, body)
-            .map_err(|e| self.io_err("wal append", e))
+        // The imaged set and counters move only once the record is in the
+        // store: marking the page imaged on a failed append would let the
+        // next write log a delta against a baseline the log never got.
+        let lsn = self
+            .append_record(&mut inner, body)
+            .map_err(|e| self.io_err("wal append", e))?;
+        if image {
+            inner.imaged.insert(pid);
+            self.images.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.deltas.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(lsn)
     }
 
     fn log_page_image(&self, pid: PageId, image: &PageBuf) -> Result<Lsn, DiskError> {
         let mut inner = self.inner.lock();
+        let lsn = self
+            .append_record(
+                &mut inner,
+                RecordBody::PageImage {
+                    pid,
+                    image: Box::new(*image),
+                },
+            )
+            .map_err(|e| self.io_err("wal append", e))?;
         inner.imaged.insert(pid);
         self.images.fetch_add(1, Ordering::Relaxed);
-        self.append_record(
-            &mut inner,
-            RecordBody::PageImage {
-                pid,
-                image: Box::new(*image),
-            },
-        )
-        .map_err(|e| self.io_err("wal append", e))
+        Ok(lsn)
     }
 
     fn flush_to(&self, lsn: Lsn) -> Result<(), DiskError> {
@@ -430,7 +487,7 @@ mod tests {
         let mut v3 = v2;
         v3[2] = 3;
         wal.log_page_write(5, &v2, &v3).unwrap(); // image again (flushed)
-        wal.checkpoint(&[]).unwrap();
+        wal.checkpoint(Vec::new).unwrap();
         let mut v4 = v3;
         v4[3] = 4;
         wal.log_page_write(5, &v3, &v4).unwrap(); // image again (checkpoint)
@@ -518,7 +575,7 @@ mod tests {
         assert!(store.segment_count() > 2, "rotation must have happened");
         // All pages clean: the checkpoint's redo horizon is its own LSN,
         // so every older segment is garbage.
-        let info = wal.checkpoint(&[]).unwrap();
+        let info = wal.checkpoint(Vec::new).unwrap();
         assert_eq!(info.dirty_pages, 0);
         assert!(info.segments_removed >= 2, "{info:?}");
         assert_eq!(store.segment_count(), 1);
@@ -526,9 +583,157 @@ mod tests {
         let mut v = zero;
         v[0] = 0xEE;
         let lsn = wal.log_page_write(9, &zero, &v).unwrap();
-        let info = wal.checkpoint(&[(9, lsn)]).unwrap();
+        let info = wal.checkpoint(|| vec![(9, lsn)]).unwrap();
         assert_eq!(info.redo_start, lsn);
         assert_eq!(info.dirty_pages, 1);
+    }
+
+    #[test]
+    fn checkpoint_covers_writes_raced_during_dpt_capture() {
+        // A writer that logs between the checkpoint's begin-LSN capture
+        // and its record append — and is missed by the captured DPT —
+        // must still land above the redo horizon.
+        let store = Arc::new(MemLogStore::new());
+        let wal = Wal::new(store.clone(), WalConfig::default());
+        let zero = buf_with(0);
+        let mut v = zero;
+        v[0] = 7;
+        let mut raced_lsn = NO_LSN;
+        let info = wal
+            .checkpoint(|| {
+                raced_lsn = wal.log_page_write(3, &zero, &v).unwrap();
+                Vec::new() // the snapshot predates the raced write
+            })
+            .unwrap();
+        assert_ne!(raced_lsn, NO_LSN);
+        assert!(
+            info.redo_start <= raced_lsn,
+            "redo horizon {} must not skip the raced write at {}",
+            info.redo_start,
+            raced_lsn
+        );
+        assert!(info.lsn > raced_lsn, "checkpoint record appends after");
+        // The raced record's segment must have survived GC.
+        let recs: Vec<Record> = store
+            .read_segments()
+            .unwrap()
+            .iter()
+            .flat_map(|s| decode_stream(s).records)
+            .collect();
+        assert!(recs.iter().any(|r| r.lsn == raced_lsn));
+    }
+
+    #[test]
+    fn oversized_dpt_is_capped_in_the_record_but_not_the_horizon() {
+        let store = Arc::new(MemLogStore::new());
+        let wal = Wal::new(store.clone(), WalConfig::default());
+        // Push next_lsn past the table's recLSNs so the horizon comes
+        // from the table, not the begin LSN.
+        let zero = buf_with(0);
+        for pid in 0..8 {
+            let mut v = zero;
+            v[0] = pid as u8 + 1;
+            wal.log_page_write(pid, &zero, &v).unwrap();
+        }
+        let dpt: Vec<(PageId, Lsn)> = (0..(MAX_CHECKPOINT_DPT as u32 + 10))
+            .map(|i| (i, i + 5))
+            .collect();
+        let info = wal.checkpoint(|| dpt.clone()).unwrap();
+        assert_eq!(info.dirty_pages, MAX_CHECKPOINT_DPT + 10);
+        assert_eq!(info.redo_start, 5, "horizon from the full table");
+        let recs: Vec<Record> = store
+            .read_segments()
+            .unwrap()
+            .iter()
+            .flat_map(|s| decode_stream(s).records)
+            .collect();
+        match &recs.last().unwrap().body {
+            RecordBody::Checkpoint {
+                redo_lsn,
+                dirty_pages,
+            } => {
+                assert_eq!(*redo_lsn, 5);
+                assert_eq!(dirty_pages.len(), MAX_CHECKPOINT_DPT, "stored copy capped");
+            }
+            other => panic!("expected checkpoint, got {other:?}"),
+        }
+    }
+
+    /// A store that can be told to fail its next append, then heals.
+    struct FlakyStore {
+        inner: MemLogStore,
+        fail_next_append: std::sync::atomic::AtomicBool,
+    }
+
+    impl FlakyStore {
+        fn new() -> Self {
+            FlakyStore {
+                inner: MemLogStore::new(),
+                fail_next_append: std::sync::atomic::AtomicBool::new(false),
+            }
+        }
+    }
+
+    impl LogStore for FlakyStore {
+        fn append(&self, bytes: &[u8]) -> io::Result<()> {
+            if self.fail_next_append.swap(false, Ordering::SeqCst) {
+                return Err(io::Error::other("injected append failure"));
+            }
+            self.inner.append(bytes)
+        }
+        fn sync(&self) -> io::Result<()> {
+            self.inner.sync()
+        }
+        fn rotate(&self, first_lsn: Lsn) -> io::Result<()> {
+            self.inner.rotate(first_lsn)
+        }
+        fn gc_before(&self, lsn: Lsn) -> io::Result<usize> {
+            self.inner.gc_before(lsn)
+        }
+        fn read_segments(&self) -> io::Result<Vec<Vec<u8>>> {
+            self.inner.read_segments()
+        }
+        fn segment_count(&self) -> usize {
+            self.inner.segment_count()
+        }
+        fn describe(&self) -> String {
+            "flaky-log".to_string()
+        }
+    }
+
+    #[test]
+    fn append_failure_poisons_the_log_and_skips_the_imaged_set() {
+        let store = Arc::new(FlakyStore::new());
+        let wal = Wal::new(store.clone(), WalConfig::default());
+        let zero = buf_with(0);
+        let mut v1 = zero;
+        v1[0] = 1;
+        wal.log_page_write(4, &zero, &v1).unwrap(); // image, healthy
+        store.fail_next_append.store(true, Ordering::SeqCst);
+        let mut v2 = v1;
+        v2[1] = 2;
+        assert!(wal.log_page_write(4, &v1, &v2).is_err());
+        // The store healed, but the log stays poisoned: the failed append
+        // may have left garbage framing in the active segment.
+        let mut v3 = v2;
+        v3[2] = 3;
+        let err = wal.log_page_write(4, &v2, &v3).unwrap_err();
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        assert!(wal.checkpoint(Vec::new).is_err());
+        // Only the successful record moved the counters.
+        let s = wal.stats();
+        assert_eq!((s.appends, s.images, s.deltas), (1, 1, 0));
+    }
+
+    #[test]
+    fn failed_image_append_does_not_move_the_counters() {
+        let store = Arc::new(FlakyStore::new());
+        let wal = Wal::new(store.clone(), WalConfig::default());
+        store.fail_next_append.store(true, Ordering::SeqCst);
+        let zero = buf_with(0);
+        assert!(wal.log_page_image(6, &zero).is_err());
+        let s = wal.stats();
+        assert_eq!((s.appends, s.images, s.appended_lsn), (0, 0, NO_LSN));
     }
 
     #[test]

@@ -21,10 +21,16 @@
 //!   Written for subsequent modifications within a dirty period. Redo
 //!   applies deltas gated on the page LSN (`page_lsn >= rec.lsn` ⇒
 //!   skip), which makes replay idempotent.
-//! * **Checkpoint** — the dirty-page table `(page_id, recLSN)*` at
-//!   checkpoint time. Recovery starts redo from
-//!   `min(checkpoint.lsn, min recLSN)` of the *last* complete
-//!   checkpoint.
+//! * **Checkpoint** — the redo horizon plus the dirty-page table
+//!   `(page_id, recLSN)*` at checkpoint time. The horizon (`redo_lsn`)
+//!   is computed by the writer as `min(begin LSN, min recLSN)`, where
+//!   the *begin LSN* was captured **before** the dirty-page table — so a
+//!   page write raced between the capture and the checkpoint append is
+//!   still covered by redo even though it is missing from the table.
+//!   Recovery starts redo from the `redo_lsn` of the *last* complete
+//!   checkpoint. The stored table is diagnostic (the horizon is explicit)
+//!   and is capped at [`MAX_CHECKPOINT_DPT`] entries so every checkpoint
+//!   record stays decodable.
 
 use crate::crc::crc32;
 use cor_pagestore::wal::Lsn;
@@ -36,6 +42,14 @@ pub const RECORD_HEADER: usize = 13;
 /// Upper bound on a sane payload length; anything larger is treated as
 /// tail corruption rather than attempted as an allocation.
 const MAX_PAYLOAD: usize = PAGE_SIZE + 64 + 16 * 65536;
+
+/// Most dirty-page-table entries a checkpoint record stores. The redo
+/// horizon travels in the record's explicit `redo_lsn` — always computed
+/// over the *full* table — so truncating the stored copy loses only
+/// diagnostics, never correctness. The cap keeps the largest checkpoint
+/// payload (8 + 8 × 65 536 bytes) comfortably under [`MAX_PAYLOAD`], so
+/// a pool with millions of frames can still emit decodable checkpoints.
+pub const MAX_CHECKPOINT_DPT: usize = 65_536;
 
 const KIND_IMAGE: u8 = 1;
 const KIND_DELTA: u8 = 2;
@@ -60,10 +74,16 @@ pub enum RecordBody {
         /// The changed bytes (after-image of the range).
         bytes: Vec<u8>,
     },
-    /// Dirty-page table at checkpoint time.
+    /// Redo horizon + dirty-page table at checkpoint time.
     Checkpoint {
-        /// `(page_id, recLSN)` for every page dirty in the pool when the
-        /// checkpoint was taken.
+        /// Where redo must start for this checkpoint to be complete:
+        /// `min(begin LSN, min recLSN over the full dirty-page table)`,
+        /// with the begin LSN captured before the table (see module
+        /// docs). Always `<=` the record's own LSN.
+        redo_lsn: Lsn,
+        /// `(page_id, recLSN)` for pages dirty in the pool when the
+        /// checkpoint was taken; diagnostic, truncated to
+        /// [`MAX_CHECKPOINT_DPT`] entries by the writer.
         dirty_pages: Vec<(PageId, Lsn)>,
     },
 }
@@ -95,8 +115,12 @@ impl Record {
                 p.extend_from_slice(bytes);
                 (KIND_DELTA, p)
             }
-            RecordBody::Checkpoint { dirty_pages } => {
-                let mut p = Vec::with_capacity(4 + 8 * dirty_pages.len());
+            RecordBody::Checkpoint {
+                redo_lsn,
+                dirty_pages,
+            } => {
+                let mut p = Vec::with_capacity(8 + 8 * dirty_pages.len());
+                p.extend_from_slice(&redo_lsn.to_le_bytes());
                 p.extend_from_slice(&(dirty_pages.len() as u32).to_le_bytes());
                 for (pid, rec_lsn) in dirty_pages {
                     p.extend_from_slice(&pid.to_le_bytes());
@@ -120,7 +144,7 @@ impl Record {
             + match &self.body {
                 RecordBody::PageImage { .. } => 4 + PAGE_SIZE,
                 RecordBody::PageDelta { bytes, .. } => 8 + bytes.len(),
-                RecordBody::Checkpoint { dirty_pages } => 4 + 8 * dirty_pages.len(),
+                RecordBody::Checkpoint { dirty_pages, .. } => 8 + 8 * dirty_pages.len(),
             }
     }
 }
@@ -186,20 +210,24 @@ pub fn decode_stream(bytes: &[u8]) -> DecodedStream {
                     bytes: payload[8..].to_vec(),
                 }
             }
-            KIND_CHECKPOINT if len >= 4 => {
-                let n = read_u32(payload, 0) as usize;
-                if len != 4 + 8 * n {
+            KIND_CHECKPOINT if len >= 8 => {
+                let redo_lsn = read_u32(payload, 0);
+                let n = read_u32(payload, 4) as usize;
+                if n > MAX_CHECKPOINT_DPT || len != 8 + 8 * n {
                     break;
                 }
                 let dirty_pages = (0..n)
                     .map(|i| {
                         (
-                            read_u32(payload, 4 + 8 * i),
-                            read_u32(payload, 4 + 8 * i + 4),
+                            read_u32(payload, 8 + 8 * i),
+                            read_u32(payload, 8 + 8 * i + 4),
                         )
                     })
                     .collect();
-                RecordBody::Checkpoint { dirty_pages }
+                RecordBody::Checkpoint {
+                    redo_lsn,
+                    dirty_pages,
+                }
             }
             _ => break,
         };
@@ -237,6 +265,7 @@ mod tests {
             Record {
                 lsn: 3,
                 body: RecordBody::Checkpoint {
+                    redo_lsn: 1,
                     dirty_pages: vec![(7, 2), (9, 1)],
                 },
             },
@@ -307,6 +336,37 @@ mod tests {
         buf[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
         let out = decode_stream(&buf);
         assert!(out.records.is_empty() && out.torn_tail);
+    }
+
+    #[test]
+    fn checkpoint_dpt_over_the_cap_is_rejected_at_decode() {
+        // The writer never emits more than MAX_CHECKPOINT_DPT entries;
+        // a stream claiming more is treated as corruption, not as a
+        // request for an unbounded allocation.
+        let r = Record {
+            lsn: 9,
+            body: RecordBody::Checkpoint {
+                redo_lsn: 1,
+                dirty_pages: (0..(MAX_CHECKPOINT_DPT as u32 + 1)).map(|i| (i, i)).collect(),
+            },
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let out = decode_stream(&buf);
+        assert!(out.records.is_empty() && out.torn_tail);
+        // At exactly the cap the record round-trips.
+        let r = Record {
+            lsn: 9,
+            body: RecordBody::Checkpoint {
+                redo_lsn: 1,
+                dirty_pages: (0..MAX_CHECKPOINT_DPT as u32).map(|i| (i, i)).collect(),
+            },
+        };
+        let mut buf = Vec::new();
+        r.encode(&mut buf);
+        let out = decode_stream(&buf);
+        assert!(!out.torn_tail);
+        assert_eq!(out.records, vec![r]);
     }
 
     #[test]

@@ -6,9 +6,11 @@
 //!
 //! 1. **Analysis**: read every surviving segment, decode records until
 //!    the (expected) torn tail, and find the *last* checkpoint record.
-//!    The redo horizon is `min(checkpoint LSN, min recLSN of its
-//!    dirty-page table)`; with no checkpoint, redo starts at the first
-//!    record.
+//!    The redo horizon is the checkpoint's recorded `redo_lsn` —
+//!    computed by the writer as `min(begin LSN, min recLSN)` with the
+//!    begin LSN captured *before* the dirty-page table, so page writes
+//!    raced against the checkpoint are always covered; with no
+//!    checkpoint, redo starts at the first record.
 //! 2. **Redo**: walk records with `lsn >= redo_start` in log order.
 //!    Full-page images are applied **unconditionally** (a torn page's
 //!    LSN word cannot be trusted; images are what repair torn pages).
@@ -125,17 +127,14 @@ pub fn recover(
     }
     stats.records_scanned = records.len() as u64;
 
-    // Analysis: the redo horizon from the last complete checkpoint.
+    // Analysis: the redo horizon from the last complete checkpoint. The
+    // record carries it explicitly (clamped to the record's own LSN for
+    // defense in depth); the stored dirty-page table is diagnostic only.
     let mut redo_start = records.first().map_or(Lsn::MAX, |r| r.lsn);
     for rec in &records {
-        if let RecordBody::Checkpoint { dirty_pages } = &rec.body {
+        if let RecordBody::Checkpoint { redo_lsn, .. } = &rec.body {
             stats.checkpoint_lsn = Some(rec.lsn);
-            redo_start = dirty_pages
-                .iter()
-                .map(|&(_, rec_lsn)| rec_lsn)
-                .min()
-                .unwrap_or(rec.lsn)
-                .min(rec.lsn);
+            redo_start = (*redo_lsn).min(rec.lsn);
         }
     }
     stats.redo_start = if records.is_empty() { 0 } else { redo_start };
@@ -277,7 +276,7 @@ mod tests {
         let mut page2 = page;
         logged_write(&wal, &mut page2, 0, |p| p[20..24].fill(9));
         disk.write_page(0, &page2).unwrap();
-        wal.checkpoint(&[]).unwrap(); // empty DPT: redo starts at the checkpoint
+        wal.checkpoint(Vec::new).unwrap(); // empty DPT: redo starts at the checkpoint
         let mut page3 = page2;
         // After a checkpoint the next write images; flush it to disk too,
         // then append one pure delta that is ALSO already on disk.
@@ -295,7 +294,7 @@ mod tests {
         let wal = Wal::new(store.clone(), WalConfig::default());
         let mut page = [0u8; PAGE_SIZE];
         logged_write(&wal, &mut page, 1, |p| p[0] = 1);
-        wal.checkpoint(&[]).unwrap();
+        wal.checkpoint(Vec::new).unwrap();
         let mut p4 = [0u8; PAGE_SIZE];
         logged_write(&wal, &mut p4, 4, |p| p[0] = 4);
 
@@ -309,6 +308,27 @@ mod tests {
         assert_eq!(stats.images_applied, 1, "only page 4's image");
         assert_eq!(page_bytes(&disk, 4), p4);
         assert!(page_bytes(&disk, 1).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_raced_against_a_checkpoint_is_replayed() {
+        // The write is logged between the checkpoint's begin-LSN capture
+        // and its record append, and the DPT snapshot misses it; the
+        // crash then loses the dirty frame. The recorded redo horizon
+        // must still reach back to the raced record.
+        let store = Arc::new(MemLogStore::new());
+        let wal = Wal::new(store.clone(), WalConfig::default());
+        let mut page = [0u8; PAGE_SIZE];
+        wal.checkpoint(|| {
+            logged_write(&wal, &mut page, 0, |p| p[0..4].fill(9));
+            Vec::new()
+        })
+        .unwrap();
+
+        let disk = MemDisk::new(); // dirty frame never hit the store
+        let stats = recover(&disk, store.as_ref()).unwrap();
+        assert_eq!(stats.images_applied, 1, "raced record replayed");
+        assert_eq!(page_bytes(&disk, 0), page, "acknowledged write survives");
     }
 
     #[test]

@@ -216,6 +216,10 @@ impl FileLogStore {
             .create(true)
             .append(true)
             .open(active_path)?;
+        // The open may have created the directory and/or the first
+        // segment file; pin both entries down before any append is
+        // acknowledged against this store.
+        Self::sync_dir(dir)?;
         Ok(FileLogStore {
             dir: dir.to_path_buf(),
             inner: Mutex::new(FileLogInner { segments, active }),
@@ -224,6 +228,15 @@ impl FileLogStore {
 
     fn segment_path(dir: &Path, first_lsn: Lsn) -> PathBuf {
         dir.join(format!("wal-{first_lsn:010}.seg"))
+    }
+
+    /// Fsync the log directory itself. `fdatasync` on a segment file
+    /// makes its *contents* durable, but the directory entry naming it is
+    /// separate metadata: without this, a power loss can make a fully
+    /// synced segment vanish from the directory (truncating the log) or
+    /// resurrect a GC'd one. Called after every create and unlink.
+    fn sync_dir(dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
     }
 }
 
@@ -242,6 +255,10 @@ impl LogStore for FileLogStore {
         inner.active.sync_data()?;
         let path = Self::segment_path(&self.dir, first_lsn);
         inner.active = OpenOptions::new().create(true).append(true).open(&path)?;
+        // Make the new segment's directory entry durable: a synced
+        // segment that is missing from the directory after power loss
+        // silently truncates the log.
+        Self::sync_dir(&self.dir)?;
         inner.segments.push((first_lsn, path));
         Ok(())
     }
@@ -253,6 +270,12 @@ impl LogStore for FileLogStore {
             let (_, path) = inner.segments.remove(0);
             std::fs::remove_file(path)?;
             removed += 1;
+        }
+        if removed > 0 {
+            // Pin the unlinks down, so a GC'd segment (whose records may
+            // predate the checkpoint's horizon) cannot reappear after a
+            // crash and confuse a later recovery.
+            Self::sync_dir(&self.dir)?;
         }
         Ok(removed)
     }

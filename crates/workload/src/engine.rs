@@ -393,12 +393,18 @@ impl Engine {
     /// Take a checkpoint: log the pool's dirty-page table, fsync, and
     /// garbage-collect log segments below the new redo horizon. Bounds
     /// both recovery time and log size. Errors on engines without a WAL.
+    ///
+    /// Safe against queries running concurrently on other threads: the
+    /// WAL captures its begin LSN before pulling the dirty-page table
+    /// (the closure below), so a page write logged while the table is
+    /// being assembled stays above the recorded redo horizon even when
+    /// the table misses it.
     pub fn checkpoint(&self) -> Result<CheckpointInfo, CorError> {
         let wal = self
             .wal
             .as_ref()
             .ok_or_else(|| CorError::Durability("checkpoint needs a WAL attached".into()))?;
-        wal.checkpoint(&self.pool().dirty_page_table())
+        wal.checkpoint(|| self.pool().dirty_page_table())
             .map_err(|e| CorError::Durability(format!("checkpoint failed: {e}")))
     }
 
