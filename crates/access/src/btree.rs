@@ -307,6 +307,11 @@ pub struct BTreeFile {
     len: SyncCell<u64>,
     height: SyncCell<u32>,
     leaf_pages: SyncCell<u32>,
+    /// Last leaf of the bulk-loaded run while leaf page ids are still
+    /// consecutive (`NO_PAGE` once a split/merge — or a reattach, which
+    /// cannot know — breaks that). Scan readahead clamps to this so a
+    /// prefetch never touches pages outside the tree's own leaves.
+    ra_end: SyncCell<PageId>,
 }
 
 impl BTreeFile {
@@ -325,6 +330,7 @@ impl BTreeFile {
             len: SyncCell::new(0),
             height: SyncCell::new(1),
             leaf_pages: SyncCell::new(1),
+            ra_end: SyncCell::new(root),
         })
     }
 
@@ -398,6 +404,14 @@ impl BTreeFile {
         }
         let first_leaf = leaves[0].1;
         let leaf_pages = leaves.len() as u32;
+        // Leaves normally come off the allocator consecutively; a
+        // concurrent allocation interleaving would break that, so verify
+        // before promising the readahead clamp anything.
+        let ra_end = if leaves.windows(2).all(|w| w[1].1 == w[0].1 + 1) {
+            leaves[leaves.len() - 1].1
+        } else {
+            NO_PAGE
+        };
 
         // --- internal levels ---
         let mut level = leaves;
@@ -430,6 +444,7 @@ impl BTreeFile {
             len: SyncCell::new(total),
             height: SyncCell::new(height),
             leaf_pages: SyncCell::new(leaf_pages),
+            ra_end: SyncCell::new(ra_end),
         })
     }
 
@@ -466,6 +481,7 @@ impl BTreeFile {
             len: SyncCell::new(meta.len),
             height: SyncCell::new(meta.height),
             leaf_pages: SyncCell::new(meta.leaf_pages),
+            ra_end: SyncCell::new(NO_PAGE),
         })
     }
 
@@ -630,6 +646,108 @@ impl BTreeFile {
         Ok(self.get(key)?.is_some())
     }
 
+    /// Descend to the leaf owning `key`, also returning the tightest
+    /// *exclusive* upper bound on the keys that leaf can hold (the right
+    /// separator of the chosen subtree at the deepest level that has one).
+    /// `None` means the rightmost leaf: every larger key still lands there.
+    ///
+    /// The bound is what makes batched probes cheap: a run of sorted keys
+    /// all `< bound` is guaranteed to live on this same leaf, so the
+    /// descent is paid once per run instead of once per key.
+    fn find_leaf_bounded(&self, key: &[u8]) -> Result<(PageId, Option<Vec<u8>>), AccessError> {
+        let _phase = PhaseGuard::enter_default(Phase::IndexDescent);
+        let key_len = self.key_len;
+        let mut page = self.root.get();
+        let mut bound: Option<Vec<u8>> = None;
+        // Unlike `find_leaf`, the leaf itself is never read here: `height`
+        // says where the leaf level is, so the descent stops one level
+        // above it and batched probes hand every leaf fetch to the pool's
+        // coalescing multi-page read path.
+        for _ in 1..self.height.get() {
+            let (child, sep) = self.pool.read(page, |p| {
+                let d = p.bytes();
+                // Entry keys are the inclusive lower bounds of their child
+                // subtrees, so the *next* entry's key (if any) is the
+                // chosen child's exclusive upper bound. A child's range is
+                // nested inside its parent's, so a bound found deeper
+                // always replaces the inherited one.
+                let (child, sep_idx) = match node::search(d, key, key_len) {
+                    Ok(i) => (node::entry_child(d, i, key_len), i + 1),
+                    Err(0) => (node::next(d), 0),
+                    Err(i) => (node::entry_child(d, i - 1, key_len), i),
+                };
+                let sep = (sep_idx < node::count(d))
+                    .then(|| node::entry_key(d, sep_idx, key_len).to_vec());
+                (child, sep)
+            })?;
+            if sep.is_some() {
+                bound = sep;
+            }
+            page = child;
+        }
+        Ok((page, bound))
+    }
+
+    /// Batched point lookup: results come back in input order, one per
+    /// key, exactly as a loop of [`Self::get`] would produce.
+    ///
+    /// The keys are probed in sorted order so that each root-to-leaf
+    /// descent is paid once per *leaf run* (consecutive keys owned by the
+    /// same leaf) rather than once per key, and the distinct leaf pages of
+    /// a window are then fetched through [`BufferPool::fetch_many`] — one
+    /// coalesced disk submission per run of physically adjacent leaves
+    /// (bulk-loaded trees allocate leaves sequentially). Windows are
+    /// clipped well below per-shard pool capacity so the batch pins always
+    /// fit.
+    pub fn get_many(&self, keys: &[&[u8]]) -> Result<Vec<Option<Vec<u8>>>, AccessError> {
+        for k in keys {
+            if k.len() != self.key_len {
+                return Err(AccessError::BadKeyLen(k.len()));
+            }
+        }
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+
+        let mut results: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        // Group the sorted keys into leaf runs: one bounded descent per
+        // run, then every following key below the bound reuses the leaf.
+        let mut groups: Vec<(PageId, Vec<usize>)> = Vec::new();
+        let mut bound: Option<Vec<u8>> = None;
+        for &i in &order {
+            let in_run = match (groups.last(), &bound) {
+                (Some(_), None) => true, // rightmost leaf: catches everything
+                (Some(_), Some(b)) => keys[i] < b.as_slice(),
+                (None, _) => false,
+            };
+            if in_run {
+                groups.last_mut().expect("run checked non-empty").1.push(i);
+            } else {
+                let (leaf, b) = self.find_leaf_bounded(keys[i])?;
+                bound = b;
+                groups.push((leaf, vec![i]));
+            }
+        }
+
+        // Probe each window of distinct leaves with one batched fetch.
+        let window = (self.pool.capacity() / self.pool.shards() / 2).max(1);
+        let key_len = self.key_len;
+        for chunk in groups.chunks(window) {
+            let pids: Vec<PageId> = chunk.iter().map(|(leaf, _)| *leaf).collect();
+            let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
+            let mut at = 0usize;
+            self.pool.fetch_many(&pids, |_pid, p| {
+                let d = p.bytes();
+                for &i in &chunk[at].1 {
+                    results[i] = node::search(d, keys[i], key_len)
+                        .ok()
+                        .map(|j| node::entry_val(d, j, key_len).to_vec());
+                }
+                at += 1;
+            })?;
+        }
+        Ok(results)
+    }
+
     /// Upsert `(key, value)`. Returns `true` if a new key was inserted,
     /// `false` if an existing key's value was replaced.
     pub fn insert(&self, key: &[u8], val: &[u8]) -> Result<bool, AccessError> {
@@ -775,6 +893,7 @@ impl BTreeFile {
             node::write_node(p.bytes_mut(), true, right, &entries, key_len)
         })?;
         self.leaf_pages.set(self.leaf_pages.get() + 1);
+        self.ra_end.set(NO_PAGE); // the new leaf's pid is out of sequence
         Ok(((sep, right), inserted))
     }
 
@@ -963,6 +1082,7 @@ impl BTreeFile {
             merged.extend(r_entries);
             new_next = r_next; // unlink `right` from the leaf chain
             self.leaf_pages.set(self.leaf_pages.get() - 1);
+            self.ra_end.set(NO_PAGE); // a freed pid punches a hole in the run
         } else {
             // Pull the separator down; the right node's child0 becomes its
             // payload child.
@@ -1127,6 +1247,10 @@ impl BTreeFile {
             hi: hi.to_vec(),
             buffered: std::collections::VecDeque::new(),
             done: false,
+            readahead: 0,
+            ra_cur: 0,
+            ra_horizon: 0,
+            ra_end: self.ra_end.get(),
         })
     }
 
@@ -1140,6 +1264,10 @@ impl BTreeFile {
             hi: vec![0xFFu8; self.key_len],
             buffered: std::collections::VecDeque::new(),
             done: false,
+            readahead: 0,
+            ra_cur: 0,
+            ra_horizon: 0,
+            ra_end: self.ra_end.get(),
         }
     }
 }
@@ -1153,6 +1281,31 @@ pub struct BTreeRange {
     hi: Vec<u8>,
     buffered: std::collections::VecDeque<(Vec<u8>, Vec<u8>)>,
     done: bool,
+    readahead: usize,
+    ra_cur: usize,
+    ra_horizon: PageId,
+    ra_end: PageId,
+}
+
+impl BTreeRange {
+    /// Enable sequential readahead: whenever the scan reaches a leaf past
+    /// the current horizon, the page ids up to `window` ahead — clamped
+    /// to the tree's bulk-loaded leaf run, whose pids are consecutive in
+    /// key order — are prefetched in one batched submission. On trees
+    /// whose run has been broken by splits or merges the clamp is
+    /// unknown and readahead stays off; prefetch is a pure hint and the
+    /// entries yielded are identical either way. `window == 0` (the
+    /// default) disables readahead entirely.
+    ///
+    /// The window ramps: the first prefetch covers at most 4 pages and
+    /// each subsequent one doubles up to `window`, so a short scan
+    /// wastes at most a few speculative pages while a long one still
+    /// reaches full-window coalescing.
+    pub fn with_readahead(mut self, window: usize) -> Self {
+        self.readahead = window;
+        self.ra_cur = window.min(4);
+        self
+    }
 }
 
 impl Iterator for BTreeRange {
@@ -1167,6 +1320,20 @@ impl Iterator for BTreeRange {
                 return None;
             }
             let leaf = self.next_leaf;
+            if self.readahead > 0
+                && leaf >= self.ra_horizon
+                && self.ra_end != NO_PAGE
+                && leaf <= self.ra_end
+            {
+                let stop = leaf
+                    .saturating_add(self.ra_cur as PageId)
+                    .min(self.ra_end.saturating_add(1));
+                let window: Vec<PageId> = (leaf..stop).collect();
+                // Best-effort hint: failures never affect the scan itself.
+                let _ = self.pool.prefetch(&window);
+                self.ra_horizon = stop;
+                self.ra_cur = (self.ra_cur * 2).min(self.readahead);
+            }
             let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
             let (entries, next, past_hi) = self
                 .pool
@@ -1520,5 +1687,102 @@ mod tests {
             t.height() as u64,
             "cold lookup reads one page per level"
         );
+    }
+
+    #[test]
+    fn get_many_matches_a_loop_of_gets() {
+        let p = pool(64);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..4000u64)
+            .map(|k| (key8(k * 2), vec![(k % 251) as u8; 70]))
+            .collect();
+        let t = BTreeFile::bulk_load(Arc::clone(&p), 8, entries, DEFAULT_FILL).unwrap();
+        // Unsorted probe set with duplicates, misses (odd keys), and an
+        // out-of-range key that lands on the rightmost leaf.
+        let probe: Vec<Vec<u8>> = [3999u64, 4, 100, 4, 7777, 0, 9_999_999, 2500, 101]
+            .iter()
+            .map(|&k| key8(k))
+            .collect();
+        let refs: Vec<&[u8]> = probe.iter().map(Vec::as_slice).collect();
+        let batched = t.get_many(&refs).unwrap();
+        let singly: Vec<Option<Vec<u8>>> = probe.iter().map(|k| t.get(k).unwrap()).collect();
+        assert_eq!(batched, singly);
+        assert!(batched[1].is_some() && batched[0].is_none());
+        // Bad key length is rejected up front.
+        assert!(matches!(
+            t.get_many(&[&[1u8, 2][..]]),
+            Err(AccessError::BadKeyLen(2))
+        ));
+        assert_eq!(t.get_many(&[]).unwrap(), Vec::<Option<Vec<u8>>>::new());
+    }
+
+    #[test]
+    fn get_many_descends_once_per_leaf_run() {
+        let p = pool(64);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> =
+            (0..4000u64).map(|k| (key8(k), vec![9u8; 70])).collect();
+        let t = BTreeFile::bulk_load(Arc::clone(&p), 8, entries, DEFAULT_FILL).unwrap();
+        // A dense sorted run confined to a handful of leaves.
+        let probe: Vec<Vec<u8>> = (1000..1100u64).map(key8).collect();
+        let refs: Vec<&[u8]> = probe.iter().map(Vec::as_slice).collect();
+
+        p.flush_and_clear().unwrap();
+        let t0 = p.stats().snapshot();
+        let got = t.get_many(&refs).unwrap();
+        let batched_reads = p.stats().snapshot().since(&t0).reads;
+        assert!(got.iter().all(Option::is_some));
+
+        p.flush_and_clear().unwrap();
+        let t0 = p.stats().snapshot();
+        for k in &probe {
+            t.get(k).unwrap().unwrap();
+        }
+        let loop_reads = p.stats().snapshot().since(&t0).reads;
+
+        // Both variants fault each distinct page at most once (the loop's
+        // repeated descents hit warm inner pages), so batching must never
+        // read more — and its leaf fetches must go through batched,
+        // run-coalesced submissions.
+        assert!(
+            batched_reads <= loop_reads,
+            "batched {batched_reads} > loop {loop_reads}"
+        );
+        assert!(p.stats().batch_reads() > 0, "leaf fetches were batched");
+        assert!(
+            p.stats().coalesced_runs() < p.stats().batch_reads(),
+            "adjacent bulk-loaded leaves coalesce into fewer submissions"
+        );
+    }
+
+    #[test]
+    fn readahead_scan_yields_identical_entries() {
+        let p = pool(64);
+        let entries: Vec<(Vec<u8>, Vec<u8>)> = (0..3000u64)
+            .map(|k| (key8(k), vec![(k % 200) as u8; 80]))
+            .collect();
+        let t = BTreeFile::bulk_load(Arc::clone(&p), 8, entries, DEFAULT_FILL).unwrap();
+
+        p.flush_and_clear().unwrap();
+        let plain: Vec<(Vec<u8>, Vec<u8>)> = t.scan_all().collect();
+        p.flush_and_clear().unwrap();
+        let ahead: Vec<(Vec<u8>, Vec<u8>)> = t.scan_all().with_readahead(8).collect();
+        assert_eq!(plain, ahead);
+        assert!(
+            p.stats().prefetch_issued() > 0,
+            "readahead issued prefetches"
+        );
+        assert!(
+            p.stats().prefetch_hits() > 0,
+            "sequential leaves turned prefetches into demand hits"
+        );
+
+        // Bounded range scans are unaffected in content too.
+        p.flush_and_clear().unwrap();
+        let r1: Vec<_> = t.range(&key8(500), &key8(700)).unwrap().collect();
+        let r2: Vec<_> = t
+            .range(&key8(500), &key8(700))
+            .unwrap()
+            .with_readahead(4)
+            .collect();
+        assert_eq!(r1, r2);
     }
 }

@@ -690,6 +690,61 @@ impl CorDatabase {
         }
     }
 
+    /// Batched [`Self::fetch_child_record`]: each relation's B-tree is
+    /// probed through its sorted-batch lookup in windows of `batch` keys
+    /// — one inner-node descent per leaf run and one coalesced read per
+    /// run of adjacent leaves — instead of one root-to-leaf descent per
+    /// OID. Results align with `oids` and are identical to the per-OID
+    /// loop, which is exactly what runs when `batch <= 1` or on the
+    /// clustered representation (whose ISAM probes are already one direct
+    /// page access each).
+    pub fn fetch_child_records(
+        &self,
+        oids: &[Oid],
+        batch: usize,
+    ) -> Result<Vec<Option<Vec<u8>>>, CorError> {
+        if batch <= 1 || oids.len() <= 1 || !matches!(self.storage, Storage::Standard { .. }) {
+            return oids
+                .iter()
+                .map(|&oid| self.fetch_child_record(oid))
+                .collect();
+        }
+        let mut out = vec![None; oids.len()];
+        let mut by_rel: BTreeMap<RelId, Vec<usize>> = BTreeMap::new();
+        for (i, oid) in oids.iter().enumerate() {
+            by_rel.entry(oid.rel).or_default().push(i);
+        }
+        for (rel, idxs) in by_rel {
+            let tree = self.child_tree(rel)?;
+            for window in idxs.chunks(batch) {
+                let keys: Vec<_> = window.iter().map(|&i| oids[i].to_key_bytes()).collect();
+                let refs: Vec<&[u8]> = keys.iter().map(|k| k.as_slice()).collect();
+                for (&i, rec) in window.iter().zip(tree.get_many(&refs)?) {
+                    out[i] = rec;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Resolve a subobject OID to the cluster leaf page holding it
+    /// (clustered storage only), without reading the leaf. This is the
+    /// ISAM-probe half of [`fetch_child_page_records`]; batched callers
+    /// use it to collect leaf pids for a sorted multi-page prefetch
+    /// before harvesting.
+    ///
+    /// [`fetch_child_page_records`]: CorDatabase::fetch_child_page_records
+    pub fn child_leaf_page(&self, oid: Oid) -> Result<Option<cor_pagestore::PageId>, CorError> {
+        let Storage::Clustered { oid_index, .. } = &self.storage else {
+            return Err(CorError::WrongRepresentation("clustered"));
+        };
+        let Some(tid) = oid_index.lookup(&oid.to_key_bytes())? else {
+            return Ok(None);
+        };
+        let (_, leaf) = split_tid(&tid);
+        Ok(Some(leaf))
+    }
+
     /// Fetch a subobject **and every child record co-located on its page**
     /// (clustered storage only). One ISAM probe plus one direct page read
     /// returns the whole physically clustered unit — the paper's

@@ -77,7 +77,7 @@ pub use quel::{parse as parse_quel, QuelError, QuelStatement};
 pub use query::{apply_update, Query, RetAttr, RetrieveQuery, StrategyOutput, UpdateQuery};
 #[allow(deprecated)]
 pub use strategies::run_retrieve;
-pub use strategies::{execute_retrieve, ExecOptions, JoinChoice};
+pub use strategies::{execute_retrieve, ExecOptions, IoOptions, JoinChoice};
 pub use unit::{hashkey_of, measure_sharing, SharingFactors, Unit};
 pub use valuebased::{value_parent_schema, ValueDatabase, VALUE_PARENT_REL};
 

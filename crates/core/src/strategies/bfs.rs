@@ -113,9 +113,12 @@ pub(crate) fn join_fetch(
             )?
         };
         // The co-scan of the OID-ordered ChildRel leaves is the join
-        // proper (sort-stream pulls retag themselves as Sort).
+        // proper (sort-stream pulls retag themselves as Sort). With
+        // readahead enabled the merge-run leaf pages are prefetched in
+        // coalesced batches ahead of the scan cursor.
         let _phase = PhaseGuard::enter(Phase::MergeJoin);
-        for (_oid, rec) in merge_join(sorted, tree.scan_all()) {
+        let scan = tree.scan_all().with_readahead(opts.io.readahead);
+        for (_oid, rec) in merge_join(sorted, scan) {
             values.push(extract_ret(&rec, attr));
         }
     } else {
@@ -132,13 +135,40 @@ pub(crate) fn join_fetch(
                     true,
                 )?
             };
-            for key in keys {
-                probe_one(tree, &key, attr, values)?;
-            }
+            probe_all(tree, keys, attr, opts, values)?;
         } else {
-            for (_, key) in temp.scan() {
-                probe_one(tree, &key, attr, values)?;
-            }
+            probe_all(tree, temp.scan().map(|(_, key)| key), attr, opts, values)?;
+        }
+    }
+    Ok(())
+}
+
+/// Probe the index once per key, in key arrival order. With batching
+/// enabled the keys are probed through the B-tree's sorted-batch lookup
+/// in windows of `opts.io.batch` — one inner-node descent per leaf run
+/// and one coalesced read per run of adjacent leaves — instead of one
+/// root-to-leaf descent each. Values come back in the same order either
+/// way.
+fn probe_all(
+    tree: &BTreeFile,
+    keys: impl Iterator<Item = Vec<u8>>,
+    attr: RetAttr,
+    opts: &ExecOptions,
+    values: &mut Vec<i64>,
+) -> Result<(), CorError> {
+    if opts.io.batch <= 1 {
+        for key in keys {
+            probe_one(tree, &key, attr, values)?;
+        }
+        return Ok(());
+    }
+    let keys: Vec<Vec<u8>> = keys.collect();
+    for window in keys.chunks(opts.io.batch) {
+        let refs: Vec<&[u8]> = window.iter().map(Vec::as_slice).collect();
+        for (key, rec) in window.iter().zip(tree.get_many(&refs)?) {
+            let rec = rec
+                .ok_or_else(|| CorError::DanglingOid(Oid::from_key_bytes(key).expect("oid key")))?;
+            values.push(extract_ret(&rec, attr));
         }
     }
     Ok(())

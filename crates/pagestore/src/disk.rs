@@ -15,7 +15,6 @@
 use crate::page::{PageBuf, PageId, PAGE_SIZE};
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -100,6 +99,29 @@ pub enum Durability {
 pub trait DiskManager: Send + Sync {
     /// Read page `id` into `buf`.
     fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<(), DiskError>;
+    /// Read a batch of pages: `ids[i]` into `bufs[i]`. Returns the number
+    /// of physical submissions the batch cost (for the default
+    /// one-read-per-page loop that is `ids.len()`; stores that coalesce
+    /// adjacent pages report the number of coalesced runs instead).
+    ///
+    /// Callers get the best coalescing from **sorted, deduplicated** ids,
+    /// but any order is legal and duplicates are simply read twice.
+    ///
+    /// # Partial failure
+    ///
+    /// On `Err`, the contents of `bufs` are unspecified: implementations
+    /// may have filled a prefix (the default loop), everything (a late
+    /// validation failure), or nothing ([`FileDisk`] validates all ids
+    /// before issuing any I/O). Callers must treat a failed batch as if
+    /// **no** page was transferred — the buffer pool discards every frame
+    /// it staged for the batch and records no reads.
+    fn read_pages(&self, ids: &[PageId], bufs: &mut [&mut PageBuf]) -> Result<usize, DiskError> {
+        debug_assert_eq!(ids.len(), bufs.len(), "one buffer per requested page");
+        for (&id, buf) in ids.iter().zip(bufs.iter_mut()) {
+            self.read_page(id, buf)?;
+        }
+        Ok(ids.len())
+    }
     /// Write `buf` to page `id`.
     fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<(), DiskError>;
     /// Append a zeroed page, returning its id.
@@ -120,6 +142,9 @@ pub trait DiskManager: Send + Sync {
 impl<D: DiskManager + ?Sized> DiskManager for std::sync::Arc<D> {
     fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<(), DiskError> {
         (**self).read_page(id, buf)
+    }
+    fn read_pages(&self, ids: &[PageId], bufs: &mut [&mut PageBuf]) -> Result<usize, DiskError> {
+        (**self).read_pages(ids, bufs)
     }
     fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<(), DiskError> {
         (**self).write_page(id, buf)
@@ -155,12 +180,44 @@ impl Default for MemDisk {
     }
 }
 
+/// Number of maximal runs of consecutive ascending page ids in `ids`
+/// (`ids[i+1] == ids[i] + 1` continues a run). This is how many physical
+/// submissions a coalescing store needs for the batch.
+fn coalesced_runs(ids: &[PageId]) -> usize {
+    let mut runs = 0usize;
+    let mut prev: Option<PageId> = None;
+    for &id in ids {
+        let continues_run = prev.is_some() && prev == id.checked_sub(1);
+        if !continues_run {
+            runs += 1;
+        }
+        prev = Some(id);
+    }
+    runs
+}
+
 impl DiskManager for MemDisk {
     fn read_page(&self, id: PageId, buf: &mut PageBuf) -> Result<(), DiskError> {
         let pages = self.pages.lock();
         let page = pages.get(id as usize).ok_or(DiskError::BadPage(id))?;
         buf.copy_from_slice(&page[..]);
         Ok(())
+    }
+
+    /// One lock acquisition for the whole batch. Ids are validated before
+    /// any byte is copied, so a failed batch transfers nothing. Reports
+    /// the run count a coalescing store would have needed, so MemDisk
+    /// benchmarks see the same `coalesced_runs` accounting as FileDisk.
+    fn read_pages(&self, ids: &[PageId], bufs: &mut [&mut PageBuf]) -> Result<usize, DiskError> {
+        debug_assert_eq!(ids.len(), bufs.len(), "one buffer per requested page");
+        let pages = self.pages.lock();
+        if let Some(&bad) = ids.iter().find(|&&id| id as usize >= pages.len()) {
+            return Err(DiskError::BadPage(bad));
+        }
+        for (&id, buf) in ids.iter().zip(bufs.iter_mut()) {
+            buf.copy_from_slice(&pages[id as usize][..]);
+        }
+        Ok(coalesced_runs(ids))
     }
 
     fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<(), DiskError> {
@@ -182,12 +239,21 @@ impl DiskManager for MemDisk {
     }
 }
 
-/// File-backed page store.
+/// File-backed page store using positioned I/O.
+///
+/// Reads and writes go through pread/pwrite-style positioned calls that
+/// take `&File` and carry their own offset, so concurrent buffer-pool
+/// shards never serialize on a file lock and never pay a seek syscall.
+/// The only remaining lock guards `allocate_page`'s length bookkeeping.
 pub struct FileDisk {
-    file: Mutex<File>,
+    file: File,
     num_pages: Mutex<u32>,
     durability: Durability,
     path: String,
+    /// Non-positioned fallback for platforms without `FileExt` pread:
+    /// serializes seek+read pairs exactly like the historical code.
+    #[cfg(not(unix))]
+    io_lock: Mutex<()>,
 }
 
 impl FileDisk {
@@ -214,11 +280,58 @@ impl FileDisk {
             .len();
         let num_pages = (len / PAGE_SIZE as u64) as u32;
         Ok(FileDisk {
-            file: Mutex::new(file),
+            file,
             num_pages: Mutex::new(num_pages),
             durability,
             path: display,
+            #[cfg(not(unix))]
+            io_lock: Mutex::new(()),
         })
+    }
+
+    /// Positioned read of `buf.len()` bytes at byte offset `off`.
+    #[cfg(unix)]
+    fn pread(&self, buf: &mut [u8], off: u64, op: &'static str) -> Result<(), DiskError> {
+        use std::os::unix::fs::FileExt;
+        self.file
+            .read_exact_at(buf, off)
+            .map_err(|e| DiskError::io(op, &self.path, e))
+    }
+
+    /// Positioned write of `buf` at byte offset `off`.
+    #[cfg(unix)]
+    fn pwrite(&self, buf: &[u8], off: u64, op: &'static str) -> Result<(), DiskError> {
+        use std::os::unix::fs::FileExt;
+        self.file
+            .write_all_at(buf, off)
+            .map_err(|e| DiskError::io(op, &self.path, e))
+    }
+
+    #[cfg(not(unix))]
+    fn pread(&self, buf: &mut [u8], off: u64, op: &'static str) -> Result<(), DiskError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let _guard = self.io_lock.lock();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(off))
+            .map_err(|e| DiskError::io(op, &self.path, e))?;
+        f.read_exact(buf)
+            .map_err(|e| DiskError::io(op, &self.path, e))
+    }
+
+    #[cfg(not(unix))]
+    fn pwrite(&self, buf: &[u8], off: u64, op: &'static str) -> Result<(), DiskError> {
+        use std::io::{Seek, SeekFrom, Write};
+        let _guard = self.io_lock.lock();
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(off))
+            .map_err(|e| DiskError::io(op, &self.path, e))?;
+        f.write_all(buf)
+            .map_err(|e| DiskError::io(op, &self.path, e))
+    }
+
+    #[inline]
+    fn byte_offset(id: PageId) -> u64 {
+        id as u64 * PAGE_SIZE as u64
     }
 }
 
@@ -227,34 +340,58 @@ impl DiskManager for FileDisk {
         if id >= self.num_pages() {
             return Err(DiskError::BadPage(id));
         }
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
-            .map_err(|e| DiskError::io("seek", &self.path, e))?;
-        file.read_exact(buf)
-            .map_err(|e| DiskError::io("read", &self.path, e))?;
-        Ok(())
+        self.pread(buf, Self::byte_offset(id), "read")
+    }
+
+    /// Coalesce maximal runs of consecutive ascending page ids into single
+    /// positioned reads: a sorted batch of `n` adjacent pages costs one
+    /// `n * PAGE_SIZE` pread instead of `n` page-sized ones. All ids are
+    /// validated against the store length **before any I/O is issued**, so
+    /// a [`DiskError::BadPage`] batch transfers nothing.
+    fn read_pages(&self, ids: &[PageId], bufs: &mut [&mut PageBuf]) -> Result<usize, DiskError> {
+        debug_assert_eq!(ids.len(), bufs.len(), "one buffer per requested page");
+        let num_pages = self.num_pages();
+        if let Some(&bad) = ids.iter().find(|&&id| id >= num_pages) {
+            return Err(DiskError::BadPage(bad));
+        }
+        let mut runs = 0usize;
+        let mut i = 0usize;
+        let mut scratch: Vec<u8> = Vec::new();
+        while i < ids.len() {
+            // Extend the run while page ids stay consecutive.
+            let mut j = i + 1;
+            while j < ids.len() && ids[j] == ids[j - 1] + 1 {
+                j += 1;
+            }
+            let run_len = j - i;
+            if run_len == 1 {
+                self.pread(&mut bufs[i][..], Self::byte_offset(ids[i]), "read")?;
+            } else {
+                scratch.resize(run_len * PAGE_SIZE, 0);
+                self.pread(&mut scratch, Self::byte_offset(ids[i]), "read")?;
+                for (k, buf) in bufs[i..j].iter_mut().enumerate() {
+                    buf.copy_from_slice(&scratch[k * PAGE_SIZE..(k + 1) * PAGE_SIZE]);
+                }
+            }
+            runs += 1;
+            i = j;
+        }
+        Ok(runs)
     }
 
     fn write_page(&self, id: PageId, buf: &PageBuf) -> Result<(), DiskError> {
         if id >= self.num_pages() {
             return Err(DiskError::BadPage(id));
         }
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
-            .map_err(|e| DiskError::io("seek", &self.path, e))?;
-        file.write_all(buf)
-            .map_err(|e| DiskError::io("write", &self.path, e))?;
-        Ok(())
+        self.pwrite(buf, Self::byte_offset(id), "write")
     }
 
     fn allocate_page(&self) -> Result<PageId, DiskError> {
+        // The length lock makes (extend file, bump count) atomic against
+        // concurrent allocations; reads and writes never take it.
         let mut n = self.num_pages.lock();
         let id = *n;
-        let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))
-            .map_err(|e| DiskError::io("seek", &self.path, e))?;
-        file.write_all(&[0u8; PAGE_SIZE])
-            .map_err(|e| DiskError::io("allocate", &self.path, e))?;
+        self.pwrite(&[0u8; PAGE_SIZE], Self::byte_offset(id), "allocate")?;
         *n += 1;
         Ok(id)
     }
@@ -266,7 +403,6 @@ impl DiskManager for FileDisk {
     fn sync(&self) -> Result<(), DiskError> {
         if self.durability == Durability::Fsync {
             self.file
-                .lock()
                 .sync_data()
                 .map_err(|e| DiskError::io("sync", &self.path, e))?;
         }
@@ -321,6 +457,11 @@ struct FaultState {
 /// The crash modes leave the wrapper "dead" so any further pool traffic
 /// errors out — exactly what a process that lost power would observe on
 /// its next run: nothing, because there is no next operation.
+///
+/// `read_pages` deliberately keeps the default one-page-at-a-time loop
+/// (no coalescing): each page of a batch ticks the fault countdown
+/// individually, so crash-point ordinals are stable whether or not the
+/// caller batches.
 pub struct FaultyDisk<D> {
     inner: D,
     state: Mutex<FaultState>,
@@ -643,6 +784,117 @@ mod tests {
         assert_eq!(buf[0], 2);
         d.write_page(p, &[3u8; PAGE_SIZE]).unwrap();
         assert_eq!(d.writes_observed(), 3);
+    }
+
+    /// Write `n` pages stamped with their own id, return the ids.
+    fn fill(disk: &dyn DiskManager, n: u32) -> Vec<PageId> {
+        (0..n)
+            .map(|i| {
+                let p = disk.allocate_page().unwrap();
+                let mut buf = [0u8; PAGE_SIZE];
+                buf[0] = i as u8;
+                buf[PAGE_SIZE - 1] = !(i as u8);
+                disk.write_page(p, &buf).unwrap();
+                p
+            })
+            .collect()
+    }
+
+    fn read_batch(disk: &dyn DiskManager, ids: &[PageId]) -> (Vec<PageBuf>, usize) {
+        let mut bufs = vec![[0u8; PAGE_SIZE]; ids.len()];
+        let runs = {
+            let mut refs: Vec<&mut PageBuf> = bufs.iter_mut().collect();
+            disk.read_pages(ids, &mut refs).unwrap()
+        };
+        (bufs, runs)
+    }
+
+    fn check_read_pages_matches_single_reads(disk: &dyn DiskManager) {
+        let pids = fill(disk, 8);
+        // Sorted contiguous, with gaps, duplicates, and descending ids.
+        let batches: Vec<Vec<PageId>> = vec![
+            pids.clone(),
+            vec![pids[0], pids[2], pids[3], pids[7]],
+            vec![pids[5], pids[5], pids[1]],
+            vec![pids[6], pids[4], pids[2], pids[0]],
+            vec![],
+        ];
+        for ids in batches {
+            let (bufs, runs) = read_batch(disk, &ids);
+            assert_eq!(runs, coalesced_runs(&ids), "run accounting for {ids:?}");
+            for (&id, got) in ids.iter().zip(&bufs) {
+                let mut want = [0u8; PAGE_SIZE];
+                disk.read_page(id, &mut want).unwrap();
+                assert_eq!(got[..], want[..], "page {id} differs from single read");
+            }
+        }
+    }
+
+    #[test]
+    fn memdisk_read_pages_matches_single_reads() {
+        check_read_pages_matches_single_reads(&MemDisk::new());
+    }
+
+    #[test]
+    fn filedisk_read_pages_matches_single_reads() {
+        let dir = std::env::temp_dir().join(format!("cor-filedisk-batch-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let d = FileDisk::open(&dir.join("pages.db")).unwrap();
+        check_read_pages_matches_single_reads(&d);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn coalesced_runs_counts_maximal_ascending_runs() {
+        assert_eq!(coalesced_runs(&[]), 0);
+        assert_eq!(coalesced_runs(&[0]), 1);
+        assert_eq!(coalesced_runs(&[0, 1, 2, 3]), 1);
+        assert_eq!(coalesced_runs(&[0, 1, 3, 4, 9]), 3);
+        assert_eq!(
+            coalesced_runs(&[3, 2, 1, 0]),
+            4,
+            "descending never coalesces"
+        );
+        assert_eq!(coalesced_runs(&[5, 5, 6]), 2, "duplicate breaks the run");
+    }
+
+    #[test]
+    fn read_pages_bad_page_transfers_nothing_on_validating_stores() {
+        let dir = std::env::temp_dir().join(format!("cor-filedisk-badp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file_disk = FileDisk::open(&dir.join("pages.db")).unwrap();
+        let mem_disk = MemDisk::new();
+        for disk in [&file_disk as &dyn DiskManager, &mem_disk] {
+            let pids = fill(disk, 3);
+            let bad = disk.num_pages();
+            let ids = vec![pids[0], bad, pids[1]];
+            let mut bufs = vec![[0xEEu8; PAGE_SIZE]; ids.len()];
+            let mut refs: Vec<&mut PageBuf> = bufs.iter_mut().collect();
+            let err = disk.read_pages(&ids, &mut refs).unwrap_err();
+            assert!(matches!(err, DiskError::BadPage(b) if b == bad));
+            // Ids are validated before any I/O: nothing was copied.
+            for buf in &bufs {
+                assert!(buf.iter().all(|&b| b == 0xEE), "buffer touched on failure");
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn faulty_disk_batches_tick_short_read_per_page() {
+        // The 3rd read faults, whether reads arrive singly or batched:
+        // batches must not perturb crash-point ordinals.
+        let d = FaultyDisk::new(MemDisk::new());
+        let pids = fill(&d, 4);
+        d.arm(3, FaultMode::ShortRead);
+        let mut bufs = vec![[0u8; PAGE_SIZE]; 4];
+        let mut refs: Vec<&mut PageBuf> = bufs.iter_mut().collect();
+        let err = d.read_pages(&pids, &mut refs).unwrap_err();
+        assert!(err.to_string().contains("short read"), "{err}");
+        assert_eq!(d.faults_fired(), 1);
+        // Disarmed afterwards: the whole batch succeeds.
+        let (bufs, _) = read_batch(&d, &pids);
+        assert_eq!(bufs[3][0], 3);
     }
 
     #[test]

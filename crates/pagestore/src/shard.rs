@@ -20,7 +20,7 @@ use crate::telemetry::{ShardTelemetry, ShardTelemetrySnapshot};
 use crate::wal::{Lsn, WalHook, NO_LSN};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 pub(crate) struct FrameData {
     pub(crate) page_id: PageId,
@@ -59,6 +59,10 @@ fn after_write_back(wal: Option<&dyn WalHook>, st: &mut FrameData) {
 
 pub(crate) struct Frame {
     pub(crate) pin_count: AtomicUsize,
+    /// Set when the current tenant page was brought in by a prefetch and
+    /// has not been demanded yet; the first demand pin clears it and
+    /// counts a prefetch hit. Only ever flipped under the shard lock.
+    pub(crate) prefetched: AtomicBool,
     pub(crate) state: RwLock<FrameData>,
 }
 
@@ -88,6 +92,7 @@ impl Shard {
         let frames = (0..capacity)
             .map(|_| Frame {
                 pin_count: AtomicUsize::new(0),
+                prefetched: AtomicBool::new(false),
                 state: RwLock::new(FrameData {
                     page_id: PageId::MAX,
                     dirty: false,
@@ -128,10 +133,22 @@ impl Shard {
         &self.frames[idx]
     }
 
-    /// Release a pin taken by [`Self::pin`] or
+    /// Release a pin taken by [`Self::pin`], [`Self::pin_many`] or
     /// [`Self::allocate_into`].
     pub(crate) fn unpin(&self, idx: usize) {
         self.frames[idx].pin_count.fetch_sub(1, Ordering::Release);
+    }
+
+    /// A demand access found `idx` resident: if a prefetch brought the
+    /// tenant in and this is its first demanded use, count the prefetch
+    /// hit and retire the flag. Called under the shard lock.
+    #[inline]
+    fn note_demand_hit(&self, idx: usize, stats: &IoStats) {
+        let f = &self.frames[idx];
+        if f.prefetched.load(Ordering::Relaxed) {
+            f.prefetched.store(false, Ordering::Relaxed);
+            stats.record_prefetch_hit();
+        }
     }
 
     /// Pop a recycled page id homed to this shard, if any.
@@ -153,6 +170,7 @@ impl Shard {
         let tick = inner.repl.advance();
         if let Some(&idx) = inner.page_table.get(&pid) {
             self.frames[idx].pin_count.fetch_add(1, Ordering::Acquire);
+            self.note_demand_hit(idx, stats);
             inner.repl.on_hit(idx, tick, policy);
             self.count(|t| t.hits.inc());
             return Ok(idx);
@@ -175,6 +193,135 @@ impl Shard {
         inner.page_table.insert(pid, idx);
         inner.repl.on_load(idx, tick);
         Ok(idx)
+    }
+
+    /// Pin a batch of pages homed to this shard in one pass: hits are
+    /// served from resident frames, and all misses are admitted and then
+    /// filled by **one** sorted [`DiskManager::read_pages`] call, so
+    /// adjacent pages coalesce into single physical submissions.
+    ///
+    /// `pids` is processed in order and may contain duplicates; each
+    /// unique page is pinned exactly once and returned as
+    /// `(page_id, frame index)`. The caller owns one unpin per entry.
+    /// Replacement-state transitions (tick advance, `on_hit`/`on_load`,
+    /// victim choice) happen in the same sequence a loop of [`Self::pin`]
+    /// would produce, so eviction decisions — and therefore [`IoStats`]
+    /// totals — match the unbatched path whenever the batch's unique
+    /// pages fit the shard.
+    ///
+    /// With `prefetch` set, freshly faulted frames are tagged so the
+    /// first later demand pin counts a prefetch hit, and the pages are
+    /// counted as `prefetch_issued`.
+    ///
+    /// # Partial failure
+    ///
+    /// If admission or the batched read fails, every frame staged for the
+    /// batch is detached again (no partially-admitted garbage stays in
+    /// the page table), every pin taken is released, and **no** reads are
+    /// recorded: the failed batch is observationally a no-op apart from
+    /// evictions its admissions already performed — exactly like a failed
+    /// single [`Self::pin`].
+    pub(crate) fn pin_many(
+        &self,
+        pids: &[PageId],
+        policy: ReplacementPolicy,
+        disk: &dyn DiskManager,
+        stats: &IoStats,
+        wal: Option<&dyn WalHook>,
+        prefetch: bool,
+    ) -> Result<Vec<(PageId, usize)>, BufferError> {
+        let mut inner = self.inner.lock();
+        // Unique pages pinned by this call, in first-seen order.
+        let mut pinned: Vec<(PageId, usize)> = Vec::with_capacity(pids.len());
+        let mut seen: HashMap<PageId, usize> = HashMap::with_capacity(pids.len());
+        // The subset of `pinned` that needs a disk fill (staged frames).
+        let mut staged: Vec<(PageId, usize)> = Vec::new();
+
+        let rollback =
+            |inner: &mut ShardInner, pinned: &[(PageId, usize)], staged: &[(PageId, usize)]| {
+                for &(pid, idx) in staged {
+                    inner.page_table.remove(&pid);
+                    let mut st = self.frames[idx].state.write();
+                    st.page_id = PageId::MAX;
+                    st.dirty = false;
+                    st.rec_lsn = NO_LSN;
+                }
+                for &(_, idx) in pinned {
+                    self.unpin(idx);
+                }
+            };
+
+        for &pid in pids {
+            let tick = inner.repl.advance();
+            if let Some(&idx) = seen.get(&pid) {
+                // Intra-batch duplicate: already pinned by this call; a
+                // loop of fetches would have counted a resident hit.
+                inner.repl.on_hit(idx, tick, policy);
+                self.count(|t| t.hits.inc());
+                continue;
+            }
+            if let Some(&idx) = inner.page_table.get(&pid) {
+                self.frames[idx].pin_count.fetch_add(1, Ordering::Acquire);
+                if !prefetch {
+                    self.note_demand_hit(idx, stats);
+                }
+                inner.repl.on_hit(idx, tick, policy);
+                self.count(|t| t.hits.inc());
+                pinned.push((pid, idx));
+                seen.insert(pid, idx);
+                continue;
+            }
+            self.count(|t| t.misses.inc());
+            let idx = match self.acquire_frame(&mut inner, pid, policy, disk, stats, wal) {
+                Ok(idx) => idx,
+                Err(e) => {
+                    rollback(&mut inner, &pinned, &staged);
+                    return Err(e);
+                }
+            };
+            // Insert before the fill so intra-batch duplicates hit; the
+            // shard lock is held until the fill completes, so no other
+            // thread can observe the staged (still-empty) frame.
+            inner.page_table.insert(pid, idx);
+            inner.repl.on_load(idx, tick);
+            staged.push((pid, idx));
+            pinned.push((pid, idx));
+            seen.insert(pid, idx);
+        }
+
+        if !staged.is_empty() {
+            // Sorted fill: adjacent page ids coalesce into single runs.
+            staged.sort_unstable_by_key(|&(pid, _)| pid);
+            let ids: Vec<PageId> = staged.iter().map(|&(pid, _)| pid).collect();
+            let mut guards: Vec<_> = staged
+                .iter()
+                .map(|&(_, idx)| self.frames[idx].state.write())
+                .collect();
+            let read = {
+                let mut bufs: Vec<&mut PageBuf> = guards.iter_mut().map(|g| &mut *g.data).collect();
+                disk.read_pages(&ids, &mut bufs)
+            };
+            match read {
+                Ok(runs) => {
+                    for (st, &(pid, idx)) in guards.iter_mut().zip(staged.iter()) {
+                        st.page_id = pid;
+                        st.dirty = false;
+                        st.rec_lsn = NO_LSN;
+                        stats.record_read();
+                        if prefetch {
+                            self.frames[idx].prefetched.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    stats.record_batch(ids.len() as u64, runs as u64);
+                }
+                Err(e) => {
+                    drop(guards);
+                    rollback(&mut inner, &pinned, &staged);
+                    return Err(e.into());
+                }
+            }
+        }
+        Ok(pinned)
     }
 
     /// Bring freshly allocated page `pid` into a frame, zeroed and
@@ -254,6 +401,10 @@ impl Shard {
             st.page_id = PageId::MAX;
             self.count(|t| t.evictions.inc());
         }
+        // Any prefetched-but-never-demanded tenant is gone with the frame.
+        self.frames[victim]
+            .prefetched
+            .store(false, Ordering::Relaxed);
         Ok(victim)
     }
 

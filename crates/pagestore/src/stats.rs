@@ -28,6 +28,16 @@ pub struct IoStats {
     reads: AtomicU64,
     writes: AtomicU64,
     allocations: AtomicU64,
+    /// Pages faulted in through the batched `fetch_many`/prefetch path
+    /// (a subset of `reads`; each such page is also counted there).
+    batch_reads: AtomicU64,
+    /// Physical read submissions those batched pages cost after adjacent
+    /// pages were coalesced into runs (`<= batch_reads`).
+    coalesced_runs: AtomicU64,
+    /// Pages named in prefetch requests (resident or not).
+    prefetch_issued: AtomicU64,
+    /// Demand accesses served by a frame a prefetch brought in.
+    prefetch_hits: AtomicU64,
     profile: OnceLock<Arc<PhaseProfile>>,
 }
 
@@ -76,6 +86,29 @@ impl IoStats {
         self.allocations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a batched fault of `pages` pages that cost `runs` physical
+    /// submissions after run coalescing. Only the batch bookkeeping lives
+    /// here — each page of the batch is *also* counted via
+    /// [`record_read`](Self::record_read), so `reads` totals are identical
+    /// whether a page came in singly or batched.
+    #[inline]
+    pub fn record_batch(&self, pages: u64, runs: u64) {
+        self.batch_reads.fetch_add(pages, Ordering::Relaxed);
+        self.coalesced_runs.fetch_add(runs, Ordering::Relaxed);
+    }
+
+    /// Record `pages` pages named in a prefetch request.
+    #[inline]
+    pub fn record_prefetch_issued(&self, pages: u64) {
+        self.prefetch_issued.fetch_add(pages, Ordering::Relaxed);
+    }
+
+    /// Record one demand access served by a prefetched frame.
+    #[inline]
+    pub fn record_prefetch_hit(&self) {
+        self.prefetch_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Physical page reads so far.
     pub fn reads(&self) -> u64 {
         self.reads.load(Ordering::Relaxed)
@@ -94,6 +127,38 @@ impl IoStats {
     /// Total I/O (reads + writes) — the paper's cost metric.
     pub fn total_io(&self) -> u64 {
         self.reads() + self.writes()
+    }
+
+    /// Pages faulted in through the batched path so far.
+    pub fn batch_reads(&self) -> u64 {
+        self.batch_reads.load(Ordering::Relaxed)
+    }
+
+    /// Physical submissions the batched pages cost after coalescing.
+    pub fn coalesced_runs(&self) -> u64 {
+        self.coalesced_runs.load(Ordering::Relaxed)
+    }
+
+    /// Pages named in prefetch requests so far.
+    pub fn prefetch_issued(&self) -> u64 {
+        self.prefetch_issued.load(Ordering::Relaxed)
+    }
+
+    /// Demand accesses served by prefetched frames so far.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.prefetch_hits.load(Ordering::Relaxed)
+    }
+
+    /// Capture the batch/prefetch counters. Kept separate from
+    /// [`IoSnapshot`] so the paper-facing transfer counts stay exactly
+    /// three fields, byte-identical to the pre-batching layout.
+    pub fn batch_snapshot(&self) -> BatchIoSnapshot {
+        BatchIoSnapshot {
+            batch_reads: self.batch_reads(),
+            coalesced_runs: self.coalesced_runs(),
+            prefetch_issued: self.prefetch_issued(),
+            prefetch_hits: self.prefetch_hits(),
+        }
     }
 
     /// Capture the current counter values.
@@ -155,8 +220,49 @@ impl IoStats {
         self.reads.store(0, Ordering::Relaxed);
         self.writes.store(0, Ordering::Relaxed);
         self.allocations.store(0, Ordering::Relaxed);
+        self.batch_reads.store(0, Ordering::Relaxed);
+        self.coalesced_runs.store(0, Ordering::Relaxed);
+        self.prefetch_issued.store(0, Ordering::Relaxed);
+        self.prefetch_hits.store(0, Ordering::Relaxed);
         if let Some(p) = self.profile.get() {
             p.reset();
+        }
+    }
+}
+
+/// A point-in-time copy of the batch/prefetch counters maintained by the
+/// buffer pool's `fetch_many`/prefetch paths. All four are zero when
+/// batching is off (batch size 1, no readahead) — the byte-identity mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchIoSnapshot {
+    /// Pages faulted in through the batched path (subset of `reads`).
+    pub batch_reads: u64,
+    /// Physical submissions those pages cost after run coalescing.
+    pub coalesced_runs: u64,
+    /// Pages named in prefetch requests.
+    pub prefetch_issued: u64,
+    /// Demand accesses served by prefetched frames.
+    pub prefetch_hits: u64,
+}
+
+impl BatchIoSnapshot {
+    /// Counter movement since an earlier snapshot.
+    pub fn since(&self, earlier: &BatchIoSnapshot) -> BatchIoSnapshot {
+        BatchIoSnapshot {
+            batch_reads: self.batch_reads.saturating_sub(earlier.batch_reads),
+            coalesced_runs: self.coalesced_runs.saturating_sub(earlier.coalesced_runs),
+            prefetch_issued: self.prefetch_issued.saturating_sub(earlier.prefetch_issued),
+            prefetch_hits: self.prefetch_hits.saturating_sub(earlier.prefetch_hits),
+        }
+    }
+
+    /// Pages saved per submission: how much the coalescer compressed the
+    /// batched traffic (1.0 = no adjacency found; 0.0 before any batch).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.batch_reads == 0 {
+            0.0
+        } else {
+            self.batch_reads as f64 / self.coalesced_runs.max(1) as f64
         }
     }
 }

@@ -347,7 +347,9 @@ mod tests {
             lsn: 9,
             body: RecordBody::Checkpoint {
                 redo_lsn: 1,
-                dirty_pages: (0..(MAX_CHECKPOINT_DPT as u32 + 1)).map(|i| (i, i)).collect(),
+                dirty_pages: (0..(MAX_CHECKPOINT_DPT as u32 + 1))
+                    .map(|i| (i, i))
+                    .collect(),
             },
         };
         let mut buf = Vec::new();

@@ -99,7 +99,9 @@ impl Rig {
                     .unwrap();
             }
             WalOp::Checkpoint => {
-                self.wal.checkpoint(|| self.pool.dirty_page_table()).unwrap();
+                self.wal
+                    .checkpoint(|| self.pool.dirty_page_table())
+                    .unwrap();
             }
             WalOp::Flush(i) => {
                 if self.pages.is_empty() {

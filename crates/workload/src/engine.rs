@@ -594,6 +594,7 @@ impl Engine {
         Some(build_report(
             m,
             self.pool().telemetry(),
+            self.pool().stats().batch_snapshot(),
             cache,
             self.wal.as_ref().map(|w| w.stats()),
         ))
