@@ -17,13 +17,18 @@ use crate::hash::{HashFile, HashMeta};
 use crate::heap::{HeapFile, HeapMeta};
 use crate::isam::IsamIndex;
 use crate::AccessError;
-use cor_pagestore::{BufferPool, PageId};
+use cor_pagestore::{BufferPool, PageId, NO_PAGE};
 use std::sync::Arc;
 
 const KIND_BTREE: u8 = 0;
 const KIND_HEAP: u8 = 1;
 const KIND_HASH: u8 = 2;
 const KIND_ISAM: u8 = 3;
+const KIND_BLOB: u8 = 4;
+
+/// Payload bytes per blob overflow page: one record per page, its first
+/// four bytes chaining to the next page.
+const BLOB_CHUNK: usize = cor_pagestore::MAX_RECORD - 4;
 
 /// Metadata of one cataloged file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -205,6 +210,9 @@ fn decode_meta(kind: u8, bytes: &[u8]) -> Result<FileMeta, CatalogError> {
             num_buckets: r.u32()?,
             len: r.u64()?,
         })),
+        KIND_BLOB => Err(CatalogError::Corrupt(
+            "blob entries are read with get_blob, not get",
+        )),
         _ => Err(CatalogError::Corrupt("unknown entry kind")),
     }
 }
@@ -375,6 +383,118 @@ impl Catalog {
             }),
         }
     }
+
+    // --- opaque blob entries ---
+
+    /// Store or replace a named opaque blob. The payload lives in a chain
+    /// of dedicated overflow pages (the catalog page holds only a pointer
+    /// record), so a blob may exceed one page. The new chain is fully
+    /// written before the pointer record is swapped, and the old chain is
+    /// freed only afterwards: a crash between any two of those steps
+    /// leaves the previously saved blob intact and readable.
+    pub fn save_blob(&self, name: &str, bytes: &[u8]) -> Result<(), CatalogError> {
+        assert!(name.len() <= 64, "catalog names are short identifiers");
+        let old_chain = match self.blob_pointer(name)? {
+            Some((_, first)) => self.chain_pages(first)?,
+            None => Vec::new(),
+        };
+        // Write the chain back to front so each page can name its successor.
+        let mut next = NO_PAGE;
+        let chunks: Vec<&[u8]> = bytes.chunks(BLOB_CHUNK).collect();
+        for chunk in chunks.iter().rev() {
+            let pid = self.pool.allocate_page()?;
+            let mut rec = Vec::with_capacity(4 + chunk.len());
+            rec.extend_from_slice(&next.to_le_bytes());
+            rec.extend_from_slice(chunk);
+            self.pool.write(pid, |mut p| {
+                p.init();
+                p.insert(&rec).expect("blob chunk fits an empty page");
+            })?;
+            next = pid;
+        }
+        let mut record = vec![KIND_BLOB, name.len() as u8];
+        record.extend_from_slice(name.as_bytes());
+        push_u32(&mut record, bytes.len() as u32);
+        push_u32(&mut record, next);
+        let existing = self.find_slot(name)?;
+        let ok = self.pool.write(self.page, |mut p| {
+            if let Some(slot) = existing {
+                let _ = p.delete(slot);
+            }
+            p.insert(&record).is_ok()
+        })?;
+        if !ok {
+            return Err(CatalogError::CatalogFull);
+        }
+        for pid in old_chain {
+            let _ = self.pool.free_page(pid);
+        }
+        Ok(())
+    }
+
+    /// Fetch the blob stored under `name`.
+    pub fn get_blob(&self, name: &str) -> Result<Vec<u8>, CatalogError> {
+        let Some((total, mut page)) = self.blob_pointer(name)? else {
+            return Err(CatalogError::NotFound(name.to_string()));
+        };
+        let mut out = Vec::with_capacity(total as usize);
+        while page != NO_PAGE {
+            let rec = self
+                .pool
+                .read(page, |p| p.records().next().map(|(_, r)| r.to_vec()))?
+                .ok_or(CatalogError::Corrupt("blob chain page has no record"))?;
+            if rec.len() < 4 {
+                return Err(CatalogError::Corrupt("short blob chunk"));
+            }
+            page = PageId::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]);
+            out.extend_from_slice(&rec[4..]);
+        }
+        if out.len() != total as usize {
+            return Err(CatalogError::Corrupt("blob length mismatch"));
+        }
+        Ok(out)
+    }
+
+    /// Does a blob entry `name` exist?
+    pub fn has_blob(&self, name: &str) -> Result<bool, CatalogError> {
+        Ok(self.blob_pointer(name)?.is_some())
+    }
+
+    /// Read a blob pointer record: `(payload length, first chain page)`.
+    fn blob_pointer(&self, name: &str) -> Result<Option<(u32, PageId)>, CatalogError> {
+        let found = self.pool.read(self.page, |p| {
+            for (_, rec) in p.records() {
+                if let Some((n, kind, meta)) = split_record(rec) {
+                    if n == name && kind == KIND_BLOB {
+                        return Some(meta.to_vec());
+                    }
+                }
+            }
+            None
+        })?;
+        let Some(meta) = found else { return Ok(None) };
+        let mut r = Reader(&meta);
+        Ok(Some((r.u32()?, r.u32()?)))
+    }
+
+    /// Collect the page ids of a blob chain starting at `page`.
+    fn chain_pages(&self, mut page: PageId) -> Result<Vec<PageId>, CatalogError> {
+        let mut out = Vec::new();
+        while page != NO_PAGE {
+            out.push(page);
+            let next = self
+                .pool
+                .read(page, |p| {
+                    p.records().next().and_then(|(_, rec)| {
+                        (rec.len() >= 4)
+                            .then(|| PageId::from_le_bytes([rec[0], rec[1], rec[2], rec[3]]))
+                    })
+                })?
+                .ok_or(CatalogError::Corrupt("blob chain page has no record"))?;
+            page = next;
+        }
+        Ok(out)
+    }
 }
 
 fn split_record(rec: &[u8]) -> Option<(&str, u8, &[u8])> {
@@ -526,6 +646,58 @@ mod tests {
         let range: Vec<_> = tree.range(&key8(10), &key8(12)).unwrap().collect();
         assert_eq!(range.len(), 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn blob_roundtrip_small_large_and_replace() {
+        let pool = mem_pool();
+        let cat = Catalog::create(Arc::clone(&pool)).unwrap();
+        assert!(!cat.has_blob("b").unwrap());
+        assert!(matches!(cat.get_blob("b"), Err(CatalogError::NotFound(_))));
+
+        cat.save_blob("b", b"small").unwrap();
+        assert!(cat.has_blob("b").unwrap());
+        assert_eq!(cat.get_blob("b").unwrap(), b"small");
+
+        // Multi-page payload (3+ chain pages).
+        let big: Vec<u8> = (0..3 * BLOB_CHUNK + 17).map(|i| (i % 251) as u8).collect();
+        cat.save_blob("b", &big).unwrap();
+        assert_eq!(cat.get_blob("b").unwrap(), big);
+
+        // Replace with a shorter payload; the old chain pages are freed.
+        let freed_before = pool.free_pages();
+        cat.save_blob("b", b"short again").unwrap();
+        assert_eq!(cat.get_blob("b").unwrap(), b"short again");
+        assert!(
+            pool.free_pages() > freed_before,
+            "old overflow chain must be freed"
+        );
+
+        // Empty blob: no chain pages at all.
+        cat.save_blob("empty", b"").unwrap();
+        assert_eq!(cat.get_blob("empty").unwrap(), b"");
+    }
+
+    #[test]
+    fn blobs_coexist_with_file_entries() {
+        let pool = mem_pool();
+        let cat = Catalog::create(Arc::clone(&pool)).unwrap();
+        let tree = BTreeFile::create(Arc::clone(&pool), 8).unwrap();
+        tree.insert(&key8(1), b"v").unwrap();
+        cat.save_btree("tree", &tree).unwrap();
+        cat.save_blob("config", b"\x01\x02\x03").unwrap();
+        assert_eq!(cat.names().unwrap().len(), 2);
+        assert_eq!(
+            cat.open_btree("tree")
+                .unwrap()
+                .get(&key8(1))
+                .unwrap()
+                .unwrap(),
+            b"v"
+        );
+        assert_eq!(cat.get_blob("config").unwrap(), b"\x01\x02\x03");
+        // A blob is not a file entry.
+        assert!(matches!(cat.get("config"), Err(CatalogError::Corrupt(_))));
     }
 
     #[test]

@@ -26,7 +26,9 @@ fn bench_strategies(c: &mut Criterion) {
     let mut g = c.benchmark_group("retrieve");
     for num_top in [1u64, 20, 200] {
         for strategy in Strategy::ALL {
-            let engine = Engine::for_strategy(&p, &generated, strategy).expect("engine builds");
+            let engine = Engine::builder()
+                .build_workload(&p, &generated, strategy)
+                .expect("engine builds");
             let query = RetrieveQuery {
                 lo: 100,
                 hi: 100 + num_top - 1,
@@ -63,7 +65,9 @@ fn bench_updates(c: &mut Criterion) {
         ("with_cache_invalidation", Strategy::DfsCache, true),
         ("clustered", Strategy::DfsClust, false),
     ] {
-        let engine = Engine::for_strategy(&p, &generated, strategy).expect("engine builds");
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, strategy)
+            .expect("engine builds");
         if maintain {
             // Warm the cache so invalidations actually happen.
             let q = RetrieveQuery {

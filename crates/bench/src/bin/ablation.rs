@@ -157,7 +157,8 @@ fn join_choice_ablation(cfg: &BenchConfig, base: &Params) {
             ..base.clone()
         };
         let generated = generate(&p);
-        let engine = Engine::for_strategy(&p, &generated, Strategy::Bfs)
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::Bfs)
             .expect("engine builds")
             .with_options(ExecOptions {
                 join: c,

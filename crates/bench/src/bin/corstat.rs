@@ -21,6 +21,7 @@ use cor_obs::MetricValue;
 use cor_pagestore::ShardTelemetrySnapshot;
 use cor_workload::{
     fnum, format_table, generate, generate_sequence, Engine, MetricsReport, Params,
+    ENGINE_CATALOG_VERSION,
 };
 
 /// Everything the table and the JSON need for one strategy.
@@ -69,7 +70,10 @@ fn run_strategy(
     generated: &cor_workload::GeneratedDb,
     strategy: Strategy,
 ) -> (StrategyStat, MetricsReport) {
-    let engine = Engine::for_strategy_observed(params, generated, strategy).expect("engine builds");
+    let engine = Engine::builder()
+        .metrics(true)
+        .build_workload(params, generated, strategy)
+        .expect("engine builds");
     engine.pool().flush_and_clear().expect("cold start");
     let sequence = generate_sequence(params);
     for q in &sequence {
@@ -175,7 +179,7 @@ fn json_report(scale: f64, params: &Params, stats: &[StrategyStat]) -> String {
         })
         .collect();
     format!(
-        "{{\"schema_version\":1,\"scale\":{scale},\
+        "{{\"schema_version\":1,\"catalog_version\":{ENGINE_CATALOG_VERSION},\"scale\":{scale},\
          \"params\":{{\"parent_card\":{},\"size_unit\":{},\"use_factor\":{},\
          \"overlap_factor\":{},\"num_top\":{},\"size_cache\":{},\"buffer_pages\":{},\
          \"sequence_len\":{},\"shards\":{},\"pr_update\":{},\"seed\":{}}},\

@@ -14,15 +14,28 @@
 //!     [--seed S]    workload + sampling seed (default 42)
 //!     [--points N]  injected crash points (default 100)
 //!     [--smoke]     fixed seed, 6 crash points — the CI gate
+//!     [--logical]   logical verification through the lifecycle API:
+//!                   crash points rotate over all four strategy backends
+//!                   (standard, clustered, levels, procedural), each
+//!                   crash is recovered by `EngineBuilder::open_on`, and
+//!                   the reopened engine's *query answers* and
+//!                   IoStats-visible structure are checked against a
+//!                   fail-stop oracle's — not just page bytes
 //! ```
 //!
-//! A report lands in `results/crashtest/report.{txt,json}`; exit status
-//! is non-zero if any crash point fails verification.
+//! A report lands in `results/crashtest/report.{txt,json}` (logical mode:
+//! `report-logical.{txt,json}`); exit status is non-zero if any crash
+//! point fails verification.
 
-use complexobj::{CacheConfig, Query, Strategy};
+use complexobj::procedural::ProcCaching;
+use complexobj::{CacheConfig, ClusterAssignment, Query, RetAttr, RetrieveQuery, Strategy};
 use cor_pagestore::{DiskManager, FaultMode, FaultyDisk, MemDisk, PAGE_SIZE};
+use cor_relational::Oid;
 use cor_wal::{recover, FsyncPolicy, MemLogStore, RecoveryStats, Wal, WalConfig};
-use cor_workload::{generate, generate_sequence, Engine, GeneratedDb, Params};
+use cor_workload::{
+    generate, generate_matrix, generate_sequence, rng_for, Engine, EngineSpec, GeneratedDb, Params,
+    SeedStream, ENGINE_CATALOG_VERSION,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::Cell;
@@ -108,12 +121,12 @@ fn install_quiet_hook() {
 /// run stops there. The `.expect` sites fire on an already-returned
 /// `Result`, after page guards are dropped, so the pool remains usable —
 /// the oracle still flushes after its single injected failure.
-fn run_workload(engine: &Engine, sequence: &[Query]) -> usize {
+fn run_workload(engine: &Engine, sequence: &[Query], strategy: Strategy) -> usize {
     IN_WORKLOAD.with(|f| f.set(true));
     let mut completed = sequence.len();
     for (i, q) in sequence.iter().enumerate() {
         let ok = panic::catch_unwind(AssertUnwindSafe(|| match q {
-            Query::Retrieve(r) => engine.retrieve(Strategy::DfsCache, r).is_ok(),
+            Query::Retrieve(r) => engine.retrieve(strategy, r).is_ok(),
             Query::Update(u) => engine.update(u).is_ok(),
         }))
         .unwrap_or(false);
@@ -153,7 +166,7 @@ fn run_point(
     // exact state the log describes at the crash instant.
     let oracle = build_rig(generated, p);
     oracle.faulty.arm(nth, FaultMode::FailStop);
-    let oracle_done = run_workload(&oracle.engine, sequence);
+    let oracle_done = run_workload(&oracle.engine, sequence, Strategy::DfsCache);
     let freed = oracle.engine.pool().free_page_ids();
     oracle
         .engine
@@ -165,7 +178,7 @@ fn run_point(
     // Faulty run: same ops, same nth write, but the disk dies there.
     let rig = build_rig(generated, p);
     rig.faulty.arm(nth, mode);
-    let queries_done = run_workload(&rig.engine, sequence);
+    let queries_done = run_workload(&rig.engine, sequence, Strategy::DfsCache);
     let Rig {
         faulty,
         store,
@@ -251,9 +264,406 @@ fn run_point(
     }
 }
 
+// ===================== logical verification mode =====================
+
+/// The four strategy backends the logical leg rotates over, with the
+/// strategy used to drive each one's workload.
+const BACKENDS: [(BackendKind, &str, Strategy); 4] = [
+    (BackendKind::Standard, "standard", Strategy::DfsCache),
+    (BackendKind::Clustered, "clustered", Strategy::DfsClust),
+    (BackendKind::Levels, "levels", Strategy::Dfs),
+    (BackendKind::Proc, "proc", Strategy::Dfs),
+];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BackendKind {
+    Standard,
+    Clustered,
+    Levels,
+    Proc,
+}
+
+fn logical_spec(kind: BackendKind, p: &Params, generated: &GeneratedDb) -> EngineSpec {
+    match kind {
+        BackendKind::Standard => EngineSpec::Standard(generated.spec.clone()),
+        BackendKind::Clustered => {
+            let parents: Vec<(u64, Vec<Oid>)> = generated
+                .spec
+                .parents
+                .iter()
+                .map(|o| (o.key, o.children.clone()))
+                .collect();
+            let mut rng = rng_for(p.seed, SeedStream::Cluster);
+            EngineSpec::Clustered(
+                generated.spec.clone(),
+                ClusterAssignment::random(&parents, &mut rng),
+            )
+        }
+        BackendKind::Levels => {
+            EngineSpec::Levels(vec![generated.spec.clone(), generated.spec.clone()])
+        }
+        BackendKind::Proc => EngineSpec::Procedural(
+            generate_matrix(p).proc_spec,
+            ProcCaching::OutsideValues(p.size_cache),
+        ),
+    }
+}
+
+/// Build a lifecycle engine (`EngineBuilder::create_on`) over a faulty
+/// mem-disk — unlike [`build_rig`], the store gets a persistent catalog
+/// and is reopenable by `open_on` with no spec.
+fn build_logical_rig(spec: &EngineSpec, p: &Params) -> Rig {
+    let disk = Arc::new(MemDisk::new());
+    let faulty = Arc::new(FaultyDisk::new(disk));
+    let store = Arc::new(MemLogStore::new());
+    let engine = Engine::builder()
+        .pool_pages(p.buffer_pages)
+        .cache(CacheConfig {
+            capacity: p.size_cache,
+            ..CacheConfig::default()
+        })
+        .wal_config(WalConfig {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 64 * 1024,
+        })
+        .create_on(faulty.clone(), store.clone(), spec)
+        .expect("lifecycle create on a fresh store");
+    Rig {
+        faulty,
+        store,
+        engine,
+    }
+}
+
+/// The fixed verification suite: range retrieves over several windows and
+/// both ret attributes, answers canonicalized by sorting. Returns one
+/// string per probe so mismatches name the query that diverged.
+fn probe_answers(engine: &Engine, strategy: Strategy) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for (lo, hi) in [(0u64, 9u64), (40, 59), (0, 149)] {
+        for attr in [RetAttr::Ret1, RetAttr::Ret2] {
+            let q = RetrieveQuery { lo, hi, attr };
+            let mut v = engine
+                .retrieve(strategy, &q)
+                .map_err(|e| format!("retrieve {lo}..{hi} {attr:?}: {e}"))?
+                .values;
+            v.sort_unstable();
+            out.push(format!("{lo}-{hi}-{attr:?}:{v:?}"));
+        }
+    }
+    Ok(out)
+}
+
+/// Deep structural snapshot for OID-backed engines: the encoded catalog
+/// payload of every level (file roots, allocator counters, schemas and
+/// reconciled cache directories). Empty for procedural engines, whose
+/// structure is covered by answers + sequence I/O + cache counters.
+fn structural_snapshot(engine: &Engine) -> Vec<Vec<u8>> {
+    engine
+        .levels()
+        .iter()
+        .map(|db| {
+            let mut e = complexobj::persist::Enc::default();
+            db.save_state().encode(&mut e);
+            e.0
+        })
+        .collect()
+}
+
+struct LogicalResult {
+    backend: &'static str,
+    nth_write: u64,
+    mode: &'static str,
+    queries_done: usize,
+    stats: RecoveryStats,
+    probes: usize,
+    failures: Vec<String>,
+}
+
+fn run_logical_point(
+    backend: (BackendKind, &'static str, Strategy),
+    p: &Params,
+    generated: &GeneratedDb,
+    sequence: &[Query],
+    verify_sequence: &[Query],
+    fault: (u64, FaultMode, &'static str),
+) -> LogicalResult {
+    let (kind, backend_name, strategy) = backend;
+    let (nth, mode, mode_name) = fault;
+    let spec = logical_spec(kind, p, generated);
+
+    // Oracle: identical run, the injected write lands (fail-stop), then
+    // everything is flushed — the state the log describes at the crash.
+    // It is reopened through the very same lifecycle door as the crashed
+    // run, so both sides perform identical open-time reconciliation.
+    let oracle = build_logical_rig(&spec, p);
+    oracle.faulty.arm(nth, FaultMode::FailStop);
+    let oracle_done = run_workload(&oracle.engine, sequence, strategy);
+    oracle
+        .engine
+        .pool()
+        .flush_all()
+        .expect("oracle flush after disarmed fail-stop");
+    let oracle_disk: Arc<MemDisk> = oracle.faulty.inner().clone();
+    let oracle_store = oracle.store.clone();
+    drop(oracle.engine);
+
+    // Crashed run: same ops, same nth write, disk dies there.
+    let rig = build_logical_rig(&spec, p);
+    rig.faulty.arm(nth, mode);
+    let queries_done = run_workload(&rig.engine, sequence, strategy);
+    let Rig {
+        faulty,
+        store,
+        engine,
+    } = rig;
+    drop(engine); // dirty frames die with the "process"
+    store.crash(); // unsynced log tail too (none: fsync Always)
+    let disk: Arc<MemDisk> = faulty.inner().clone();
+
+    let mut failures = Vec::new();
+    if queries_done != oracle_done {
+        failures.push(format!(
+            "divergence: crashed run served {queries_done} queries, oracle {oracle_done}"
+        ));
+    }
+
+    // Recovery stats for the report; open_on replays again (idempotent).
+    let stats = match recover(disk.as_ref(), store.as_ref()) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("recovery failed: {e}"));
+            RecoveryStats::default()
+        }
+    };
+
+    let mut probes = 0;
+    if failures.is_empty() {
+        let reopen = |d: Arc<MemDisk>, s: Arc<MemLogStore>| {
+            Engine::builder()
+                .open_on(d, s)
+                .map_err(|e| format!("open failed: {e}"))
+        };
+        match (reopen(disk, store), reopen(oracle_disk, oracle_store)) {
+            (Ok(recovered), Ok(oracle_eng)) => {
+                // 1. Retrieval answers.
+                match (
+                    probe_answers(&recovered, strategy),
+                    probe_answers(&oracle_eng, strategy),
+                ) {
+                    (Ok(a), Ok(b)) => {
+                        probes = a.len();
+                        for (x, y) in a.iter().zip(&b) {
+                            if x != y {
+                                failures.push(format!("answer diverged: {x} vs oracle {y}"));
+                            }
+                        }
+                    }
+                    (Err(e), _) => failures.push(format!("recovered probe: {e}")),
+                    (_, Err(e)) => failures.push(format!("oracle probe: {e}")),
+                }
+                // 2. A measured sequence: logical results AND the paper's
+                // cost metric must match (identical pages + identical
+                // open ⇒ identical I/O), both sides run identically.
+                match (
+                    recovered.run_sequence(strategy, verify_sequence),
+                    oracle_eng.run_sequence(strategy, verify_sequence),
+                ) {
+                    (Ok(a), Ok(b)) => {
+                        if (
+                            a.total_io,
+                            a.par_io,
+                            a.child_io,
+                            a.update_io,
+                            a.values_returned,
+                        ) != (
+                            b.total_io,
+                            b.par_io,
+                            b.child_io,
+                            b.update_io,
+                            b.values_returned,
+                        ) {
+                            failures.push(format!(
+                                "sequence stats diverged: io {}/{}/{}/{} values {} vs oracle io {}/{}/{}/{} values {}",
+                                a.total_io, a.par_io, a.child_io, a.update_io, a.values_returned,
+                                b.total_io, b.par_io, b.child_io, b.update_io, b.values_returned,
+                            ));
+                        }
+                        probes += 1;
+                    }
+                    (Err(e), _) => failures.push(format!("recovered sequence: {e}")),
+                    (_, Err(e)) => failures.push(format!("oracle sequence: {e}")),
+                }
+                // 3. Structural state (OID backends): encoded snapshots —
+                // file roots, allocators, schemas, cache directories —
+                // must be byte-equal after the identical verify load.
+                let a = structural_snapshot(&recovered);
+                let b = structural_snapshot(&oracle_eng);
+                if a != b {
+                    failures.push("structural snapshot diverged from oracle".into());
+                } else {
+                    probes += a.len();
+                }
+            }
+            (Err(e), _) => failures.push(format!("recovered store: {e}")),
+            (_, Err(e)) => failures.push(format!("oracle store: {e}")),
+        }
+    }
+
+    LogicalResult {
+        backend: backend_name,
+        nth_write: nth,
+        mode: mode_name,
+        queries_done,
+        stats,
+        probes,
+        failures,
+    }
+}
+
+fn run_logical(seed: u64, points: usize) -> bool {
+    let p = params(seed);
+    let generated = generate(&p);
+    let sequence = generate_sequence(&p);
+    // The verify sequence reuses a deterministic prefix of the workload:
+    // retrieves and updates both sides apply identically post-recovery.
+    let verify_sequence: Vec<Query> = sequence.iter().take(12).cloned().collect();
+
+    // Per-backend write budgets from a dry run each.
+    let mut budgets = [0u64; 4];
+    for (i, (kind, name, strategy)) in BACKENDS.iter().enumerate() {
+        let spec = logical_spec(*kind, &p, &generated);
+        let dry = build_logical_rig(&spec, &p);
+        let base = dry.faulty.writes_observed();
+        let done = run_workload(&dry.engine, &sequence, *strategy);
+        assert_eq!(done, sequence.len(), "{name}: dry run must complete");
+        // Budget stops at the end of the workload — the final flush is
+        // not part of it, so the oracle's fail-stop always fires while
+        // queries are still running and its flush stays fault-free.
+        budgets[i] = dry.faulty.writes_observed() - base;
+        assert!(budgets[i] > 0, "{name}: workload issues no writes");
+    }
+
+    eprintln!(
+        "crashtest --logical: seed {seed}, {} queries, {points} crash points over {} backends \
+         (write budgets: standard={} clustered={} levels={} proc={})",
+        sequence.len(),
+        BACKENDS.len(),
+        budgets[0],
+        budgets[1],
+        budgets[2],
+        budgets[3],
+    );
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A5_47E5_7000_0002);
+    let mut results: Vec<LogicalResult> = Vec::with_capacity(points);
+    for i in 0..points {
+        let b = i % BACKENDS.len();
+        let nth = rng.random_range(1..=budgets[b]);
+        let (mode, mode_name) = if i % 2 == 0 {
+            (FaultMode::CrashDrop, "crash-drop")
+        } else {
+            (
+                FaultMode::CrashTorn {
+                    keep: rng.random_range(1..PAGE_SIZE),
+                },
+                "torn-page",
+            )
+        };
+        let r = run_logical_point(
+            BACKENDS[b],
+            &p,
+            &generated,
+            &sequence,
+            &verify_sequence,
+            (nth, mode, mode_name),
+        );
+        if !r.failures.is_empty() {
+            eprintln!(
+                "  point {i}: {} write {} ({}) FAILED: {}",
+                r.backend,
+                r.nth_write,
+                r.mode,
+                r.failures.join("; ")
+            );
+        }
+        results.push(r);
+    }
+
+    let failed: Vec<&LogicalResult> = results.iter().filter(|r| !r.failures.is_empty()).collect();
+    let mut txt = String::new();
+    txt.push_str(&format!(
+        "crashtest --logical  seed={seed}  queries={}  catalog_version={ENGINE_CATALOG_VERSION}\n\
+         points={}  passed={}  failed={}\n",
+        sequence.len(),
+        results.len(),
+        results.len() - failed.len(),
+        failed.len(),
+    ));
+    for (kind, name, _) in &BACKENDS {
+        let of_kind: Vec<&LogicalResult> = results.iter().filter(|r| r.backend == *name).collect();
+        let ok = of_kind.iter().filter(|r| r.failures.is_empty()).count();
+        txt.push_str(&format!("  {name}: {ok}/{} ok\n", of_kind.len()));
+        let _ = kind;
+    }
+    txt.push_str("\npoint  backend    write  mode        queries  redo  probes  status\n");
+    for (i, r) in results.iter().enumerate() {
+        txt.push_str(&format!(
+            "{:>5}  {:<9}  {:>5}  {:<10}  {:>7}  {:>4}  {:>6}  {}\n",
+            i,
+            r.backend,
+            r.nth_write,
+            r.mode,
+            r.queries_done,
+            r.stats.images_applied + r.stats.deltas_applied,
+            r.probes,
+            if r.failures.is_empty() { "ok" } else { "FAIL" },
+        ));
+    }
+
+    let json_points: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"backend\":\"{}\",\"nth_write\":{},\"mode\":\"{}\",\"queries_done\":{},\
+                 \"records_scanned\":{},\"probes\":{},\"failures\":[{}]}}",
+                r.backend,
+                r.nth_write,
+                r.mode,
+                r.queries_done,
+                r.stats.records_scanned,
+                r.probes,
+                r.failures
+                    .iter()
+                    .map(|f| format!("\"{}\"", f.replace('"', "'")))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\"schema_version\":1,\"catalog_version\":{ENGINE_CATALOG_VERSION},\"mode\":\"logical\",\
+         \"seed\":{seed},\"queries\":{},\"points\":{},\"passed\":{},\"failed\":{},\
+         \"points_detail\":[{}]}}\n",
+        sequence.len(),
+        results.len(),
+        results.len() - failed.len(),
+        failed.len(),
+        json_points.join(","),
+    );
+
+    std::fs::create_dir_all("results/crashtest").expect("results dir");
+    std::fs::write("results/crashtest/report-logical.txt", &txt).expect("write txt report");
+    std::fs::write("results/crashtest/report-logical.json", &json).expect("write json report");
+    print!("{txt}");
+    eprintln!("report: results/crashtest/report-logical.{{txt,json}}");
+    failed.is_empty()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let logical = args.iter().any(|a| a == "--logical");
     let flag = |name: &str| {
         args.iter()
             .position(|a| a == name)
@@ -272,6 +682,12 @@ fn main() {
     };
 
     install_quiet_hook();
+    if logical {
+        if !run_logical(seed, points) {
+            std::process::exit(1);
+        }
+        return;
+    }
     let p = params(seed);
     let generated = generate(&p);
     let sequence = generate_sequence(&p);
@@ -280,9 +696,10 @@ fn main() {
     // Crash points are sampled from that budget (1-based, post-build).
     let dry = build_rig(&generated, &p);
     let base = dry.faulty.writes_observed();
-    let done = run_workload(&dry.engine, &sequence);
+    let done = run_workload(&dry.engine, &sequence, Strategy::DfsCache);
     assert_eq!(done, sequence.len(), "dry run must complete");
-    dry.engine.pool().flush_all().expect("dry run flush");
+    // Budget stops at the end of the workload (no final flush) so the
+    // oracle's fail-stop always fires while queries are still running.
     let budget = dry.faulty.writes_observed() - base;
     assert!(budget > 0, "workload issues no writes — nothing to test");
     drop(dry);

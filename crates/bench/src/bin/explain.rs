@@ -20,7 +20,9 @@
 use complexobj::{ExecOptions, Strategy};
 use cor_bench::BenchConfig;
 use cor_obs::Phase;
-use cor_workload::{generate, generate_sequence, Engine, ExplainReport, Params};
+use cor_workload::{
+    generate, generate_sequence, Engine, ExplainReport, Params, ENGINE_CATALOG_VERSION,
+};
 
 /// Smoke bound on |relative error| of predicted vs measured average I/O.
 /// Deliberately loose: the gate catches a broken model (sign flips,
@@ -65,7 +67,8 @@ fn run_all(params: &Params, opts: &ExecOptions) -> Vec<ExplainReport> {
     Strategy::ALL
         .into_iter()
         .map(|strategy| {
-            let engine = Engine::for_strategy(params, &generated, strategy)
+            let engine = Engine::builder()
+                .build_workload(params, &generated, strategy)
                 .expect("engine builds")
                 .with_options(*opts);
             engine
@@ -77,7 +80,8 @@ fn run_all(params: &Params, opts: &ExecOptions) -> Vec<ExplainReport> {
 
 fn meta_line(params: &Params, opts: &ExecOptions, scale: f64) -> String {
     format!(
-        "{{\"schema_version\":1,\"meta\":true,\"scale\":{scale},\"parent_card\":{},\
+        "{{\"schema_version\":1,\"catalog_version\":{ENGINE_CATALOG_VERSION},\
+         \"meta\":true,\"scale\":{scale},\"parent_card\":{},\
          \"num_top\":{},\"sequence_len\":{},\"size_cache\":{},\"buffer_pages\":{},\
          \"pr_update\":{},\"seed\":{},\"sort_work_mem\":{}}}",
         params.parent_card,
@@ -136,6 +140,16 @@ fn replay(path: &std::path::Path) -> Result<usize, String> {
     let meta = lines.next().ok_or("empty capture")?;
     if !meta.contains("\"meta\":true") {
         return Err("first line is not a meta line".into());
+    }
+    // Captures made by a build with a different on-disk engine-catalog
+    // layout are not comparable; fail loudly instead of diffing noise.
+    // A capture without the stamp predates the stamp and is v1.
+    let captured = meta_num(meta, "catalog_version").map_or(1, |v| v as u32);
+    if captured != ENGINE_CATALOG_VERSION {
+        return Err(format!(
+            "capture was made under engine-catalog layout v{captured}, this build \
+             writes v{ENGINE_CATALOG_VERSION} — re-capture with --jsonl"
+        ));
     }
     let scale = meta_num(meta, "scale").ok_or("meta line lacks scale")?;
     let mut params = Params::scaled(scale);

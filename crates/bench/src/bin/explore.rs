@@ -69,7 +69,7 @@ fn main() {
                 let generated = generate(&params);
                 println!("{:<10} {:>9} {:>9} {:>9}  values", "strategy", "ParCost", "ChildCost", "total");
                 for s in strategies {
-                    let engine = Engine::for_strategy(&params, &generated, s)
+                    let engine = Engine::builder().build_workload(&params, &generated, s)
                         .unwrap_or_else(|e| die(&format!("{s} build failed: {e}")));
                     engine.pool().flush_and_clear().ok();
                     let out = engine

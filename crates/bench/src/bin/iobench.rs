@@ -157,7 +157,7 @@ fn run_leg(
     };
     let pool = Arc::new(builder.build());
     let db = build_for_strategy_on(pool, params, generated, strategy).expect("database builds");
-    let engine = Engine::from_database(db).with_options(*opts);
+    let engine = Engine::builder().wrap_database(db).with_options(*opts);
     let stats = engine.pool().stats().clone();
     let io_before = stats.snapshot();
     let batch_before = stats.batch_snapshot();

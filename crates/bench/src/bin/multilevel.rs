@@ -48,7 +48,7 @@ fn main() {
             seed: 7 + levels as u64,
             ..HierarchyParams::default()
         };
-        let engine = Engine::from_levels(build_hierarchy(&hp).expect("hierarchy builds"));
+        let engine = Engine::builder().wrap_levels(build_hierarchy(&hp).expect("hierarchy builds"));
 
         let mut costs = Vec::new();
         for s in strategies {

@@ -87,7 +87,8 @@ fn main() {
     let mut buckets: Vec<BTreeMap<u64, (u64, u64)>> = vec![BTreeMap::new(); strategies.len()];
     let mut totals = Vec::new();
     for (j, &s) in strategies.iter().enumerate() {
-        let engine = Engine::for_strategy(&base, &generated, s)
+        let engine = Engine::builder()
+            .build_workload(&base, &generated, s)
             .expect("engine builds")
             .with_options(opts);
         let (result, trace) = engine.run_sequence_trace(s, &sequence).expect("run");
@@ -135,7 +136,8 @@ fn main() {
     println!("threshold sensitivity (overall avg I/O per query under the same mix):");
     let mut sens_rows = Vec::new();
     for &n in &candidates {
-        let engine = Engine::for_strategy(&base, &generated, Strategy::Smart)
+        let engine = Engine::builder()
+            .build_workload(&base, &generated, Strategy::Smart)
             .expect("engine builds")
             .with_options(ExecOptions {
                 smart_threshold: n,

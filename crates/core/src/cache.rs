@@ -332,6 +332,63 @@ impl UnitCache {
     pub fn contains_meta(&self, hashkey: HashKey) -> bool {
         self.entries.contains_key(&hashkey)
     }
+
+    /// Snapshot the cache for the engine catalog: hash-relation metadata
+    /// plus the directory in LRU order (oldest first).
+    pub fn save_state(&self) -> crate::persist::SavedUnitCache {
+        crate::persist::SavedUnitCache {
+            file: self.file.metadata(),
+            capacity: self.capacity,
+            policy: self.policy,
+            entries: self
+                .lru
+                .values()
+                .map(|hk| (*hk, self.entries[hk].members.clone()))
+                .collect(),
+        }
+    }
+
+    /// Reattach to a snapshotted cache, reconciling the directory against
+    /// the recovered hash relation: entries whose record is gone (the
+    /// snapshot outlived them) are dropped; I-locks are retaken for the
+    /// survivors. Returns the cache and how many entries were dropped.
+    /// Records the snapshot never saw stay invisible — probes consult the
+    /// directory first, so they can only leak space, never answers.
+    pub fn reattach(
+        pool: Arc<BufferPool>,
+        saved: &crate::persist::SavedUnitCache,
+    ) -> Result<(Self, usize), AccessError> {
+        assert!(saved.capacity > 0, "SizeCache must be positive");
+        let file = HashFile::from_metadata(pool, saved.file);
+        let mut cache = UnitCache {
+            file,
+            capacity: saved.capacity,
+            policy: saved.policy,
+            ilocks: ILockTable::new(),
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            counters: CacheCounters::default(),
+        };
+        let mut dropped = 0;
+        for (hashkey, members) in &saved.entries {
+            if cache.file.get(&hashkey.to_le_bytes())?.is_none() {
+                dropped += 1;
+                continue;
+            }
+            cache.tick += 1;
+            cache.entries.insert(
+                *hashkey,
+                CachedMeta {
+                    members: members.clone(),
+                    tick: cache.tick,
+                },
+            );
+            cache.lru.insert(cache.tick, *hashkey);
+            cache.ilocks.lock_unit(*hashkey, members);
+        }
+        Ok((cache, dropped))
+    }
 }
 
 #[cfg(test)]

@@ -414,6 +414,105 @@ impl CorDatabase {
         })
     }
 
+    /// Snapshot this database for the engine catalog: file metadata,
+    /// schemas, cardinality counters, and the cache directory.
+    pub fn save_state(&self) -> crate::persist::SavedOidDb {
+        use crate::persist::{SavedCacheState, SavedOidDb, SavedStorage};
+        let storage = match &self.storage {
+            Storage::Standard { parent, children } => SavedStorage::Standard {
+                parent: parent.metadata(),
+                children: children.iter().map(|c| c.metadata()).collect(),
+            },
+            Storage::Clustered { cluster, oid_index } => SavedStorage::Clustered {
+                cluster: cluster.metadata(),
+                oid_index: oid_index.metadata(),
+            },
+        };
+        let cache = if let Some(c) = &self.cache {
+            Some(SavedCacheState::Outside(c.lock().save_state()))
+        } else {
+            self.inside.as_ref().map(|i| SavedCacheState::Inside {
+                capacity: i.lock().capacity,
+            })
+        };
+        SavedOidDb {
+            storage,
+            parent_schema: self.parent_schema.clone(),
+            child_schema: self.child_schema.clone(),
+            parent_count: self.parent_count,
+            child_counts: self.child_counts.clone(),
+            cache,
+        }
+    }
+
+    /// Reconstruct a database from a catalog snapshot over an
+    /// already-recovered pool. Files are reattached from their metadata;
+    /// an outside cache is reconciled against its recovered hash relation
+    /// (stale directory entries dropped); inside-caching bookkeeping —
+    /// the holder set and the invalidation registry — is rebuilt by
+    /// scanning ParentRel, whose tuples are the durable truth. The
+    /// rebuilt holder set is LRU-ordered by key, not by historical
+    /// recency, which only biases future evictions, never answers.
+    pub fn open_state(
+        pool: Arc<BufferPool>,
+        saved: &crate::persist::SavedOidDb,
+    ) -> Result<Self, CorError> {
+        use crate::persist::{SavedCacheState, SavedStorage};
+        let storage = match &saved.storage {
+            SavedStorage::Standard { parent, children } => Storage::Standard {
+                parent: BTreeFile::from_metadata(Arc::clone(&pool), *parent)?,
+                children: children
+                    .iter()
+                    .map(|m| BTreeFile::from_metadata(Arc::clone(&pool), *m))
+                    .collect::<Result<_, _>>()?,
+            },
+            SavedStorage::Clustered { cluster, oid_index } => Storage::Clustered {
+                cluster: BTreeFile::from_metadata(Arc::clone(&pool), *cluster)?,
+                oid_index: IsamIndex::from_metadata(Arc::clone(&pool), *oid_index)?,
+            },
+        };
+        let mut outside = None;
+        let mut inside_capacity = None;
+        match &saved.cache {
+            Some(SavedCacheState::Outside(sc)) => {
+                let (c, _dropped) = UnitCache::reattach(Arc::clone(&pool), sc)?;
+                outside = Some(Mutex::new(c));
+            }
+            Some(SavedCacheState::Inside { capacity }) => inside_capacity = Some(*capacity),
+            None => {}
+        }
+        let mut db = CorDatabase {
+            pool,
+            storage,
+            cache: outside,
+            inside: None,
+            parent_schema: saved.parent_schema.clone(),
+            child_schema: saved.child_schema.clone(),
+            parent_count: saved.parent_count,
+            child_counts: saved.child_counts.clone(),
+        };
+        if let Some(capacity) = inside_capacity {
+            let mut registry: std::collections::HashMap<Oid, Vec<u64>> =
+                std::collections::HashMap::new();
+            let mut holders = LruSet::default();
+            for (key, children, cached) in db.parents_in_range_cached(0, u64::MAX)? {
+                for c in &children {
+                    registry.entry(*c).or_default().push(key);
+                }
+                if cached.is_some() {
+                    holders.touch(key);
+                }
+            }
+            db.inside = Some(Mutex::new(InsideOidCache {
+                capacity,
+                holders,
+                registry,
+                counters: CacheCounters::default(),
+            }));
+        }
+        Ok(db)
+    }
+
     /// The shared buffer pool.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool

@@ -58,6 +58,7 @@ pub mod database;
 pub mod ilock;
 pub mod matrix;
 pub mod multilevel;
+pub mod persist;
 pub mod procedural;
 pub mod quel;
 pub mod query;
@@ -73,6 +74,9 @@ pub use matrix::{CachePlacement, CachedRepr, PrimaryRepr, ReprPoint, Strategy};
 #[allow(deprecated)]
 pub use multilevel::run_multilevel;
 pub use multilevel::{bfs_multilevel, dfs_multilevel, execute_multilevel, MultiDotQuery};
+pub use persist::{
+    SavedCacheState, SavedOidDb, SavedProcCache, SavedProcDb, SavedStorage, SavedUnitCache,
+};
 pub use quel::{parse as parse_quel, QuelError, QuelStatement};
 pub use query::{apply_update, Query, RetAttr, RetrieveQuery, StrategyOutput, UpdateQuery};
 #[allow(deprecated)]
@@ -99,6 +103,16 @@ pub enum CorError {
     NoCache,
     /// The durability subsystem (WAL append, fsync, checkpoint) failed.
     Durability(String),
+    /// The store holds pages but no engine catalog; it was not created by
+    /// the lifecycle API (or its catalog page was destroyed).
+    CatalogMissing,
+    /// The store's catalog was written by an incompatible on-disk layout.
+    CatalogVersion {
+        /// Version found on disk.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl std::fmt::Display for CorError {
@@ -112,6 +126,18 @@ impl std::fmt::Display for CorError {
             CorError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
             CorError::NoCache => write!(f, "no unit cache attached to this database"),
             CorError::Durability(msg) => write!(f, "durability failure: {msg}"),
+            CorError::CatalogMissing => {
+                write!(
+                    f,
+                    "store has no engine catalog (not created by Engine::create)"
+                )
+            }
+            CorError::CatalogVersion { found, expected } => {
+                write!(
+                    f,
+                    "engine catalog version mismatch: found v{found}, this build expects v{expected}"
+                )
+            }
         }
     }
 }

@@ -185,6 +185,71 @@ impl ProcDatabase {
         })
     }
 
+    /// Snapshot this database for the engine catalog.
+    pub fn save_state(&self) -> crate::persist::SavedProcDb {
+        crate::persist::SavedProcDb {
+            parent: self.parent.metadata(),
+            children: self.children.iter().map(|c| c.metadata()).collect(),
+            parent_schema: self.parent_schema.clone(),
+            parent_count: self.parent_count,
+            caching: self.caching,
+            outside: self.outside.as_ref().map(|c| c.lock().save_state()),
+        }
+    }
+
+    /// Reconstruct a database from a catalog snapshot over an
+    /// already-recovered pool. The `by_query` invalidation index and the
+    /// inside-holder set are rebuilt by scanning ParentRel — the stored
+    /// QUEL texts and `cached` columns are the durable truth — and an
+    /// outside cache is reconciled against its recovered hash relation.
+    pub fn open_state(
+        pool: Arc<BufferPool>,
+        saved: &crate::persist::SavedProcDb,
+    ) -> Result<Self, CorError> {
+        let parent = BTreeFile::from_metadata(Arc::clone(&pool), saved.parent)?;
+        let children = saved
+            .children
+            .iter()
+            .map(|m| BTreeFile::from_metadata(Arc::clone(&pool), *m))
+            .collect::<Result<Vec<_>, _>>()?;
+        let outside = match (&saved.outside, saved.caching) {
+            (Some(sc), ProcCaching::OutsideValues(_) | ProcCaching::OutsideOids(_)) => {
+                let (c, _dropped) = ProcCache::reattach(Arc::clone(&pool), sc)?;
+                Some(Mutex::new(c))
+            }
+            _ => None,
+        };
+        let mut db = ProcDatabase {
+            pool,
+            parent,
+            children,
+            caching: saved.caching,
+            outside,
+            inside_cached: Mutex::new(LruSet::default()),
+            by_query: HashMap::new(),
+            inside_counters: Mutex::new(CacheCounters::default()),
+            parent_schema: saved.parent_schema.clone(),
+            parent_count: saved.parent_count,
+        };
+        let rows = db.parents_in_range(0, u64::MAX)?;
+        let mut by_query: HashMap<u64, (StoredQuery, Vec<u64>)> = HashMap::new();
+        {
+            let mut lru = db.inside_cached.lock();
+            for row in &rows {
+                by_query
+                    .entry(row.members.hashkey())
+                    .or_insert_with(|| (row.members.clone(), Vec::new()))
+                    .1
+                    .push(row.key);
+                if row.cached.is_some() {
+                    lru.touch(row.key);
+                }
+            }
+        }
+        db.by_query = by_query;
+        Ok(db)
+    }
+
     /// The shared buffer pool.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool

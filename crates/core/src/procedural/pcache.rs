@@ -249,6 +249,76 @@ impl ProcCache {
         }
         Ok(victims.len())
     }
+
+    /// Snapshot the cache for the engine catalog. Directory entries are
+    /// stored as `(QUEL text, kind)` in LRU order; hashkeys are
+    /// recomputed from the reparsed queries at reattach.
+    pub fn save_state(&self) -> crate::persist::SavedProcCache {
+        crate::persist::SavedProcCache {
+            file: self.file.metadata(),
+            capacity: self.capacity,
+            entries: self
+                .lru
+                .values()
+                .map(|hk| {
+                    let meta = &self.entries[hk];
+                    (
+                        meta.query.to_quel(),
+                        match meta.kind {
+                            ProcCachedKind::Oids => 0,
+                            ProcCachedKind::Values => 1,
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Reattach to a snapshotted cache, dropping directory entries whose
+    /// record no longer exists in the recovered hash relation (see
+    /// [`UnitCache::reattach`](crate::UnitCache::reattach) for the
+    /// one-way reconcile contract). Returns the cache and the number of
+    /// dropped entries.
+    pub fn reattach(
+        pool: Arc<BufferPool>,
+        saved: &crate::persist::SavedProcCache,
+    ) -> Result<(Self, usize), AccessError> {
+        assert!(saved.capacity > 0, "cache capacity must be positive");
+        let file = HashFile::from_metadata(pool, saved.file);
+        let mut cache = ProcCache {
+            file,
+            capacity: saved.capacity,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            counters: CacheCounters::default(),
+        };
+        let mut dropped = 0;
+        for (quel, kind_tag) in &saved.entries {
+            let query = StoredQuery::parse_quel(quel)
+                .expect("stored-query text written by this cache must parse");
+            let hashkey = query.hashkey();
+            if cache.file.get(&hashkey.to_le_bytes())?.is_none() {
+                dropped += 1;
+                continue;
+            }
+            let kind = match kind_tag {
+                0 => ProcCachedKind::Oids,
+                _ => ProcCachedKind::Values,
+            };
+            cache.tick += 1;
+            cache.entries.insert(
+                hashkey,
+                Meta {
+                    query,
+                    kind,
+                    tick: cache.tick,
+                },
+            );
+            cache.lru.insert(cache.tick, hashkey);
+        }
+        Ok((cache, dropped))
+    }
 }
 
 #[cfg(test)]

@@ -77,7 +77,7 @@ impl IoOptions {
 }
 
 /// Execution knobs. Defaults match the paper.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecOptions {
     /// SMART's NumTop threshold ("N = 300 in our experiments").
     pub smart_threshold: u64,

@@ -1,0 +1,288 @@
+//! The persistent **engine catalog** — everything `Engine::open` needs to
+//! reconstruct a running engine from a store, with no spec from the
+//! caller.
+//!
+//! The catalog is one CRC-framed byte blob stored under the name
+//! `"engine"` in the access-layer [`Catalog`](cor_access::Catalog) on
+//! page 0, so it travels through the same WAL-before-data path as every
+//! other page. It records:
+//!
+//! * a magic + version header ([`ENGINE_CATALOG_VERSION`]) so foreign or
+//!   future stores fail loudly with
+//!   [`CorError::CatalogMissing`] / [`CorError::CatalogVersion`];
+//! * a `clean_shutdown` flag — `true` only between [`Engine::close`]
+//!   (crate::Engine::close) and the next open;
+//! * the pool geometry (`pool_pages`, `shards`, replacement policy) and
+//!   the [`ExecOptions`] the engine ran with — `open` rebuilds the pool
+//!   from the catalog, not from the caller's builder;
+//! * the buffer pool's free-page list, reused only after a **clean**
+//!   shutdown (after a crash the list may predate logged allocations, so
+//!   it is discarded and those pages leak — bounded, and safe);
+//! * the backend snapshot ([`SavedBackend`]): strategy kind plus the
+//!   per-strategy file roots, schemas, OID allocators and cache
+//!   directories from [`complexobj::persist`].
+
+use complexobj::persist::{Dec, Enc};
+use complexobj::{CorError, ExecOptions, IoOptions, JoinChoice, SavedOidDb, SavedProcDb};
+use cor_pagestore::{PageId, ReplacementPolicy};
+use cor_wal::crc::crc32;
+
+/// On-disk layout version this build reads and writes.
+pub const ENGINE_CATALOG_VERSION: u32 = 1;
+
+/// Name of the blob entry holding the engine catalog on page 0.
+pub const ENGINE_BLOB: &str = "engine";
+
+const MAGIC: &[u8; 8] = b"CORENGIN";
+
+/// Which strategy backend the store holds, with its full snapshot.
+#[derive(Debug, Clone)]
+pub enum SavedBackend {
+    /// A single OID-representation database — standard or clustered is
+    /// recorded inside [`SavedOidDb::storage`].
+    Oid(SavedOidDb),
+    /// A multi-level hierarchy chain (level 0 first) sharing one pool.
+    Levels(Vec<SavedOidDb>),
+    /// A procedural-representation database.
+    Proc(SavedProcDb),
+}
+
+/// The decoded engine catalog. See the module docs for field semantics.
+#[derive(Debug, Clone)]
+pub struct EngineCatalog {
+    /// `true` only when the engine was shut down via `Engine::close`.
+    pub clean_shutdown: bool,
+    /// Buffer pool capacity, in pages.
+    pub pool_pages: usize,
+    /// Lock-striped pool shards.
+    pub shards: usize,
+    /// Pool replacement policy.
+    pub policy: ReplacementPolicy,
+    /// Execution options every query runs with.
+    pub opts: ExecOptions,
+    /// Free-page list at save time (valid only under `clean_shutdown`).
+    pub free_pages: Vec<PageId>,
+    /// The strategy backend snapshot.
+    pub backend: SavedBackend,
+}
+
+impl EngineCatalog {
+    /// Serialize: `MAGIC ∥ version ∥ crc32(payload) ∥ payload`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::default();
+        e.u8(self.clean_shutdown as u8);
+        e.u64(self.pool_pages as u64);
+        e.u32(self.shards as u32);
+        e.u8(match self.policy {
+            ReplacementPolicy::Lru => 0,
+            ReplacementPolicy::Fifo => 1,
+            ReplacementPolicy::Clock => 2,
+        });
+        e.u64(self.opts.smart_threshold);
+        e.u8(match self.opts.join {
+            JoinChoice::Auto => 0,
+            JoinChoice::ForceMerge => 1,
+            JoinChoice::ForceIterative => 2,
+        });
+        e.u64(self.opts.sort_work_mem as u64);
+        e.u64(self.opts.io.batch as u64);
+        e.u64(self.opts.io.readahead as u64);
+        e.u32(self.free_pages.len() as u32);
+        for &pid in &self.free_pages {
+            e.u32(pid);
+        }
+        match &self.backend {
+            SavedBackend::Oid(db) => {
+                e.u8(0);
+                db.encode(&mut e);
+            }
+            SavedBackend::Levels(levels) => {
+                e.u8(1);
+                e.u32(levels.len() as u32);
+                for l in levels {
+                    l.encode(&mut e);
+                }
+            }
+            SavedBackend::Proc(db) => {
+                e.u8(2);
+                db.encode(&mut e);
+            }
+        }
+        let mut out = Vec::with_capacity(16 + e.0.len());
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&ENGINE_CATALOG_VERSION.to_le_bytes());
+        out.extend_from_slice(&crc32(&e.0).to_le_bytes());
+        out.extend_from_slice(&e.0);
+        out
+    }
+
+    /// Decode a blob written by [`encode`](Self::encode).
+    ///
+    /// * no/garbled header → [`CorError::CatalogMissing`];
+    /// * wrong version → [`CorError::CatalogVersion`];
+    /// * CRC mismatch or truncated payload → [`CorError::Durability`]
+    ///   (the blob sits under the WAL, so this indicates a bug, not a
+    ///   torn write).
+    pub fn decode(bytes: &[u8]) -> Result<Self, CorError> {
+        if bytes.len() < 16 || &bytes[..8] != MAGIC {
+            return Err(CorError::CatalogMissing);
+        }
+        let found = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
+        if found != ENGINE_CATALOG_VERSION {
+            return Err(CorError::CatalogVersion {
+                found,
+                expected: ENGINE_CATALOG_VERSION,
+            });
+        }
+        let crc = u32::from_le_bytes([bytes[12], bytes[13], bytes[14], bytes[15]]);
+        let payload = &bytes[16..];
+        if crc32(payload) != crc {
+            return Err(CorError::Durability("engine catalog CRC mismatch".into()));
+        }
+        let mut d = Dec(payload);
+        let clean_shutdown = d.u8()? != 0;
+        let pool_pages = d.u64()? as usize;
+        let shards = d.u32()? as usize;
+        let policy = match d.u8()? {
+            0 => ReplacementPolicy::Lru,
+            1 => ReplacementPolicy::Fifo,
+            2 => ReplacementPolicy::Clock,
+            _ => return Err(CorError::Durability("unknown policy tag".into())),
+        };
+        let smart_threshold = d.u64()?;
+        let join = match d.u8()? {
+            0 => JoinChoice::Auto,
+            1 => JoinChoice::ForceMerge,
+            2 => JoinChoice::ForceIterative,
+            _ => return Err(CorError::Durability("unknown join tag".into())),
+        };
+        let sort_work_mem = d.u64()? as usize;
+        let io = IoOptions {
+            batch: d.u64()? as usize,
+            readahead: d.u64()? as usize,
+        };
+        let n = d.u32()? as usize;
+        let mut free_pages = Vec::with_capacity(n);
+        for _ in 0..n {
+            free_pages.push(d.u32()?);
+        }
+        let backend = match d.u8()? {
+            0 => SavedBackend::Oid(SavedOidDb::decode(&mut d)?),
+            1 => {
+                let n = d.u32()? as usize;
+                let mut levels = Vec::with_capacity(n);
+                for _ in 0..n {
+                    levels.push(SavedOidDb::decode(&mut d)?);
+                }
+                SavedBackend::Levels(levels)
+            }
+            2 => SavedBackend::Proc(SavedProcDb::decode(&mut d)?),
+            _ => return Err(CorError::Durability("unknown backend tag".into())),
+        };
+        if !d.is_empty() {
+            return Err(CorError::Durability(
+                "trailing bytes after engine catalog".into(),
+            ));
+        }
+        Ok(EngineCatalog {
+            clean_shutdown,
+            pool_pages,
+            shards,
+            policy,
+            opts: ExecOptions {
+                smart_threshold,
+                join,
+                sort_work_mem,
+                io,
+            },
+            free_pages,
+            backend,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use complexobj::persist::SavedStorage;
+    use cor_access::BTreeMeta;
+
+    fn sample() -> EngineCatalog {
+        EngineCatalog {
+            clean_shutdown: true,
+            pool_pages: 100,
+            shards: 4,
+            policy: ReplacementPolicy::Clock,
+            opts: ExecOptions {
+                smart_threshold: 123,
+                join: JoinChoice::ForceMerge,
+                sort_work_mem: 4096,
+                io: IoOptions {
+                    batch: 8,
+                    readahead: 2,
+                },
+            },
+            free_pages: vec![7, 9, 30],
+            backend: SavedBackend::Oid(SavedOidDb {
+                storage: SavedStorage::Standard {
+                    parent: BTreeMeta {
+                        key_len: 8,
+                        root: 1,
+                        first_leaf: 2,
+                        len: 10,
+                        height: 1,
+                        leaf_pages: 3,
+                    },
+                    children: vec![],
+                },
+                parent_schema: complexobj::database::parent_schema(),
+                child_schema: complexobj::database::child_schema(),
+                parent_count: 10,
+                child_counts: vec![],
+                cache: None,
+            }),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let cat = sample();
+        let bytes = cat.encode();
+        let back = EngineCatalog::decode(&bytes).unwrap();
+        assert!(back.clean_shutdown);
+        assert_eq!(back.pool_pages, 100);
+        assert_eq!(back.shards, 4);
+        assert_eq!(back.policy, ReplacementPolicy::Clock);
+        assert_eq!(back.opts, cat.opts);
+        assert_eq!(back.free_pages, vec![7, 9, 30]);
+        assert!(matches!(back.backend, SavedBackend::Oid(_)));
+    }
+
+    #[test]
+    fn typed_header_errors() {
+        assert!(matches!(
+            EngineCatalog::decode(b"short"),
+            Err(CorError::CatalogMissing)
+        ));
+        assert!(matches!(
+            EngineCatalog::decode(&[0u8; 64]),
+            Err(CorError::CatalogMissing)
+        ));
+        let mut bytes = sample().encode();
+        bytes[8] = 99; // version field
+        assert!(matches!(
+            EngineCatalog::decode(&bytes),
+            Err(CorError::CatalogVersion {
+                found: 99,
+                expected: ENGINE_CATALOG_VERSION
+            })
+        ));
+        let mut bytes = sample().encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // payload corruption under a stale CRC
+        assert!(matches!(
+            EngineCatalog::decode(&bytes),
+            Err(CorError::Durability(_))
+        ));
+    }
+}

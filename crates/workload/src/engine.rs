@@ -24,6 +24,7 @@
 //! assert_eq!(out.values.len(), 8);
 //! ```
 
+use crate::catalog::{EngineCatalog, SavedBackend, ENGINE_BLOB};
 use crate::concurrent::{
     run_concurrent_streams, run_concurrent_streams_observed, ConcurrentRunResult, LiveTick,
 };
@@ -40,10 +41,56 @@ use complexobj::{
     apply_update, CacheConfig, ClusterAssignment, CorDatabase, CorError, DatabaseSpec, ExecOptions,
     Query, RetrieveQuery, Strategy, StrategyOutput, UpdateQuery,
 };
-use cor_pagestore::{BufferPool, DiskManager, IoDelta, ReplacementPolicy, DEFAULT_POOL_PAGES};
-use cor_wal::{CheckpointInfo, Wal};
+use cor_access::{Catalog, CatalogError};
+use cor_pagestore::{
+    BufferPool, DiskManager, FileDisk, IoDelta, ReplacementPolicy, DEFAULT_POOL_PAGES,
+};
+use cor_wal::{CheckpointInfo, FileLogStore, LogStore, Wal, WalConfig};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Pages in the throwaway pool used to read the engine catalog before the
+/// real pool's geometry is known. Reads only; dropped after decoding.
+const BOOTSTRAP_POOL_PAGES: usize = 16;
+
+/// What [`EngineBuilder::create`] populates a fresh store with. `create`
+/// is the only place a spec is needed: after that the persistent catalog
+/// — not the caller — records which backend the store holds, and
+/// [`EngineBuilder::open`] reconstructs it with no spec at all.
+#[derive(Debug, Clone)]
+pub enum EngineSpec {
+    /// Standard OID representation (attach a cache via
+    /// [`EngineBuilder::cache`] for DFSCACHE / SMART).
+    Standard(DatabaseSpec),
+    /// Clustered OID representation (DFSCLUST).
+    Clustered(DatabaseSpec, ClusterAssignment),
+    /// Multi-level hierarchy, level 0 first. Durable hierarchies share
+    /// one buffer pool (one store), unlike the legacy
+    /// [`EngineBuilder::build_levels`] pool-per-level arrangement.
+    Levels(Vec<DatabaseSpec>),
+    /// Procedural representation with the given caching mode.
+    Procedural(ProcDatabaseSpec, ProcCaching),
+}
+
+/// The persistent-catalog half of a lifecycle-built engine: the page-0
+/// catalog handle plus the pool geometry recorded in every snapshot.
+struct CatalogState {
+    catalog: Catalog,
+    pool_pages: usize,
+    shards: usize,
+    policy: ReplacementPolicy,
+}
+
+/// Map a bootstrap-read catalog error: a store whose page 0 does not
+/// parse as a catalog (or has no `"engine"` blob) was not created by the
+/// lifecycle API; real storage failures pass through.
+fn catalog_probe_err(e: CatalogError) -> CorError {
+    match e {
+        CatalogError::Access(a) => CorError::Access(a),
+        _ => CorError::CatalogMissing,
+    }
+}
 
 /// What the engine is serving queries against.
 enum Backend {
@@ -63,6 +110,7 @@ pub struct Engine {
     opts: ExecOptions,
     metrics: Option<Arc<EngineMetrics>>,
     wal: Option<Arc<Wal>>,
+    catalog: Option<CatalogState>,
 }
 
 /// Configures and builds an [`Engine`].
@@ -76,6 +124,7 @@ pub struct EngineBuilder {
     metrics: bool,
     disk: Option<Arc<dyn DiskManager>>,
     wal: Option<Arc<Wal>>,
+    wal_config: WalConfig,
 }
 
 impl std::fmt::Debug for EngineBuilder {
@@ -89,6 +138,7 @@ impl std::fmt::Debug for EngineBuilder {
             .field("metrics", &self.metrics)
             .field("disk", &self.disk.is_some())
             .field("wal", &self.wal.is_some())
+            .field("wal_config", &self.wal_config)
             .finish()
     }
 }
@@ -104,6 +154,7 @@ impl Default for EngineBuilder {
             metrics: false,
             disk: None,
             wal: None,
+            wal_config: WalConfig::default(),
         }
     }
 }
@@ -160,6 +211,15 @@ impl EngineBuilder {
         self
     }
 
+    /// WAL configuration used when the lifecycle API
+    /// ([`create`](Self::create) / [`open`](Self::open)) constructs the
+    /// log itself (default: fsync always, 1 MiB segments). Ignored when
+    /// an explicit [`wal`](Self::wal) handle is attached.
+    pub fn wal_config(mut self, config: WalConfig) -> Self {
+        self.wal_config = config;
+        self
+    }
+
     /// Enable the observability layer: per-shard pool telemetry, per-query
     /// spans and streaming latency histograms, readable via
     /// [`Engine::metrics`]. Disabled by default; when disabled no counters
@@ -190,6 +250,242 @@ impl EngineBuilder {
         self.metrics.then(|| Arc::new(EngineMetrics::new()))
     }
 
+    /// Build the spec's backend on `pool`. Hierarchy levels share the one
+    /// pool — the store is one file, so durable levels are one "INGRES
+    /// instance" rather than the legacy pool-per-level arrangement.
+    fn backend_for_spec(
+        pool: &Arc<BufferPool>,
+        cache: Option<CacheConfig>,
+        spec: &EngineSpec,
+    ) -> Result<Backend, CorError> {
+        Ok(match spec {
+            EngineSpec::Standard(s) => {
+                Backend::Oid(CorDatabase::build_standard(Arc::clone(pool), s, cache)?)
+            }
+            EngineSpec::Clustered(s, assignment) => Backend::Oid(CorDatabase::build_clustered(
+                Arc::clone(pool),
+                s,
+                assignment,
+            )?),
+            EngineSpec::Levels(specs) => {
+                assert!(!specs.is_empty(), "at least one level");
+                Backend::Levels(
+                    specs
+                        .iter()
+                        .map(|s| CorDatabase::build_standard(Arc::clone(pool), s, cache))
+                        .collect::<Result<_, _>>()?,
+                )
+            }
+            EngineSpec::Procedural(s, caching) => {
+                Backend::Proc(ProcDatabase::build(Arc::clone(pool), s, *caching)?)
+            }
+        })
+    }
+
+    /// Create a durable engine in directory `path` (page store
+    /// `path/db.pages`, log segments under `path/wal/`), populated from
+    /// `spec`. The persistent catalog is written before this returns, so
+    /// the store is reopenable — via [`open`](Self::open), spec-free —
+    /// from any point after `create`, crash included.
+    pub fn create(self, path: &Path, spec: &EngineSpec) -> Result<Engine, CorError> {
+        let (disk, store) = Self::open_files(path)?;
+        self.create_on(disk, store, spec)
+    }
+
+    /// Reopen the engine stored in directory `path`: replay the log,
+    /// read the recovered catalog, and reconstruct the backend it
+    /// records. No spec: the catalog is the source of truth.
+    pub fn open(self, path: &Path) -> Result<Engine, CorError> {
+        let (disk, store) = Self::open_files(path)?;
+        self.open_on(disk, store)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn open_files(path: &Path) -> Result<(Arc<dyn DiskManager>, Arc<dyn LogStore>), CorError> {
+        std::fs::create_dir_all(path)
+            .map_err(|e| CorError::Durability(format!("creating {}: {e}", path.display())))?;
+        let disk = FileDisk::open(&path.join("db.pages"))
+            .map_err(|e| CorError::Durability(format!("opening page store: {e}")))?;
+        let store = FileLogStore::open(&path.join("wal"))
+            .map_err(|e| CorError::Durability(format!("opening log store: {e}")))?;
+        Ok((Arc::new(disk), Arc::new(store)))
+    }
+
+    /// [`create`](Self::create) over explicit disk and log stores —
+    /// the crash-test entry point ([`MemDisk`](cor_pagestore::MemDisk),
+    /// [`FaultyDisk`](cor_pagestore::FaultyDisk),
+    /// [`MemLogStore`](cor_wal::MemLogStore)). Both must be empty.
+    pub fn create_on(
+        mut self,
+        disk: Arc<dyn DiskManager>,
+        store: Arc<dyn LogStore>,
+        spec: &EngineSpec,
+    ) -> Result<Engine, CorError> {
+        if disk.num_pages() != 0 {
+            return Err(CorError::Durability(format!(
+                "create requires a fresh store, found {} existing pages; \
+                 reopen existing stores with EngineBuilder::open",
+                disk.num_pages()
+            )));
+        }
+        let wal = Arc::new(Wal::new(store, self.wal_config));
+        self.disk = Some(disk);
+        self.wal = Some(Arc::clone(&wal));
+        let pool = self.make_pool();
+        // Page 0, allocated before any relation, holds the catalog.
+        let catalog = Catalog::create(Arc::clone(&pool))
+            .map_err(|e| CorError::Durability(format!("creating catalog: {e}")))?;
+        let backend = Self::backend_for_spec(&pool, self.cache, spec)?;
+        let engine = Engine {
+            backend,
+            opts: self.opts,
+            metrics: self.make_metrics(),
+            wal: Some(wal),
+            catalog: Some(CatalogState {
+                catalog,
+                pool_pages: self.pool_pages,
+                shards: self.shards,
+                policy: self.policy,
+            }),
+        };
+        engine.save_catalog(false)?;
+        Ok(engine)
+    }
+
+    /// [`open`](Self::open) over explicit disk and log stores.
+    ///
+    /// Runs crash recovery, then reads the engine catalog through a
+    /// throwaway bootstrap pool (the real pool's geometry is *in* the
+    /// catalog), rebuilds the pool and backend, and marks the store
+    /// in-use. Typed failures: [`CorError::CatalogMissing`] when the
+    /// store was not created by this API, [`CorError::CatalogVersion`]
+    /// when it was written by an incompatible layout.
+    ///
+    /// The builder's pool geometry is ignored — the catalog's recorded
+    /// geometry wins, so every reopen serves queries with the same
+    /// buffer economics the store was created with. `metrics` and
+    /// `exec_options` overrides still apply ([`Engine::with_options`]).
+    pub fn open_on(
+        mut self,
+        disk: Arc<dyn DiskManager>,
+        store: Arc<dyn LogStore>,
+    ) -> Result<Engine, CorError> {
+        cor_wal::recover(disk.as_ref(), store.as_ref())
+            .map_err(|e| CorError::Durability(format!("recovery failed: {e}")))?;
+        if disk.num_pages() == 0 {
+            return Err(CorError::CatalogMissing);
+        }
+        let saved = {
+            let boot = Arc::new(
+                BufferPool::builder()
+                    .capacity(BOOTSTRAP_POOL_PAGES)
+                    .disk(Box::new(Arc::clone(&disk)))
+                    .build(),
+            );
+            let cat = Catalog::open(boot).map_err(catalog_probe_err)?;
+            let bytes = cat.get_blob(ENGINE_BLOB).map_err(catalog_probe_err)?;
+            EngineCatalog::decode(&bytes)?
+        };
+        let wal = Arc::new(
+            Wal::attach(store, self.wal_config)
+                .map_err(|e| CorError::Durability(format!("attaching WAL: {e}")))?,
+        );
+        self.pool_pages = saved.pool_pages;
+        self.shards = saved.shards;
+        self.policy = saved.policy;
+        self.disk = Some(disk);
+        self.wal = Some(Arc::clone(&wal));
+        let pool = self.make_pool();
+        if saved.clean_shutdown {
+            // The free list is trustworthy only when nothing ran after it
+            // was saved. After a crash it is discarded: a page freed (or
+            // un-freed) post-snapshot could otherwise be handed out while
+            // live data sits on it. Leaked pages are bounded and inert.
+            for &pid in &saved.free_pages {
+                pool.free_page(pid)?;
+            }
+        }
+        let catalog = Catalog::open(Arc::clone(&pool))
+            .map_err(|e| CorError::Durability(format!("reopening catalog: {e}")))?;
+        let backend = match &saved.backend {
+            SavedBackend::Oid(s) => Backend::Oid(CorDatabase::open_state(Arc::clone(&pool), s)?),
+            SavedBackend::Levels(ls) => Backend::Levels(
+                ls.iter()
+                    .map(|s| CorDatabase::open_state(Arc::clone(&pool), s))
+                    .collect::<Result<_, _>>()?,
+            ),
+            SavedBackend::Proc(s) => Backend::Proc(ProcDatabase::open_state(Arc::clone(&pool), s)?),
+        };
+        let engine = Engine {
+            backend,
+            opts: saved.opts,
+            metrics: self.make_metrics(),
+            wal: Some(wal),
+            catalog: Some(CatalogState {
+                catalog,
+                pool_pages: saved.pool_pages,
+                shards: saved.shards,
+                policy: saved.policy,
+            }),
+        };
+        // Mark in-use (clears clean_shutdown) and persist the reconciled
+        // cache directories in one stroke.
+        engine.save_catalog(false)?;
+        Ok(engine)
+    }
+
+    /// Build the engine a workload point needs under `strategy`
+    /// (clustered for DFSCLUST, cache-attached for DFSCACHE / SMART,
+    /// plain standard otherwise), using the params' pool geometry. With
+    /// [`metrics(true)`](Self::metrics) the pool carries telemetry and
+    /// the engine records spans — the replacement for the deprecated
+    /// `Engine::for_strategy_observed`.
+    pub fn build_workload(
+        self,
+        params: &Params,
+        generated: &GeneratedDb,
+        strategy: Strategy,
+    ) -> Result<Engine, CorError> {
+        let db = if self.metrics {
+            let pool = make_pool_telemetry(params, true);
+            build_for_strategy_on(pool, params, generated, strategy)?
+        } else {
+            build_for_strategy(params, generated, strategy)?
+        };
+        Ok(Engine {
+            backend: Backend::Oid(db),
+            opts: self.opts,
+            metrics: self.make_metrics(),
+            wal: None,
+            catalog: None,
+        })
+    }
+
+    /// Wrap an already-built OID database (standard or clustered),
+    /// honouring this builder's options and metrics flag.
+    pub fn wrap_database(self, db: CorDatabase) -> Engine {
+        Engine {
+            backend: Backend::Oid(db),
+            opts: self.opts,
+            metrics: self.make_metrics(),
+            wal: None,
+            catalog: None,
+        }
+    }
+
+    /// Wrap an already-built hierarchy chain (level 0 first), e.g. from
+    /// [`crate::hierarchy::build_hierarchy`].
+    pub fn wrap_levels(self, levels: Vec<CorDatabase>) -> Engine {
+        assert!(!levels.is_empty(), "at least one level");
+        Engine {
+            backend: Backend::Levels(levels),
+            opts: self.opts,
+            metrics: self.make_metrics(),
+            wal: None,
+            catalog: None,
+        }
+    }
+
     /// Build a standard-representation engine.
     pub fn build(self, spec: &DatabaseSpec) -> Result<Engine, CorError> {
         let db = CorDatabase::build_standard(self.make_pool(), spec, self.cache)?;
@@ -198,6 +494,7 @@ impl EngineBuilder {
             opts: self.opts,
             metrics: self.make_metrics(),
             wal: self.wal,
+            catalog: None,
         })
     }
 
@@ -213,6 +510,7 @@ impl EngineBuilder {
             opts: self.opts,
             metrics: self.make_metrics(),
             wal: self.wal,
+            catalog: None,
         })
     }
 
@@ -229,6 +527,7 @@ impl EngineBuilder {
             opts: self.opts,
             metrics: self.make_metrics(),
             wal: self.wal,
+            catalog: None,
         })
     }
 
@@ -245,6 +544,7 @@ impl EngineBuilder {
             opts: self.opts,
             metrics: self.make_metrics(),
             wal: self.wal,
+            catalog: None,
         })
     }
 }
@@ -255,62 +555,44 @@ impl Engine {
         EngineBuilder::default()
     }
 
-    /// Build the engine a workload point needs under `strategy`
-    /// (clustered for DFSCLUST, cache-attached for DFSCACHE/SMART,
-    /// plain standard otherwise) — the [`build_for_strategy`] pipeline
-    /// behind an engine.
+    /// Build the engine a workload point needs under `strategy`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::builder().build_workload(params, generated, strategy)"
+    )]
     pub fn for_strategy(
         params: &Params,
         generated: &GeneratedDb,
         strategy: Strategy,
     ) -> Result<Engine, CorError> {
-        let db = build_for_strategy(params, generated, strategy)?;
-        Ok(Engine {
-            backend: Backend::Oid(db),
-            opts: ExecOptions::default(),
-            metrics: None,
-            wal: None,
-        })
+        Engine::builder().build_workload(params, generated, strategy)
     }
 
-    /// [`Engine::for_strategy`] with the full observability layer enabled:
-    /// a telemetry pool plus engine-level spans and histograms, readable
-    /// via [`Engine::metrics`].
+    /// [`EngineBuilder::build_workload`] with the observability layer on.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use Engine::builder().metrics(true).build_workload(params, generated, strategy)"
+    )]
     pub fn for_strategy_observed(
         params: &Params,
         generated: &GeneratedDb,
         strategy: Strategy,
     ) -> Result<Engine, CorError> {
-        let pool = make_pool_telemetry(params, true);
-        let db = build_for_strategy_on(pool, params, generated, strategy)?;
-        Ok(Engine {
-            backend: Backend::Oid(db),
-            opts: ExecOptions::default(),
-            metrics: Some(Arc::new(EngineMetrics::new())),
-            wal: None,
-        })
+        Engine::builder()
+            .metrics(true)
+            .build_workload(params, generated, strategy)
     }
 
     /// Wrap an already-built OID database (standard or clustered).
+    #[deprecated(since = "0.1.0", note = "use Engine::builder().wrap_database(db)")]
     pub fn from_database(db: CorDatabase) -> Engine {
-        Engine {
-            backend: Backend::Oid(db),
-            opts: ExecOptions::default(),
-            metrics: None,
-            wal: None,
-        }
+        Engine::builder().wrap_database(db)
     }
 
-    /// Wrap an already-built hierarchy chain (level 0 first), e.g. from
-    /// [`crate::hierarchy::build_hierarchy`].
+    /// Wrap an already-built hierarchy chain (level 0 first).
+    #[deprecated(since = "0.1.0", note = "use Engine::builder().wrap_levels(levels)")]
     pub fn from_levels(levels: Vec<CorDatabase>) -> Engine {
-        assert!(!levels.is_empty(), "at least one level");
-        Engine {
-            backend: Backend::Levels(levels),
-            opts: ExecOptions::default(),
-            metrics: None,
-            wal: None,
-        }
+        Engine::builder().wrap_levels(levels)
     }
 
     /// Replace the engine's execution options.
@@ -354,18 +636,23 @@ impl Engine {
         }
     }
 
-    /// Build a durable standard-representation engine: the builder must
-    /// carry both a [`disk`](EngineBuilder::disk) and a
-    /// [`wal`](EngineBuilder::wal), and the disk must be a **fresh**
-    /// (empty) store.
+    /// Build a durable standard-representation engine over a **fresh**
+    /// (empty) store: the builder must carry both a
+    /// [`disk`](EngineBuilder::disk) and a [`wal`](EngineBuilder::wal).
     ///
-    /// Only fresh stores are supported because the catalog — relation
-    /// roots, OID maps, cache metadata — lives in memory and is rebuilt
-    /// by `build`; reopening a non-empty store would serve queries
-    /// against a catalog that no longer matches its pages. Crash
-    /// recovery is page-level: run [`cor_wal::recover`] over the
-    /// surviving disk + log, then verify or rebuild (see
-    /// `docs/durability.md`).
+    /// This is the pre-catalog entry point, kept for rigs that manage
+    /// their own WAL handle; note it writes no persistent catalog, so
+    /// the store it produces is *not* reopenable by
+    /// [`EngineBuilder::open`]. Prefer [`EngineBuilder::create`].
+    ///
+    /// A non-empty store is never silently rebuilt. The error says what
+    /// the store actually holds: [`CorError::CatalogMissing`] when no
+    /// engine catalog is present (a pre-catalog or foreign store),
+    /// [`CorError::CatalogVersion`] when a catalog exists but was
+    /// written by an incompatible layout, and a
+    /// [`CorError::Durability`] pointing at [`EngineBuilder::open`]
+    /// when the store holds a valid catalog and should simply be
+    /// reopened.
     pub fn open_durable(spec: &DatabaseSpec, builder: EngineBuilder) -> Result<Engine, CorError> {
         let disk = builder.disk.as_ref().ok_or_else(|| {
             CorError::Durability("open_durable needs an explicit disk (EngineBuilder::disk)".into())
@@ -376,13 +663,72 @@ impl Engine {
             ));
         }
         if disk.num_pages() != 0 {
-            return Err(CorError::Durability(format!(
-                "open_durable requires a fresh store, found {} existing pages; \
-                 run cor_wal::recover for crash recovery and rebuild the database",
-                disk.num_pages()
-            )));
+            let boot = Arc::new(
+                BufferPool::builder()
+                    .capacity(BOOTSTRAP_POOL_PAGES)
+                    .disk(Box::new(Arc::clone(disk)))
+                    .build(),
+            );
+            let probe = Catalog::open(boot)
+                .map_err(catalog_probe_err)
+                .and_then(|c| c.get_blob(ENGINE_BLOB).map_err(catalog_probe_err))
+                .and_then(|bytes| EngineCatalog::decode(&bytes));
+            return Err(match probe {
+                Ok(_) => CorError::Durability(
+                    "store holds a valid engine catalog; reopen it with EngineBuilder::open".into(),
+                ),
+                Err(e) => e,
+            });
         }
         builder.build(spec)
+    }
+
+    /// Re-snapshot the engine into its persistent catalog: backend file
+    /// roots, OID allocators, cache directories, pool geometry, options,
+    /// and the free-page list, with `clean` as the shutdown flag.
+    /// Errors on engines not built by the lifecycle API.
+    fn save_catalog(&self, clean: bool) -> Result<(), CorError> {
+        let cs = self.catalog.as_ref().ok_or_else(|| {
+            CorError::Durability(
+                "engine has no persistent catalog (not built by create/open)".into(),
+            )
+        })?;
+        let backend = match &self.backend {
+            Backend::Oid(db) => SavedBackend::Oid(db.save_state()),
+            Backend::Levels(levels) => {
+                SavedBackend::Levels(levels.iter().map(CorDatabase::save_state).collect())
+            }
+            Backend::Proc(db) => SavedBackend::Proc(db.save_state()),
+        };
+        let cat = EngineCatalog {
+            clean_shutdown: clean,
+            pool_pages: cs.pool_pages,
+            shards: cs.shards,
+            policy: cs.policy,
+            opts: self.opts,
+            free_pages: self.pool().free_page_ids(),
+            backend,
+        };
+        cs.catalog
+            .save_blob(ENGINE_BLOB, &cat.encode())
+            .map_err(|e| CorError::Durability(format!("saving engine catalog: {e}")))
+    }
+
+    /// Shut the engine down cleanly: persist the catalog with the
+    /// `clean_shutdown` flag set, flush every dirty page, and checkpoint
+    /// so the next [`EngineBuilder::open`] replays (almost) nothing and
+    /// may trust the saved free-page list. Consumes the engine.
+    pub fn close(self) -> Result<(), CorError> {
+        let wal = self
+            .wal
+            .as_ref()
+            .ok_or_else(|| CorError::Durability("close needs a WAL attached".into()))?
+            .clone();
+        self.save_catalog(true)?;
+        self.pool().flush_all()?;
+        wal.checkpoint(|| self.pool().dirty_page_table())
+            .map_err(|e| CorError::Durability(format!("close checkpoint failed: {e}")))?;
+        Ok(())
     }
 
     /// The attached write-ahead log, if this engine runs durable.
@@ -399,11 +745,17 @@ impl Engine {
     /// (the closure below), so a page write logged while the table is
     /// being assembled stays above the recorded redo horizon even when
     /// the table misses it.
+    /// Lifecycle-built engines re-save their persistent catalog first, so
+    /// a post-checkpoint crash recovers allocator counters and cache
+    /// directories no staler than this checkpoint.
     pub fn checkpoint(&self) -> Result<CheckpointInfo, CorError> {
         let wal = self
             .wal
             .as_ref()
             .ok_or_else(|| CorError::Durability("checkpoint needs a WAL attached".into()))?;
+        if self.catalog.is_some() {
+            self.save_catalog(false)?;
+        }
         wal.checkpoint(|| self.pool().dirty_page_table())
             .map_err(|e| CorError::Durability(format!("checkpoint failed: {e}")))
     }
@@ -632,11 +984,36 @@ mod tests {
         ] {
             let db = build_for_strategy(&p, &generated, strategy).unwrap();
             let expected = run_sequence(&db, strategy, &sequence, &ExecOptions::default()).unwrap();
-            let engine = Engine::for_strategy(&p, &generated, strategy).unwrap();
+            let engine = Engine::builder()
+                .build_workload(&p, &generated, strategy)
+                .unwrap();
             let got = engine.run_sequence(strategy, &sequence).unwrap();
             assert_eq!(got.total_io, expected.total_io, "{strategy}");
             assert_eq!(got.values_returned, expected.values_returned, "{strategy}");
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_the_builder() {
+        let p = tiny();
+        let generated = generate(&p);
+        let sequence = generate_sequence(&p);
+        let old = Engine::for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+        let new = Engine::builder()
+            .build_workload(&p, &generated, Strategy::Dfs)
+            .unwrap();
+        let a = old.run_sequence(Strategy::Dfs, &sequence).unwrap();
+        let b = new.run_sequence(Strategy::Dfs, &sequence).unwrap();
+        assert_eq!(a.total_io, b.total_io);
+        assert_eq!(a.values_returned, b.values_returned);
+        let db = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+        let wrapped = Engine::from_database(db);
+        assert!(wrapped.database().is_ok());
+        assert!(Engine::for_strategy_observed(&p, &generated, Strategy::Dfs)
+            .unwrap()
+            .metrics()
+            .is_some());
     }
 
     #[test]
@@ -645,8 +1022,13 @@ mod tests {
         let generated = generate(&p);
         let sequence = generate_sequence(&p);
         for strategy in [Strategy::Dfs, Strategy::DfsCache] {
-            let plain = Engine::for_strategy(&p, &generated, strategy).unwrap();
-            let observed = Engine::for_strategy_observed(&p, &generated, strategy).unwrap();
+            let plain = Engine::builder()
+                .build_workload(&p, &generated, strategy)
+                .unwrap();
+            let observed = Engine::builder()
+                .metrics(true)
+                .build_workload(&p, &generated, strategy)
+                .unwrap();
             assert!(plain.metrics().is_none());
             let a = plain.run_sequence(strategy, &sequence).unwrap();
             let b = observed.run_sequence(strategy, &sequence).unwrap();
@@ -663,7 +1045,10 @@ mod tests {
             ..tiny()
         };
         let generated = generate(&p);
-        let engine = Engine::for_strategy_observed(&p, &generated, Strategy::DfsCache).unwrap();
+        let engine = Engine::builder()
+            .metrics(true)
+            .build_workload(&p, &generated, Strategy::DfsCache)
+            .unwrap();
         let q = RetrieveQuery {
             lo: 0,
             hi: 9,
@@ -932,13 +1317,68 @@ mod tests {
             .expect("no disk/wal must be rejected");
         assert!(matches!(err, CorError::Durability(_)), "{err}");
 
+        // A used store with no engine catalog gets the typed error, not a
+        // silent rebuild.
         let (disk, _, _, builder) = durable_rig();
         use cor_pagestore::DiskManager;
-        disk.allocate_page().unwrap(); // not fresh any more
+        disk.allocate_page().unwrap(); // not fresh any more, page 0 is garbage
         let err = Engine::open_durable(&generated.spec, builder)
             .err()
             .expect("non-empty store must be rejected");
-        assert!(err.to_string().contains("fresh store"), "{err}");
+        assert!(matches!(err, CorError::CatalogMissing), "{err}");
+
+        // A store created by the lifecycle API reports a version mismatch
+        // when its header says a different layout...
+        let (disk, store, _, builder) = durable_rig();
+        let engine = builder
+            .clone()
+            .create_on(
+                disk.clone(),
+                store.clone(),
+                &EngineSpec::Standard(generated.spec.clone()),
+            )
+            .unwrap();
+        engine.pool().flush_all().unwrap();
+        {
+            let boot = Arc::new(
+                BufferPool::builder()
+                    .capacity(8)
+                    .disk(Box::new(disk.clone()))
+                    .build(),
+            );
+            let cat = Catalog::open(Arc::clone(&boot)).unwrap();
+            let mut blob = cat.get_blob(ENGINE_BLOB).unwrap();
+            blob[8] = 9; // version byte
+            cat.save_blob(ENGINE_BLOB, &blob).unwrap();
+            boot.flush_all().unwrap();
+        }
+        let (_, _, wal2, _) = durable_rig();
+        let builder2 = Engine::builder().disk(disk.clone()).wal(wal2);
+        let err = Engine::open_durable(&generated.spec, builder2)
+            .err()
+            .expect("catalog version mismatch must surface");
+        assert!(
+            matches!(err, CorError::CatalogVersion { found: 9, .. }),
+            "{err}"
+        );
+
+        // ...and a valid catalog directs the caller to open.
+        let (disk, store, _, builder) = durable_rig();
+        let engine = builder
+            .clone()
+            .create_on(
+                disk.clone(),
+                store.clone(),
+                &EngineSpec::Standard(generated.spec.clone()),
+            )
+            .unwrap();
+        engine.pool().flush_all().unwrap();
+        drop(engine);
+        let (_, _, wal3, _) = durable_rig();
+        let err = Engine::open_durable(&generated.spec, Engine::builder().disk(disk).wal(wal3))
+            .err()
+            .expect("valid catalog must direct to open");
+        assert!(err.to_string().contains("EngineBuilder::open"), "{err}");
 
         // A plain engine has no checkpoint.
         let engine = Engine::builder()
@@ -964,6 +1404,207 @@ mod tests {
         assert!(prom.contains("cor_wal_appends_total"), "{prom}");
         assert!(prom.contains("cor_wal_durable_lsn"), "{prom}");
         assert!(report.to_json().contains("cor_wal_fsyncs_total"));
+    }
+
+    fn mem_stores() -> (Arc<cor_pagestore::MemDisk>, Arc<cor_wal::MemLogStore>) {
+        (
+            Arc::new(cor_pagestore::MemDisk::new()),
+            Arc::new(cor_wal::MemLogStore::new()),
+        )
+    }
+
+    fn test_assignment(p: &Params, generated: &crate::dbgen::GeneratedDb) -> ClusterAssignment {
+        use crate::dbgen::{rng_for, SeedStream};
+        use cor_relational::Oid;
+        let parents: Vec<(u64, Vec<Oid>)> = generated
+            .spec
+            .parents
+            .iter()
+            .map(|o| (o.key, o.children.clone()))
+            .collect();
+        let mut rng = rng_for(p.seed, SeedStream::Cluster);
+        ClusterAssignment::random(&parents, &mut rng)
+    }
+
+    fn test_proc_spec() -> ProcDatabaseSpec {
+        use complexobj::database::{SubobjectSpec, CHILD_REL_BASE};
+        use complexobj::procedural::{ProcObjectSpec, StoredQuery};
+        use cor_relational::Oid;
+        ProcDatabaseSpec {
+            parents: (0..4u64)
+                .map(|key| ProcObjectSpec {
+                    key,
+                    rets: [key as i64; 3],
+                    dummy: "p".repeat(10),
+                    members: StoredQuery::KeyRange {
+                        rel: CHILD_REL_BASE,
+                        lo: (key / 2) * 4,
+                        hi: (key / 2) * 4 + 3,
+                    },
+                })
+                .collect(),
+            child_rels: vec![(0..8u64)
+                .map(|k| SubobjectSpec {
+                    oid: Oid::new(CHILD_REL_BASE, k),
+                    rets: [10 * k as i64, 0, 0],
+                    dummy: "c".repeat(10),
+                })
+                .collect()],
+        }
+    }
+
+    fn sorted_values(engine: &Engine, q: &RetrieveQuery) -> Vec<i64> {
+        let mut v = engine.retrieve(Strategy::Dfs, q).unwrap().values;
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn lifecycle_create_close_open_roundtrips_every_backend() {
+        let p = tiny();
+        let generated = generate(&p);
+        let specs: Vec<(&str, EngineSpec)> = vec![
+            ("standard", EngineSpec::Standard(generated.spec.clone())),
+            (
+                "clustered",
+                EngineSpec::Clustered(generated.spec.clone(), test_assignment(&p, &generated)),
+            ),
+            (
+                "levels",
+                EngineSpec::Levels(vec![generated.spec.clone(), generated.spec.clone()]),
+            ),
+            (
+                "proc",
+                EngineSpec::Procedural(test_proc_spec(), ProcCaching::OutsideValues(8)),
+            ),
+        ];
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 9,
+            attr: RetAttr::Ret1,
+        };
+        for (name, spec) in specs {
+            let (disk, store) = mem_stores();
+            let engine = Engine::builder()
+                .pool_pages(16)
+                .cache(CacheConfig::default())
+                .create_on(disk.clone(), store.clone(), &spec)
+                .unwrap_or_else(|e| panic!("{name}: create failed: {e}"));
+            if let Backend::Oid(_) | Backend::Levels(_) = engine.backend {
+                let target = generated.spec.child_rels[0][0].oid;
+                engine
+                    .update(&UpdateQuery {
+                        targets: vec![target],
+                        new_ret1: 777,
+                    })
+                    .unwrap();
+            }
+            let expected_values = sorted_values(&engine, &q);
+            let expected_state = engine
+                .levels()
+                .iter()
+                .map(CorDatabase::save_state)
+                .collect::<Vec<_>>();
+            engine
+                .close()
+                .unwrap_or_else(|e| panic!("{name}: close failed: {e}"));
+
+            // The builder's (default) geometry must NOT win: the catalog's
+            // recorded 16-page pool does.
+            let reopened = Engine::builder()
+                .open_on(disk, store)
+                .unwrap_or_else(|e| panic!("{name}: open failed: {e}"));
+            assert_eq!(reopened.pool().capacity(), 16, "{name}");
+            assert_eq!(sorted_values(&reopened, &q), expected_values, "{name}");
+            let reopened_state = reopened
+                .levels()
+                .iter()
+                .map(CorDatabase::save_state)
+                .collect::<Vec<_>>();
+            assert_eq!(reopened_state.len(), expected_state.len(), "{name}");
+            for (a, b) in expected_state.iter().zip(&reopened_state) {
+                assert_eq!(a.parent_count, b.parent_count, "{name}");
+                assert_eq!(a.child_counts, b.child_counts, "{name}");
+                assert_eq!(a.parent_schema, b.parent_schema, "{name}");
+                assert_eq!(a.child_schema, b.child_schema, "{name}");
+            }
+        }
+    }
+
+    #[test]
+    fn crash_open_recovers_and_serves_identical_answers() {
+        let p = tiny();
+        let generated = generate(&p);
+        let (disk, store) = mem_stores();
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 9,
+            attr: RetAttr::Ret1,
+        };
+        let engine = Engine::builder()
+            .pool_pages(16)
+            .cache(CacheConfig::default())
+            .create_on(
+                disk.clone(),
+                store.clone(),
+                &EngineSpec::Standard(generated.spec.clone()),
+            )
+            .unwrap();
+        for (i, sub) in generated.spec.child_rels[0].iter().take(4).enumerate() {
+            engine
+                .update(&UpdateQuery {
+                    targets: vec![sub.oid],
+                    new_ret1: 2000 + i as i64,
+                })
+                .unwrap();
+            if i == 1 {
+                engine.checkpoint().unwrap();
+            }
+        }
+        let expected = sorted_values(&engine, &q);
+        let allocators = engine.database().unwrap().save_state().parent_count;
+        drop(engine); // dirty frames die with the pool
+        store.crash(); // unsynced log tail gone too (FsyncPolicy::Always ⇒ none)
+
+        let reopened = Engine::builder().open_on(disk, store).unwrap();
+        assert_eq!(sorted_values(&reopened, &q), expected);
+        assert_eq!(
+            reopened.database().unwrap().save_state().parent_count,
+            allocators
+        );
+    }
+
+    #[test]
+    fn open_reports_typed_catalog_errors() {
+        let (disk, store) = mem_stores();
+        let err = Engine::builder()
+            .open_on(disk, store)
+            .err()
+            .expect("empty store must not open");
+        assert!(matches!(err, CorError::CatalogMissing), "{err}");
+    }
+
+    #[test]
+    fn create_and_open_on_a_real_path() {
+        let p = tiny();
+        let generated = generate(&p);
+        let dir = std::env::temp_dir().join(format!("cor-engine-lifecycle-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 9,
+            attr: RetAttr::Ret1,
+        };
+        let engine = Engine::builder()
+            .pool_pages(16)
+            .create(&dir, &EngineSpec::Standard(generated.spec.clone()))
+            .unwrap();
+        let expected = sorted_values(&engine, &q);
+        engine.close().unwrap();
+        let reopened = Engine::builder().open(&dir).unwrap();
+        assert_eq!(sorted_values(&reopened, &q), expected);
+        drop(reopened);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

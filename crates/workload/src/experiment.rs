@@ -22,7 +22,9 @@ pub fn run_point_with(
     opts: &ExecOptions,
 ) -> Result<RunResult, CorError> {
     let generated = generate(params);
-    let engine = Engine::for_strategy(params, &generated, strategy)?.with_options(*opts);
+    let engine = Engine::builder()
+        .build_workload(params, &generated, strategy)?
+        .with_options(*opts);
     let sequence = generate_sequence(params);
     engine.run_sequence(strategy, &sequence)
 }
@@ -39,7 +41,7 @@ pub fn compare_strategies(
     strategies
         .iter()
         .map(|&s| {
-            let engine = Engine::for_strategy(params, &generated, s)?;
+            let engine = Engine::builder().build_workload(params, &generated, s)?;
             engine.run_sequence(s, &sequence)
         })
         .collect()

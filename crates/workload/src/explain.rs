@@ -437,7 +437,9 @@ mod tests {
             Strategy::DfsClust,
             Strategy::Smart,
         ] {
-            let engine = Engine::for_strategy(&p, &generated, strategy).unwrap();
+            let engine = Engine::builder()
+                .build_workload(&p, &generated, strategy)
+                .unwrap();
             let report = engine.explain(strategy, &sequence, Some(&p)).unwrap();
             assert_eq!(
                 report.phase_io_sum(),
@@ -461,7 +463,9 @@ mod tests {
         let io_of = |rep: &ExplainReport, phase: Phase| rep.phases[phase.index()].io();
 
         // DFS: pure index navigation, no temp/sort/cluster/cache.
-        let engine = Engine::for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::Dfs)
+            .unwrap();
         let dfs = engine.explain(Strategy::Dfs, &sequence, None).unwrap();
         assert!(io_of(&dfs, Phase::HeapFetch) > 0, "DFS probes leaves");
         assert_eq!(io_of(&dfs, Phase::TempBuild), 0);
@@ -470,20 +474,26 @@ mod tests {
 
         // BFS: builds a temp; join I/O lands in merge_join/sort or in the
         // probe phases depending on the plan — but never cluster/cache.
-        let engine = Engine::for_strategy(&p, &generated, Strategy::Bfs).unwrap();
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::Bfs)
+            .unwrap();
         let bfs = engine.explain(Strategy::Bfs, &sequence, None).unwrap();
         assert!(io_of(&bfs, Phase::TempBuild) > 0, "BFS materializes temps");
         assert_eq!(io_of(&bfs, Phase::ClusterScan), 0);
         assert_eq!(io_of(&bfs, Phase::CacheProbe), 0);
 
         // DFSCLUST: everything is the cluster traversal.
-        let engine = Engine::for_strategy(&p, &generated, Strategy::DfsClust).unwrap();
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::DfsClust)
+            .unwrap();
         let clust = engine.explain(Strategy::DfsClust, &sequence, None).unwrap();
         assert!(io_of(&clust, Phase::ClusterScan) > 0, "DFSCLUST scans");
         assert_eq!(io_of(&clust, Phase::TempBuild), 0);
 
         // DFSCACHE: cache probes and maintenance appear.
-        let engine = Engine::for_strategy(&p, &generated, Strategy::DfsCache).unwrap();
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::DfsCache)
+            .unwrap();
         let cache = engine.explain(Strategy::DfsCache, &sequence, None).unwrap();
         assert!(
             io_of(&cache, Phase::CacheProbe) + io_of(&cache, Phase::CacheMaintain) > 0,
@@ -496,7 +506,9 @@ mod tests {
         let p = tiny();
         let generated = generate(&p);
         let sequence = generate_sequence(&p);
-        let engine = Engine::for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::Dfs)
+            .unwrap();
         let report = engine.explain(Strategy::Dfs, &sequence, Some(&p)).unwrap();
         let line = report.to_jsonl();
         assert!(line.starts_with("{\"schema_version\":1"));
@@ -523,7 +535,9 @@ mod tests {
         // Default knobs: no batch counters move, no prediction is
         // non-zero, and the capture line carries no batch section at all
         // — the byte-compatibility contract for old captures.
-        let engine = Engine::for_strategy(&p, &generated, Strategy::Bfs).unwrap();
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::Bfs)
+            .unwrap();
         let plain = engine.explain(Strategy::Bfs, &sequence, Some(&p)).unwrap();
         assert!(!plain.batch_active());
         assert_eq!(plain.batch, BatchIoSnapshot::default());
@@ -542,7 +556,8 @@ mod tests {
             },
             ..Default::default()
         };
-        let engine = Engine::for_strategy(&p, &generated, Strategy::Bfs)
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::Bfs)
             .unwrap()
             .with_options(opts);
         let batched = engine.explain(Strategy::Bfs, &sequence, Some(&p)).unwrap();
@@ -571,9 +586,13 @@ mod tests {
         let generated = generate(&p);
         let sequence = generate_sequence(&p);
         for strategy in [Strategy::Dfs, Strategy::Bfs, Strategy::DfsClust] {
-            let plain = Engine::for_strategy(&p, &generated, strategy).unwrap();
+            let plain = Engine::builder()
+                .build_workload(&p, &generated, strategy)
+                .unwrap();
             let a = plain.run_sequence(strategy, &sequence).unwrap();
-            let profiled = Engine::for_strategy(&p, &generated, strategy).unwrap();
+            let profiled = Engine::builder()
+                .build_workload(&p, &generated, strategy)
+                .unwrap();
             let rep = profiled.explain(strategy, &sequence, None).unwrap();
             assert_eq!(rep.total.total(), a.total_io, "{strategy}");
             assert_eq!(rep.values_returned, a.values_returned, "{strategy}");

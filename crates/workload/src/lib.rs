@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod concurrent;
 pub mod dbgen;
 pub mod driver;
@@ -41,6 +42,7 @@ pub mod params;
 pub mod report;
 pub mod seqgen;
 
+pub use catalog::{EngineCatalog, SavedBackend, ENGINE_BLOB, ENGINE_CATALOG_VERSION};
 pub use concurrent::{
     generate_stream_sequences, run_concurrent_streams, run_concurrent_streams_observed,
     stderr_reporter, ConcurrentRunResult, LatencySummary, LiveTick,
@@ -50,7 +52,7 @@ pub use dbgen::{
     GeneratedDb, SeedStream,
 };
 pub use driver::{run_sequence, run_sequence_trace, QueryTrace, RunResult};
-pub use engine::{Engine, EngineBuilder};
+pub use engine::{Engine, EngineBuilder, EngineSpec};
 pub use experiment::{
     best_strategy, compare_strategies, default_threads, parallel_map, run_point, run_point_with,
 };

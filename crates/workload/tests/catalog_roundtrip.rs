@@ -1,0 +1,194 @@
+//! Property tests for the engine lifecycle: create → mutate →
+//! checkpoint → crash → open must yield an engine whose persistent
+//! identity — schemas, OID allocator high-water marks, file roots, and
+//! the full encoded catalog — equals a no-crash oracle's, across all
+//! four strategy backends.
+//!
+//! The oracle runs the identical sequence, flushes every frame, and is
+//! reopened through the same `EngineBuilder::open_on` door, so both
+//! sides perform identical open-time reconciliation (crash-discarded
+//! free lists, one-way cache reconcile). Equality of the re-saved
+//! catalog blobs is therefore equality of everything `open` persists.
+
+use complexobj::procedural::ProcCaching;
+use complexobj::{CacheConfig, ClusterAssignment, Query, Strategy};
+use cor_access::Catalog;
+use cor_pagestore::MemDisk;
+use cor_wal::{FsyncPolicy, MemLogStore, WalConfig};
+use cor_workload::{
+    generate, generate_matrix, generate_sequence, rng_for, Engine, EngineCatalog, EngineSpec,
+    GeneratedDb, Params, SeedStream, ENGINE_BLOB,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy used to drive each backend's workload and probes.
+const KINDS: [(usize, Strategy); 4] = [
+    (0, Strategy::DfsCache), // standard
+    (1, Strategy::DfsClust), // clustered
+    (2, Strategy::Dfs),      // levels
+    (3, Strategy::Dfs),      // proc
+];
+
+fn spec_for(kind: usize, p: &Params, generated: &GeneratedDb) -> EngineSpec {
+    match kind {
+        0 => EngineSpec::Standard(generated.spec.clone()),
+        1 => {
+            let parents: Vec<(u64, Vec<_>)> = generated
+                .spec
+                .parents
+                .iter()
+                .map(|o| (o.key, o.children.clone()))
+                .collect();
+            let mut rng = rng_for(p.seed, SeedStream::Cluster);
+            EngineSpec::Clustered(
+                generated.spec.clone(),
+                ClusterAssignment::random(&parents, &mut rng),
+            )
+        }
+        2 => EngineSpec::Levels(vec![generated.spec.clone(), generated.spec.clone()]),
+        _ => EngineSpec::Procedural(
+            generate_matrix(p).proc_spec,
+            ProcCaching::OutsideValues(p.size_cache),
+        ),
+    }
+}
+
+struct Rig {
+    disk: Arc<MemDisk>,
+    store: Arc<MemLogStore>,
+    engine: Engine,
+}
+
+fn create_rig(spec: &EngineSpec, p: &Params) -> Rig {
+    let disk = Arc::new(MemDisk::new());
+    let store = Arc::new(MemLogStore::new());
+    let engine = Engine::builder()
+        .pool_pages(p.buffer_pages)
+        .cache(CacheConfig {
+            capacity: p.size_cache,
+            ..CacheConfig::default()
+        })
+        .wal_config(WalConfig {
+            fsync: FsyncPolicy::Always,
+            segment_bytes: 32 * 1024,
+        })
+        .create_on(disk.clone(), store.clone(), spec)
+        .expect("create on fresh store");
+    Rig {
+        disk,
+        store,
+        engine,
+    }
+}
+
+fn run_ops(engine: &Engine, sequence: &[Query], strategy: Strategy, ckpt_every: usize) {
+    for (i, q) in sequence.iter().enumerate() {
+        match q {
+            Query::Retrieve(r) => {
+                engine.retrieve(strategy, r).expect("retrieve");
+            }
+            Query::Update(u) => {
+                engine.update(u).expect("update");
+            }
+        }
+        if (i + 1) % ckpt_every == 0 {
+            engine.checkpoint().expect("checkpoint");
+        }
+    }
+}
+
+/// The persisted identity of an engine: the catalog blob its `open`
+/// re-saved, decoded (to skip the CRC header) and re-encoded.
+fn persisted_catalog(engine: &Engine) -> EngineCatalog {
+    let cat = Catalog::open(Arc::clone(engine.pool())).expect("access catalog");
+    let blob = cat.get_blob(ENGINE_BLOB).expect("engine blob");
+    EngineCatalog::decode(&blob).expect("valid engine catalog")
+}
+
+fn run_case(kind: usize, strategy: Strategy, seed: u64, ops: usize, ckpt_every: usize) {
+    let p = Params {
+        parent_card: 60,
+        num_top: 3,
+        sequence_len: ops,
+        buffer_pages: 12,
+        size_cache: 10,
+        pr_update: 0.5,
+        seed,
+        ..Params::paper_default()
+    };
+    let generated = generate(&p);
+    let sequence = generate_sequence(&p);
+    let spec = spec_for(kind, &p, &generated);
+
+    // Oracle: same ops, every frame flushed, reopened via open_on.
+    let oracle = create_rig(&spec, &p);
+    run_ops(&oracle.engine, &sequence, strategy, ckpt_every);
+    oracle.engine.pool().flush_all().expect("oracle flush");
+    drop(oracle.engine);
+    let oracle_eng = Engine::builder()
+        .open_on(oracle.disk.clone(), oracle.store.clone())
+        .expect("oracle reopen");
+
+    // Crashed run: same ops, dirty frames lost, log tail survives
+    // (fsync Always), recovered implicitly by open_on.
+    let rig = create_rig(&spec, &p);
+    run_ops(&rig.engine, &sequence, strategy, ckpt_every);
+    drop(rig.engine);
+    rig.store.crash();
+    let recovered = Engine::builder()
+        .open_on(rig.disk.clone(), rig.store.clone())
+        .expect("open after crash");
+
+    // Schema, OID counters, file roots: the OID-backend snapshots must
+    // match field-for-field (encoded bytes are canonical).
+    let a: Vec<_> = recovered
+        .levels()
+        .iter()
+        .map(|db| db.save_state())
+        .collect();
+    let b: Vec<_> = oracle_eng
+        .levels()
+        .iter()
+        .map(|db| db.save_state())
+        .collect();
+    assert_eq!(a.len(), b.len(), "level count");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.parent_schema, y.parent_schema, "parent schema");
+        assert_eq!(x.child_schema, y.child_schema, "child schema");
+        assert_eq!(x.parent_count, y.parent_count, "parent OID high-water");
+        assert_eq!(x.child_counts, y.child_counts, "child OID high-waters");
+        let enc = |s: &complexobj::SavedOidDb| {
+            let mut e = complexobj::persist::Enc::default();
+            s.encode(&mut e);
+            e.0
+        };
+        assert_eq!(enc(x), enc(y), "storage roots / cache directory");
+    }
+
+    // Full persisted identity, all backends: the catalog blob each open
+    // re-saved must round-trip to identical bytes.
+    let ca = persisted_catalog(&recovered);
+    let cb = persisted_catalog(&oracle_eng);
+    assert_eq!(ca.encode(), cb.encode(), "persisted engine catalog");
+    assert_eq!(ca.pool_pages, p.buffer_pages, "catalog geometry");
+    assert!(!ca.clean_shutdown, "crash-recovered store is not clean");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn crash_recovery_equals_oracle(
+        kind_ix in 0usize..4,
+        seed in 1u64..1_000,
+        ops in 4usize..20,
+        ckpt_every in 1usize..8,
+    ) {
+        let (kind, strategy) = KINDS[kind_ix];
+        run_case(kind, strategy, seed, ops, ckpt_every);
+    }
+}

@@ -13,7 +13,9 @@ use proptest::prelude::*;
 fn dfs_point(params: &Params) -> (f64, f64) {
     let generated = generate(params);
     let sequence = generate_sequence(params);
-    let engine = Engine::for_strategy(params, &generated, Strategy::Dfs).expect("engine");
+    let engine = Engine::builder()
+        .build_workload(params, &generated, Strategy::Dfs)
+        .expect("engine");
     let report = engine
         .explain(Strategy::Dfs, &sequence, Some(params))
         .expect("explain");

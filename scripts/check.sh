@@ -25,6 +25,9 @@ cargo run -q -p cor-bench --bin explain -- --replay results/explain/smoke.jsonl
 echo "==> crashtest smoke (durability gate: crash, recover, verify vs oracle)"
 cargo run -q --release -p cor-bench --bin crashtest -- --smoke
 
+echo "==> crashtest --logical smoke (lifecycle gate: crash, reopen via catalog, verify answers)"
+cargo run -q --release -p cor-bench --bin crashtest -- --logical --smoke
+
 echo "==> iobench smoke (batched-I/O gate: batch-1 identity + submission accounting)"
 cargo run -q --release -p cor-bench --bin iobench -- --smoke --json results/iobench/smoke.json
 
