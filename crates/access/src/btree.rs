@@ -27,6 +27,7 @@
 
 use crate::sync_cell::SyncCell;
 use crate::AccessError;
+use cor_obs::heat::{self, PAGE_CLASS_INTERNAL, PAGE_CLASS_LEAF};
 use cor_obs::{Phase, PhaseGuard};
 use cor_pagestore::{BufferPool, PageId, NO_PAGE, PAGE_SIZE};
 use std::sync::Arc;
@@ -525,6 +526,7 @@ impl BTreeFile {
         // Internal-page faults during the descent are index navigation
         // unless a strategy has claimed a more specific bracket.
         let _phase = PhaseGuard::enter_default(Phase::IndexDescent);
+        heat::touch(heat::HeatClass::PageClass, PAGE_CLASS_INTERNAL);
         let mut page = self.root.get();
         loop {
             let (leaf, child) = self.pool.read(page, |p| {
@@ -562,6 +564,7 @@ impl BTreeFile {
         let key_len = self.key_len;
         let hit = {
             let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
+            heat::touch(heat::HeatClass::PageClass, PAGE_CLASS_LEAF);
             self.pool.read(hint, |p| {
                 let d = p.bytes();
                 if !node::is_leaf(d) {
@@ -615,6 +618,7 @@ impl BTreeFile {
     pub fn leaf_entries(&self, leaf: PageId) -> Result<Entries, AccessError> {
         let key_len = self.key_len;
         let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
+        heat::touch(heat::HeatClass::PageClass, PAGE_CLASS_LEAF);
         let entries = self.pool.read(leaf, |p| {
             let d = p.bytes();
             if !node::is_leaf(d) {
@@ -632,6 +636,7 @@ impl BTreeFile {
         }
         let leaf = self.find_leaf(key)?;
         let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
+        heat::touch(heat::HeatClass::PageClass, PAGE_CLASS_LEAF);
         let v = self.pool.read(leaf, |p| {
             let d = p.bytes();
             node::search(d, key, self.key_len)
@@ -656,6 +661,7 @@ impl BTreeFile {
     /// descent is paid once per run instead of once per key.
     fn find_leaf_bounded(&self, key: &[u8]) -> Result<(PageId, Option<Vec<u8>>), AccessError> {
         let _phase = PhaseGuard::enter_default(Phase::IndexDescent);
+        heat::touch(heat::HeatClass::PageClass, PAGE_CLASS_INTERNAL);
         let key_len = self.key_len;
         let mut page = self.root.get();
         let mut bound: Option<Vec<u8>> = None;
@@ -734,6 +740,11 @@ impl BTreeFile {
         for chunk in groups.chunks(window) {
             let pids: Vec<PageId> = chunk.iter().map(|(leaf, _)| *leaf).collect();
             let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
+            heat::touch_n(
+                heat::HeatClass::PageClass,
+                PAGE_CLASS_LEAF,
+                pids.len() as u64,
+            );
             let mut at = 0usize;
             self.pool.fetch_many(&pids, |_pid, p| {
                 let d = p.bytes();
@@ -1335,6 +1346,7 @@ impl Iterator for BTreeRange {
                 self.ra_cur = (self.ra_cur * 2).min(self.readahead);
             }
             let _phase = PhaseGuard::enter_default(Phase::HeapFetch);
+            heat::touch(heat::HeatClass::PageClass, PAGE_CLASS_LEAF);
             let (entries, next, past_hi) = self
                 .pool
                 .read(leaf, |p| {

@@ -8,6 +8,11 @@
 //!     [--json FILE]   also write the report as JSON
 //!     [--smoke]       tiny database, validate every report, exit 1 on
 //!                     any missing or non-finite metric (the CI gate)
+//!     [--heat]        skew-detection leg: drive the same database with a
+//!                     uniform and a Zipf stream and show the heat map
+//!                     separating them (with --smoke: gate on separation)
+//!     [--watch]       live mode: concurrent streams with a sliding-window
+//!                     rate / p50 / p99 line per tick
 //! ```
 //!
 //! Unlike the figure binaries this one measures the *measuring*: it is
@@ -15,13 +20,16 @@
 //! the numbers double as a health check that instrumentation never
 //! perturbs the paper's I/O accounting (see `docs/observability.md`).
 
-use complexobj::{CacheCounters, Query, Strategy};
+use std::time::Duration;
+
+use complexobj::{CacheCounters, ExecOptions, Query, Strategy};
 use cor_bench::BenchConfig;
-use cor_obs::MetricValue;
+use cor_obs::{heat, MetricValue, SlidingWindow};
 use cor_pagestore::ShardTelemetrySnapshot;
 use cor_workload::{
-    fnum, format_table, generate, generate_sequence, Engine, MetricsReport, Params,
-    ENGINE_CATALOG_VERSION,
+    build_for_strategy, fnum, format_table, generate, generate_sequence, generate_stream_sequences,
+    generate_zipf_sequence, run_concurrent_streams_observed, run_sequence, Engine, LiveTick,
+    MetricsReport, Params, ENGINE_CATALOG_VERSION,
 };
 
 /// Everything the table and the JSON need for one strategy.
@@ -233,6 +241,202 @@ fn smoke_check(stat: &StrategyStat, report: &MetricsReport) -> Result<(), String
     Ok(())
 }
 
+/// The `--heat` leg: drive one database with a uniform and a Zipf-skewed
+/// query stream and show the heat map telling them apart. With `smoke`,
+/// gate on the separation (the CI check that the heat layer actually
+/// detects skew, not just counts).
+fn run_heat_leg(base: &Params, smoke: bool) -> i32 {
+    const THETA: f64 = 1.2;
+    const TOP_K: usize = 5;
+    // num_top = 1 keys the Parent heat class directly on the generator's
+    // rank distribution: each retrieve touches exactly parent `lo`, and
+    // the Zipf generator's hot set is {0, 1, 2, ..} by construction.
+    let params = Params {
+        num_top: 1,
+        pr_update: 0.0,
+        sequence_len: base.sequence_len.max(400),
+        ..base.clone()
+    };
+    println!(
+        "corstat --heat — skew detection via the heat map{}\n\
+         |ParentRel| = {}, {} queries per driver, Zipf theta = {THETA}, \
+         decay half-life {:.0} tick(s)\n",
+        if smoke { " (smoke)" } else { "" },
+        params.parent_card,
+        params.sequence_len,
+        heat::half_life_ticks(heat::DEFAULT_ALPHA_Q16),
+    );
+
+    let generated = generate(&params);
+    let db = build_for_strategy(&params, &generated, Strategy::Dfs).expect("db builds");
+    heat::enable(true);
+
+    heat::global().reset();
+    let uniform = generate_sequence(&params);
+    run_sequence(&db, Strategy::Dfs, &uniform, &ExecOptions::default()).expect("uniform run");
+    let uniform_report = heat::global().report();
+
+    heat::global().reset();
+    let skewed = generate_zipf_sequence(&params, THETA);
+    run_sequence(&db, Strategy::Dfs, &skewed, &ExecOptions::default()).expect("zipf run");
+    let zipf_report = heat::global().report();
+    heat::enable(false);
+
+    let mut rows = Vec::new();
+    for (driver, report) in [("uniform", &uniform_report), ("zipf", &zipf_report)] {
+        for (rank, e) in report
+            .top_k(heat::HeatClass::Parent, TOP_K)
+            .iter()
+            .enumerate()
+        {
+            rows.push(vec![
+                driver.to_string(),
+                rank.to_string(),
+                e.id.to_string(),
+                e.count.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        format_table(&["Driver", "Rank", "Parent", "Heat"], &rows)
+    );
+
+    let u_share = uniform_report.top_share(heat::HeatClass::Parent, TOP_K);
+    let z_share = zipf_report.top_share(heat::HeatClass::Parent, TOP_K);
+    println!(
+        "top-{TOP_K} parent heat share: uniform {}%, zipf {}%",
+        pct(u_share),
+        pct(z_share)
+    );
+    println!("other classes tracked under the zipf driver:");
+    for class in heat::HeatClass::ALL {
+        println!(
+            "  {:<14} {:>10} heat across {} key(s)",
+            class.name(),
+            zipf_report.total(class),
+            zipf_report.top_k(class, usize::MAX).len()
+        );
+    }
+
+    if smoke {
+        let mut failures: Vec<String> = Vec::new();
+        if zipf_report.touches == 0 {
+            failures.push("zipf run recorded no heat touches".into());
+        }
+        if z_share <= 0.4 {
+            failures.push(format!("zipf top-{TOP_K} share {z_share:.3} not skewed"));
+        }
+        if z_share <= 2.0 * u_share {
+            failures.push(format!(
+                "no separation: zipf share {z_share:.3} vs uniform {u_share:.3}"
+            ));
+        }
+        let top = zipf_report.top_k(heat::HeatClass::Parent, TOP_K);
+        if top.len() < TOP_K {
+            failures.push(format!("only {} hot parents tracked", top.len()));
+        }
+        for e in &top {
+            if e.id >= 10 {
+                failures.push(format!("hot parent {} outside the generator hot set", e.id));
+            }
+        }
+        if !failures.is_empty() {
+            for f in &failures {
+                eprintln!("corstat heat smoke FAIL: {f}");
+            }
+            return 1;
+        }
+        println!("corstat heat smoke: OK (zipf/uniform separation verified)");
+    }
+    0
+}
+
+/// The `--watch` leg: concurrent streams with a live sliding-window view
+/// (rate and latency quantiles over the last window, not since start).
+fn run_watch_leg(base: &Params, smoke: bool) -> i32 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    let streams = 4;
+    let (interval, span, params) = if smoke {
+        (
+            Duration::from_millis(1),
+            Duration::from_millis(50),
+            Params {
+                sequence_len: base.sequence_len.max(400),
+                ..base.clone()
+            },
+        )
+    } else {
+        (
+            Duration::from_millis(250),
+            Duration::from_secs(2),
+            base.clone(),
+        )
+    };
+    println!(
+        "corstat --watch — live windowed view{}\n\
+         {} streams x {} queries, tick every {:?}, window {:?}\n",
+        if smoke { " (smoke)" } else { "" },
+        streams,
+        params.sequence_len,
+        interval,
+        span,
+    );
+
+    let generated = generate(&params);
+    let db = build_for_strategy(&params, &generated, Strategy::Dfs).expect("db builds");
+    let sequences = generate_stream_sequences(&params, streams);
+    let window = Mutex::new(SlidingWindow::new(span));
+    let views = AtomicU64::new(0);
+    let callback = |tick: LiveTick| {
+        let mut w = window.lock().expect("watch window");
+        w.push(tick.latency_hist.clone());
+        if let Some(view) = w.view() {
+            views.fetch_add(1, Ordering::Relaxed);
+            println!(
+                "[watch {:7.3}s] {:>6} queries | last {:.3}s: {} q/s, \
+                 p50 {} us, p99 {} us",
+                tick.elapsed.as_secs_f64(),
+                tick.queries_done,
+                view.span.as_secs_f64(),
+                fnum(view.rate_per_sec),
+                us(view.delta.quantile(0.5)),
+                us(view.delta.quantile(0.99)),
+            );
+        }
+    };
+    let result = run_concurrent_streams_observed(
+        &db,
+        Strategy::Dfs,
+        &sequences,
+        &ExecOptions::default(),
+        Some((interval, &callback)),
+    )
+    .expect("watched run");
+    println!(
+        "\ndone: {} queries in {:?} ({} q/s overall, p50 {} us, p99 {} us)",
+        result.queries,
+        result.elapsed,
+        fnum(result.queries_per_sec()),
+        us(result.latency.p50.as_nanos() as u64),
+        us(result.latency.p99.as_nanos() as u64),
+    );
+
+    if smoke && views.load(Ordering::Relaxed) == 0 {
+        eprintln!("corstat watch smoke FAIL: no window view materialized");
+        return 1;
+    }
+    if smoke {
+        println!(
+            "corstat watch smoke: OK ({} windowed ticks)",
+            views.load(Ordering::Relaxed)
+        );
+    }
+    0
+}
+
 fn main() {
     let cfg = BenchConfig::from_args();
     let smoke = cfg.has_flag("--smoke");
@@ -254,6 +458,8 @@ fn main() {
         .filter(|(i, a)| {
             a.as_str() != "--smoke"
                 && a.as_str() != "--json"
+                && a.as_str() != "--heat"
+                && a.as_str() != "--watch"
                 && !(*i > 0 && cfg.rest[i - 1] == "--json")
         })
         .map(|(_, a)| a)
@@ -281,6 +487,14 @@ fn main() {
             ..cfg.base_params()
         }
     };
+
+    if cfg.has_flag("--heat") {
+        std::process::exit(run_heat_leg(&params, smoke));
+    }
+    if cfg.has_flag("--watch") {
+        std::process::exit(run_watch_leg(&params, smoke));
+    }
+
     println!(
         "corstat — per-strategy observability roll-up{}\n\
          |ParentRel| = {}, buffer = {} pages x {} shards, {} queries, Pr(UPDATE) = {}\n",

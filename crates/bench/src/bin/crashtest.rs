@@ -29,6 +29,8 @@
 
 use complexobj::procedural::ProcCaching;
 use complexobj::{CacheConfig, ClusterAssignment, Query, RetAttr, RetrieveQuery, Strategy};
+use cor_obs::flight::{self, FlightKind};
+use cor_obs::FlightEvent;
 use cor_pagestore::{DiskManager, FaultMode, FaultyDisk, MemDisk, PAGE_SIZE};
 use cor_relational::Oid;
 use cor_wal::{recover, FsyncPolicy, MemLogStore, RecoveryStats, Wal, WalConfig};
@@ -151,6 +153,57 @@ struct PointResult {
     pages_compared: u32,
     pages_excluded: usize,
     failures: Vec<String>,
+    flight: Vec<FlightEvent>,
+}
+
+/// How many trailing flight events each crash point keeps as its black
+/// box in the report.
+const FLIGHT_TAIL: usize = 12;
+
+fn mode_tag(mode_name: &str) -> u64 {
+    u64::from(mode_name == "torn-page")
+}
+
+/// The black box for the point just run: the journal tail since the
+/// `PointMark` stamped at its start (everything, ring permitting, that
+/// the engines did around the injected fault), capped at [`FLIGHT_TAIL`]
+/// most recent events.
+fn point_flight_tail(point: u64) -> Vec<FlightEvent> {
+    let events = flight::snapshot();
+    let start = events
+        .iter()
+        .rposition(|e| e.kind == FlightKind::PointMark && e.a == point)
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let tail = &events[start..];
+    tail[tail.len().saturating_sub(FLIGHT_TAIL)..].to_vec()
+}
+
+fn json_flight(events: &[FlightEvent]) -> String {
+    events
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"kind\":\"{}\",\"t_ns\":{},\"a\":{},\"b\":{},\"c\":{}}}",
+                e.kind.name(),
+                e.t_ns,
+                e.a,
+                e.b,
+                e.c
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Attach the point's flight tail; an empty black box at an injected
+/// fault is itself a failure (the recorder must witness every crash).
+fn attach_flight(point: u64, failures: &mut Vec<String>) -> Vec<FlightEvent> {
+    let tail = point_flight_tail(point);
+    if tail.is_empty() {
+        failures.push("flight recorder empty at injected fault".into());
+    }
+    tail
 }
 
 fn run_point(
@@ -178,6 +231,7 @@ fn run_point(
     // Faulty run: same ops, same nth write, but the disk dies there.
     let rig = build_rig(generated, p);
     rig.faulty.arm(nth, mode);
+    flight::record(FlightKind::FaultInjected, nth, mode_tag(mode_name), 0);
     let queries_done = run_workload(&rig.engine, sequence, Strategy::DfsCache);
     let Rig {
         faulty,
@@ -261,6 +315,7 @@ fn run_point(
         pages_compared,
         pages_excluded: freed.len(),
         failures,
+        flight: Vec::new(),
     }
 }
 
@@ -378,6 +433,7 @@ struct LogicalResult {
     stats: RecoveryStats,
     probes: usize,
     failures: Vec<String>,
+    flight: Vec<FlightEvent>,
 }
 
 fn run_logical_point(
@@ -411,6 +467,7 @@ fn run_logical_point(
     // Crashed run: same ops, same nth write, disk dies there.
     let rig = build_logical_rig(&spec, p);
     rig.faulty.arm(nth, mode);
+    flight::record(FlightKind::FaultInjected, nth, mode_tag(mode_name), 0);
     let queries_done = run_workload(&rig.engine, sequence, strategy);
     let Rig {
         faulty,
@@ -518,6 +575,7 @@ fn run_logical_point(
         stats,
         probes,
         failures,
+        flight: Vec::new(),
     }
 }
 
@@ -570,7 +628,8 @@ fn run_logical(seed: u64, points: usize) -> bool {
                 "torn-page",
             )
         };
-        let r = run_logical_point(
+        flight::record(FlightKind::PointMark, i as u64, 0, 0);
+        let mut r = run_logical_point(
             BACKENDS[b],
             &p,
             &generated,
@@ -578,6 +637,7 @@ fn run_logical(seed: u64, points: usize) -> bool {
             &verify_sequence,
             (nth, mode, mode_name),
         );
+        r.flight = attach_flight(i as u64, &mut r.failures);
         if !r.failures.is_empty() {
             eprintln!(
                 "  point {i}: {} write {} ({}) FAILED: {}",
@@ -626,7 +686,7 @@ fn run_logical(seed: u64, points: usize) -> bool {
         .map(|r| {
             format!(
                 "{{\"backend\":\"{}\",\"nth_write\":{},\"mode\":\"{}\",\"queries_done\":{},\
-                 \"records_scanned\":{},\"probes\":{},\"failures\":[{}]}}",
+                 \"records_scanned\":{},\"probes\":{},\"failures\":[{}],\"flight\":[{}]}}",
                 r.backend,
                 r.nth_write,
                 r.mode,
@@ -638,6 +698,7 @@ fn run_logical(seed: u64, points: usize) -> bool {
                     .map(|f| format!("\"{}\"", f.replace('"', "'")))
                     .collect::<Vec<_>>()
                     .join(","),
+                json_flight(&r.flight),
             )
         })
         .collect();
@@ -655,6 +716,8 @@ fn run_logical(seed: u64, points: usize) -> bool {
     std::fs::create_dir_all("results/crashtest").expect("results dir");
     std::fs::write("results/crashtest/report-logical.txt", &txt).expect("write txt report");
     std::fs::write("results/crashtest/report-logical.json", &json).expect("write json report");
+    std::fs::write("results/crashtest/flight-logical.json", flight::dump_json())
+        .expect("write flight dump");
     print!("{txt}");
     eprintln!("report: results/crashtest/report-logical.{{txt,json}}");
     failed.is_empty()
@@ -681,6 +744,12 @@ fn main() {
         flag("--points").unwrap_or(100) as usize
     };
 
+    // Order matters: the flight dump hook must sit *below* the quiet
+    // hook, so simulated process deaths inside the workload stay silent
+    // (the quiet hook swallows them before the chain reaches the dump)
+    // while any real harness panic still dumps the black box.
+    flight::install_panic_dump();
+    flight::enable(true);
     install_quiet_hook();
     if logical {
         if !run_logical(seed, points) {
@@ -725,7 +794,9 @@ fn main() {
                 "torn-page",
             )
         };
-        let r = run_point(&generated, &p, &sequence, nth, mode, name);
+        flight::record(FlightKind::PointMark, i as u64, 0, 0);
+        let mut r = run_point(&generated, &p, &sequence, nth, mode, name);
+        r.flight = attach_flight(i as u64, &mut r.failures);
         if !r.failures.is_empty() {
             eprintln!(
                 "  point {i}: write {} ({}) FAILED: {}",
@@ -784,7 +855,7 @@ fn main() {
                 "{{\"nth_write\":{},\"mode\":\"{}\",\"queries_done\":{},\
                  \"records_scanned\":{},\"images_applied\":{},\"deltas_applied\":{},\
                  \"deltas_skipped\":{},\"checkpoint_lsn\":{},\"pages_compared\":{},\
-                 \"pages_excluded\":{},\"failures\":[{}]}}",
+                 \"pages_excluded\":{},\"failures\":[{}],\"flight\":[{}]}}",
                 r.nth_write,
                 r.mode,
                 r.queries_done,
@@ -802,6 +873,7 @@ fn main() {
                     .map(|f| format!("\"{}\"", f.replace('"', "'")))
                     .collect::<Vec<_>>()
                     .join(","),
+                json_flight(&r.flight),
             )
         })
         .collect();
@@ -818,6 +890,8 @@ fn main() {
     std::fs::create_dir_all("results/crashtest").expect("results dir");
     std::fs::write("results/crashtest/report.txt", &txt).expect("write txt report");
     std::fs::write("results/crashtest/report.json", &json).expect("write json report");
+    std::fs::write("results/crashtest/flight.json", flight::dump_json())
+        .expect("write flight dump");
     print!("{txt}");
     eprintln!("report: results/crashtest/report.{{txt,json}}");
 

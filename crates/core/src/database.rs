@@ -630,6 +630,7 @@ impl CorDatabase {
             } else {
                 Some(decode_unit_value(cached_bytes).expect("inside-cached payload decodes"))
             };
+            cor_obs::heat::touch(cor_obs::HeatClass::Parent, key);
             out.push((key, children, cached));
         }
         Ok(out)
@@ -748,6 +749,7 @@ impl CorDatabase {
                     let t = decode(&self.parent_schema, &rec)?;
                     let key = t.get(0).as_oid().expect("parent oid column").key;
                     let children = t.get(5).as_oid_list().expect("children column").to_vec();
+                    cor_obs::heat::touch(cor_obs::HeatClass::Parent, key);
                     out.push((key, children));
                 }
             }
@@ -762,6 +764,7 @@ impl CorDatabase {
                     let t = decode(&self.parent_schema, &rec)?;
                     let key = t.get(0).as_oid().expect("parent oid column").key;
                     let children = t.get(5).as_oid_list().expect("children column").to_vec();
+                    cor_obs::heat::touch(cor_obs::HeatClass::Parent, key);
                     out.push((key, children));
                 }
             }

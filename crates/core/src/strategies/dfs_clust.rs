@@ -53,6 +53,7 @@ pub fn dfs_clust(
         } else {
             let t = decode(db.parent_schema(), &rec)?;
             let children = t.get(5).as_oid_list().expect("children column").to_vec();
+            cor_obs::heat::touch(cor_obs::HeatClass::ClusterRoot, oid.key);
             parents.push((oid.key, children));
         }
     }

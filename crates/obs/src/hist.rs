@@ -225,6 +225,51 @@ impl HistSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// The samples recorded between `earlier` and `self`, assuming
+    /// `earlier` is a previous snapshot of the same histogram: bucket-wise
+    /// subtraction, so the result is exactly the histogram of the samples
+    /// recorded in between. This is what turns cumulative histograms into
+    /// sliding-window views (see `cor_obs::window`).
+    ///
+    /// Min/max of the window cannot be recovered from cumulative state, so
+    /// they are re-derived from the delta's occupied buckets (lower edge of
+    /// the first, upper edge of the last) — quantiles stay clamped to
+    /// values the window could actually contain. Snapshots taken out of
+    /// order (a counter appearing to shrink) saturate to empty rather than
+    /// underflow.
+    pub fn delta(&self, earlier: &HistSnapshot) -> HistSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .zip(&earlier.buckets)
+            .map(|(a, b)| a.saturating_sub(*b))
+            .collect();
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return HistSnapshot::default();
+        }
+        let first = buckets.iter().position(|&c| c > 0);
+        let last = buckets.iter().rposition(|&c| c > 0);
+        let (min, max) = match (first, last) {
+            (Some(f), Some(l)) => {
+                // Lower edge of bucket f: one past the previous bucket's
+                // upper edge (unit buckets are their own edge).
+                let lo = if f == 0 { 0 } else { bucket_upper(f - 1) + 1 };
+                (lo, bucket_upper(l))
+            }
+            _ => return HistSnapshot::default(),
+        };
+        HistSnapshot {
+            buckets,
+            count,
+            // Counters wrap like the live histogram's atomics; subtract the
+            // same way so later-minus-earlier stays exact across a wrap.
+            sum: self.sum.wrapping_sub(earlier.sum),
+            min,
+            max,
+        }
+    }
+
     /// Occupied buckets as `(inclusive upper edge, count)`, in increasing
     /// order of edge.
     pub fn occupied_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
@@ -344,6 +389,48 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count(), 40_000);
         assert_eq!(snap.occupied_buckets().map(|(_, c)| c).sum::<u64>(), 40_000);
+    }
+
+    #[test]
+    fn delta_recovers_the_window() {
+        let h = Histogram::new();
+        for v in [1u64, 5, 9] {
+            h.record(v);
+        }
+        let earlier = h.snapshot();
+        for v in [100u64, 4096, 7] {
+            h.record(v);
+        }
+        let d = h.snapshot().delta(&earlier);
+        assert_eq!(d.count(), 3);
+        assert_eq!(d.sum(), 100 + 4096 + 7);
+        // Window min/max come from bucket edges: 7 is a unit bucket
+        // (exact); 4096 reports its bucket's upper edge.
+        assert_eq!(d.min(), 7);
+        assert_eq!(d.max(), bucket_upper(bucket_index(4096)));
+        assert_eq!(d.occupied_buckets().map(|(_, c)| c).sum::<u64>(), 3);
+        // Compare against a histogram of just the window's samples,
+        // bucket-for-bucket.
+        let w = Histogram::new();
+        for v in [100u64, 4096, 7] {
+            w.record(v);
+        }
+        let wsnap = w.snapshot();
+        assert_eq!(
+            d.occupied_buckets().collect::<Vec<_>>(),
+            wsnap.occupied_buckets().collect::<Vec<_>>()
+        );
+        assert!(d.quantile(0.5) >= 7 && d.quantile(0.5) <= d.max());
+    }
+
+    #[test]
+    fn delta_of_identical_snapshots_is_empty() {
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.snapshot();
+        assert_eq!(s.delta(&s), HistSnapshot::default());
+        // Out-of-order snapshots saturate to empty, never underflow.
+        assert_eq!(HistSnapshot::default().delta(&s), HistSnapshot::default());
     }
 
     #[test]

@@ -13,6 +13,12 @@
 //!   families collected into one structured view ([`registry`]);
 //! * [`TraceRing`] — a lock-free bounded ring of query [`Span`]s
 //!   ([`trace`]);
+//! * [`HeatMap`] / [`HeatReport`] — sharded, exponentially-decaying
+//!   access counters for workload skew ([`heat`]);
+//! * [`Flight`] / [`FlightKind`] — a bounded black-box event journal
+//!   dumped on panic or fault ([`flight`]);
+//! * [`SlidingWindow`] — trailing-window rate/percentile views over the
+//!   cumulative histograms ([`window`]);
 //! * [`to_prometheus`] / [`to_json`] — exporters over a snapshot, plus
 //!   [`parse_prometheus`] for validating the text output ([`export`]);
 //! * [`Phase`] / [`PhaseGuard`] / [`PhaseProfile`] — thread-scoped phase
@@ -29,15 +35,20 @@
 
 pub mod costmodel;
 pub mod export;
+pub mod flight;
+pub mod heat;
 pub mod hist;
 pub mod metric;
 pub mod phase;
 pub mod registry;
 pub mod trace;
+pub mod window;
 
 pub use export::{
     escape_json, escape_label_value, parse_prometheus, to_json, to_prometheus, ParsedSample,
 };
+pub use flight::{Flight, FlightEvent, FlightKind};
+pub use heat::{HeatClass, HeatEntry, HeatMap, HeatReport, PAGE_CLASS_INTERNAL, PAGE_CLASS_LEAF};
 pub use hist::{bucket_index, bucket_upper, HistSnapshot, Histogram, HIST_BUCKETS};
 pub use metric::{hit_ratio, Counter, Gauge};
 pub use phase::{
@@ -49,3 +60,4 @@ pub use registry::{
     MetricsSnapshot,
 };
 pub use trace::{Span, TraceRing};
+pub use window::{SlidingWindow, WindowView};

@@ -1,0 +1,188 @@
+//! Sliding-window views over cumulative streaming histograms.
+//!
+//! The engine's latency histograms are cumulative: perfect for end-of-run
+//! roll-ups, useless for watching a rate bend during a soak run. A
+//! [`SlidingWindow`] turns them into live views by keeping a short deque
+//! of timestamped snapshots and answering "what happened over the last
+//! `max_age`?" with [`HistSnapshot::delta`] — exact bucket-wise
+//! subtraction, no sample retention, no extra cost on the recording path.
+//!
+//! The intended loop (what `corstat --watch` runs):
+//!
+//! ```ignore
+//! let mut win = SlidingWindow::new(Duration::from_secs(10));
+//! loop {
+//!     win.push(hist.snapshot());
+//!     if let Some(view) = win.view() {
+//!         eprintln!("{:.0} q/s, p99 {}ns", view.rate_per_sec, view.delta.quantile(0.99));
+//!     }
+//!     thread::sleep(tick);
+//! }
+//! ```
+
+use crate::hist::HistSnapshot;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// A bounded deque of timestamped cumulative snapshots, answering
+/// rate/percentile questions about the trailing `max_age` window.
+#[derive(Debug)]
+pub struct SlidingWindow {
+    max_age: Duration,
+    samples: VecDeque<(Instant, HistSnapshot)>,
+}
+
+/// What happened over a window: the span it actually covers, the exact
+/// delta histogram of samples recorded inside it, and the sample rate.
+#[derive(Debug, Clone)]
+pub struct WindowView {
+    /// Time between the window's oldest and newest snapshots.
+    pub span: Duration,
+    /// Histogram of exactly the samples recorded inside the window.
+    pub delta: HistSnapshot,
+    /// Samples per second over the span (0.0 for a degenerate span).
+    pub rate_per_sec: f64,
+}
+
+impl SlidingWindow {
+    /// A window covering the trailing `max_age`.
+    pub fn new(max_age: Duration) -> Self {
+        SlidingWindow {
+            max_age,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// The configured window length.
+    pub fn max_age(&self) -> Duration {
+        self.max_age
+    }
+
+    /// Record a cumulative snapshot taken now, dropping snapshots that
+    /// have aged out. One snapshot older than `max_age` is retained as
+    /// the window's baseline, so a freshly-pruned window still covers a
+    /// full `max_age` rather than restarting from nothing.
+    pub fn push(&mut self, snapshot: HistSnapshot) {
+        self.push_at(Instant::now(), snapshot);
+    }
+
+    /// [`push`](Self::push) with an explicit timestamp (tests, replays).
+    /// Timestamps must be non-decreasing.
+    pub fn push_at(&mut self, at: Instant, snapshot: HistSnapshot) {
+        self.samples.push_back((at, snapshot));
+        // Keep the newest sample that is *older* than max_age as the
+        // baseline; drop everything before it.
+        while self.samples.len() > 1 {
+            let second_age = at.saturating_duration_since(self.samples[1].0);
+            if second_age >= self.max_age {
+                self.samples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Snapshots currently retained (baseline included).
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no snapshot has been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The trailing window: newest snapshot minus the baseline. `None`
+    /// until two snapshots exist (a rate needs a span).
+    pub fn view(&self) -> Option<WindowView> {
+        let (t0, first) = self.samples.front()?;
+        let (t1, last) = self.samples.back()?;
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let span = t1.saturating_duration_since(*t0);
+        let delta = last.delta(first);
+        let rate_per_sec = if span.as_secs_f64() > 0.0 {
+            delta.count() as f64 / span.as_secs_f64()
+        } else {
+            0.0
+        };
+        Some(WindowView {
+            span,
+            delta,
+            rate_per_sec,
+        })
+    }
+
+    /// Drop every retained snapshot.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn view_needs_two_samples() {
+        let mut w = SlidingWindow::new(Duration::from_secs(1));
+        assert!(w.view().is_none());
+        w.push(HistSnapshot::default());
+        assert!(w.view().is_none());
+        w.push(HistSnapshot::default());
+        assert!(w.view().is_some());
+    }
+
+    #[test]
+    fn window_reports_only_recent_samples() {
+        let h = Histogram::new();
+        let mut w = SlidingWindow::new(Duration::from_secs(10));
+        let t0 = Instant::now();
+        h.record(1); // before the window baseline
+        w.push_at(t0, h.snapshot());
+        for v in [100u64, 200, 300] {
+            h.record(v);
+        }
+        w.push_at(t0 + Duration::from_secs(2), h.snapshot());
+        let view = w.view().expect("two samples");
+        assert_eq!(view.delta.count(), 3, "baseline sample excluded");
+        assert_eq!(view.span, Duration::from_secs(2));
+        assert!((view.rate_per_sec - 1.5).abs() < 1e-9);
+        // Window min is its first occupied bucket's lower edge: above the
+        // baseline sample (1), at most the smallest window sample (100).
+        assert!(view.delta.min() > 1 && view.delta.min() <= 100);
+        assert!(view.delta.max() >= 300);
+    }
+
+    #[test]
+    fn old_samples_age_out_but_baseline_survives() {
+        let h = Histogram::new();
+        let mut w = SlidingWindow::new(Duration::from_secs(5));
+        let t0 = Instant::now();
+        for i in 0..10u64 {
+            h.record(i);
+            w.push_at(t0 + Duration::from_secs(i), h.snapshot());
+        }
+        // Window is 5s; at t=9 the baseline is the newest sample with
+        // age >= 5s, i.e. t=4.
+        assert!(w.len() <= 6, "pruned to the window: {}", w.len());
+        let view = w.view().expect("view");
+        assert_eq!(view.span, Duration::from_secs(5));
+        assert_eq!(view.delta.count(), 5, "samples 5..=9");
+    }
+
+    #[test]
+    fn zero_span_has_zero_rate() {
+        let mut w = SlidingWindow::new(Duration::from_secs(1));
+        let t = Instant::now();
+        let h = Histogram::new();
+        w.push_at(t, h.snapshot());
+        h.record(7);
+        w.push_at(t, h.snapshot());
+        let view = w.view().expect("view");
+        assert_eq!(view.delta.count(), 1);
+        assert_eq!(view.rate_per_sec, 0.0);
+    }
+}

@@ -18,6 +18,7 @@ use crate::policy::{ReplacementPolicy, ReplacementState};
 use crate::stats::IoStats;
 use crate::telemetry::{ShardTelemetry, ShardTelemetrySnapshot};
 use crate::wal::{Lsn, WalHook, NO_LSN};
+use cor_obs::{flight, heat};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -166,6 +167,7 @@ impl Shard {
         stats: &IoStats,
         wal: Option<&dyn WalHook>,
     ) -> Result<usize, BufferError> {
+        heat::touch(heat::HeatClass::PoolShard, self.index as u64);
         let mut inner = self.inner.lock();
         let tick = inner.repl.advance();
         if let Some(&idx) = inner.page_table.get(&pid) {
@@ -230,6 +232,11 @@ impl Shard {
         wal: Option<&dyn WalHook>,
         prefetch: bool,
     ) -> Result<Vec<(PageId, usize)>, BufferError> {
+        heat::touch_n(
+            heat::HeatClass::PoolShard,
+            self.index as u64,
+            pids.len() as u64,
+        );
         let mut inner = self.inner.lock();
         // Unique pages pinned by this call, in first-seen order.
         let mut pinned: Vec<(PageId, usize)> = Vec::with_capacity(pids.len());
@@ -368,14 +375,21 @@ impl Shard {
             self.frames[i].pin_count.load(Ordering::Acquire) == 0
         }) else {
             self.count(|t| t.pin_waits.inc());
+            let pinned = self
+                .frames
+                .iter()
+                .filter(|f| f.pin_count.load(Ordering::Acquire) != 0)
+                .count();
+            flight::record(
+                flight::FlightKind::NoFreeFrames,
+                self.index as u64,
+                pid as u64,
+                pinned as u64,
+            );
             return Err(BufferError::NoFreeFrames {
                 pid,
                 shard: self.index,
-                pinned: self
-                    .frames
-                    .iter()
-                    .filter(|f| f.pin_count.load(Ordering::Acquire) != 0)
-                    .count(),
+                pinned,
                 hit_ratio: self.telemetry.as_ref().map(ShardTelemetry::hit_ratio),
             });
         };

@@ -29,6 +29,7 @@ use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cor_obs::flight;
 use cor_pagestore::wal::{Lsn, WalHook, NO_LSN};
 use cor_pagestore::{DiskError, PageBuf, PageId, PAGE_SIZE};
 
@@ -237,6 +238,12 @@ impl Wal {
             // pages it could not write; a later "successful" sync would
             // prove nothing about these bytes. Fail fast from here on.
             inner.poisoned = true;
+            flight::record(
+                flight::FlightKind::WalPoison,
+                u64::from(inner.appended_lsn),
+                0,
+                0,
+            );
             return Err(e);
         }
         self.fsyncs.fetch_add(1, Ordering::Relaxed);
@@ -271,6 +278,7 @@ impl Wal {
             // after it would sit behind a bad frame and be dropped at
             // recovery, so no further appends may be acknowledged.
             inner.poisoned = true;
+            flight::record(flight::FlightKind::WalPoison, u64::from(lsn), 0, 0);
             return Err(e);
         }
         inner.next_lsn += 1;
@@ -279,6 +287,19 @@ impl Wal {
         inner.appends_since_sync += 1;
         self.appends.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        if flight::enabled() {
+            let kind_tag = match &rec.body {
+                RecordBody::PageImage { .. } => 1,
+                RecordBody::PageDelta { .. } => 2,
+                RecordBody::Checkpoint { .. } => 3,
+            };
+            flight::record(
+                flight::FlightKind::WalAppend,
+                u64::from(lsn),
+                kind_tag,
+                buf.len() as u64,
+            );
+        }
         match self.config.fsync {
             FsyncPolicy::Always => self.sync_locked(inner)?,
             FsyncPolicy::EveryN(n) => {
@@ -330,6 +351,12 @@ impl Wal {
             },
         )?;
         self.checkpoints.fetch_add(1, Ordering::Relaxed);
+        flight::record(
+            flight::FlightKind::Checkpoint,
+            u64::from(begin_lsn),
+            u64::from(redo_lsn),
+            u64::from(lsn),
+        );
         self.sync_locked(&mut inner)?;
         // New FPW epoch: the next write to any page logs a full image,
         // so redo from this checkpoint never trusts a torn page.

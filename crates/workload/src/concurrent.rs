@@ -121,7 +121,7 @@ struct StreamTally {
 
 /// One observation delivered to a live reporter while a concurrent run is
 /// in flight.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LiveTick {
     /// Queries completed so far, across all streams.
     pub queries_done: u64,
@@ -129,6 +129,10 @@ pub struct LiveTick {
     pub elapsed: Duration,
     /// Latency summary over the operations completed so far.
     pub latency: LatencySummary,
+    /// Cumulative latency histogram behind the summary — feed it to a
+    /// `cor_obs::SlidingWindow` for trailing-window rates/percentiles
+    /// (what `corstat --watch` renders).
+    pub latency_hist: HistSnapshot,
 }
 
 impl LiveTick {
@@ -187,6 +191,15 @@ pub fn run_concurrent_streams_observed(
             let done = &done;
             let stop = &stop;
             scope.spawn(move || {
+                let tick = || {
+                    let hist = latency_hist.snapshot();
+                    LiveTick {
+                        queries_done: done.load(Ordering::Relaxed),
+                        elapsed: started.elapsed(),
+                        latency: LatencySummary::from_histogram(&hist),
+                        latency_hist: hist,
+                    }
+                };
                 let mut next = Instant::now() + interval;
                 while !stop.load(Ordering::Acquire) {
                     // Short sleeps so the monitor exits promptly once the
@@ -196,12 +209,12 @@ pub fn run_concurrent_streams_observed(
                         continue;
                     }
                     next += interval;
-                    callback(LiveTick {
-                        queries_done: done.load(Ordering::Relaxed),
-                        elapsed: started.elapsed(),
-                        latency: LatencySummary::from_histogram(&latency_hist.snapshot()),
-                    });
+                    callback(tick());
                 }
+                // Always flush one final tick: a run shorter than the
+                // interval would otherwise finish without the reporter
+                // ever firing, losing the closing progress line.
+                callback(tick());
             });
         }
         let handles: Vec<_> = sequences
@@ -411,11 +424,34 @@ mod tests {
             assert!(w[0].elapsed <= w[1].elapsed, "clock monotone");
         }
         let last = ticks.last().unwrap();
-        assert!(last.queries_done <= r.queries as u64);
-        if last.queries_done > 0 {
-            assert!(last.queries_per_sec() > 0.0);
-            assert!(last.latency.p50 <= last.latency.max);
-        }
+        // The monitor flushes one final tick after the workers have all
+        // joined, so the closing line always reports the completed run.
+        assert_eq!(last.queries_done, r.queries as u64);
+        assert_eq!(last.latency_hist.count(), r.queries as u64);
+        assert!(last.queries_per_sec() > 0.0);
+        assert!(last.latency.p50 <= last.latency.max);
+    }
+
+    #[test]
+    fn reporter_fires_even_when_run_is_shorter_than_interval() {
+        use std::sync::Mutex;
+        let p = tiny(1); // 40 queries: far shorter than the 60s interval
+        let generated = generate(&p);
+        let db = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+        let sequences = generate_stream_sequences(&p, 1);
+        let ticks: Mutex<Vec<LiveTick>> = Mutex::new(Vec::new());
+        let callback = |t: LiveTick| ticks.lock().unwrap().push(t);
+        let r = run_concurrent_streams_observed(
+            &db,
+            Strategy::Dfs,
+            &sequences,
+            &ExecOptions::default(),
+            Some((Duration::from_secs(60), &callback)),
+        )
+        .unwrap();
+        let ticks = ticks.into_inner().unwrap();
+        assert_eq!(ticks.len(), 1, "exactly the final flush fired");
+        assert_eq!(ticks[0].queries_done, r.queries as u64);
     }
 
     #[test]

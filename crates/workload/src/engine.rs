@@ -30,7 +30,8 @@ use crate::concurrent::{
 };
 use crate::dbgen::{build_for_strategy, build_for_strategy_on, make_pool_telemetry, GeneratedDb};
 use crate::driver::{run_sequence, RunResult};
-use crate::metrics::{build_report, EngineMetrics, MetricsReport};
+use crate::explain::ExplainReport;
+use crate::metrics::{build_report, strategy_tag, EngineMetrics, MetricsReport};
 use crate::params::Params;
 use complexobj::multilevel::{execute_multilevel, MultiDotQuery};
 use complexobj::procedural::{
@@ -42,12 +43,14 @@ use complexobj::{
     Query, RetrieveQuery, Strategy, StrategyOutput, UpdateQuery,
 };
 use cor_access::{Catalog, CatalogError};
+use cor_obs::{flight, heat};
 use cor_pagestore::{
     BufferPool, DiskManager, FileDisk, IoDelta, ReplacementPolicy, DEFAULT_POOL_PAGES,
 };
 use cor_wal::{CheckpointInfo, FileLogStore, LogStore, Wal, WalConfig};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Pages in the throwaway pool used to read the engine catalog before the
@@ -111,6 +114,37 @@ pub struct Engine {
     metrics: Option<Arc<EngineMetrics>>,
     wal: Option<Arc<Wal>>,
     catalog: Option<CatalogState>,
+    slow: Option<Arc<SlowQueryHook>>,
+}
+
+/// Retained slow-query captures before new ones are dropped (a
+/// diagnostic buffer, not a log shipper).
+const SLOW_QUERY_CAP: usize = 64;
+
+/// Latency-threshold slow-query hook: retrieves whose wall time crosses
+/// the threshold are recorded in the flight recorder and automatically
+/// re-run under [`Engine::explain`] to capture a full phase/model
+/// breakdown of what the query was doing.
+struct SlowQueryHook {
+    threshold: Duration,
+    entries: Mutex<Vec<SlowQueryEntry>>,
+    /// One capture at a time: a concurrent breach while an explain
+    /// capture is running is recorded in the flight journal only.
+    capturing: AtomicBool,
+}
+
+/// One captured slow query: what ran, how long it took, and the
+/// [`ExplainReport`] of its automatic re-execution.
+#[derive(Debug, Clone)]
+pub struct SlowQueryEntry {
+    /// The retrieve that crossed the threshold.
+    pub query: RetrieveQuery,
+    /// The strategy it ran under.
+    pub strategy: Strategy,
+    /// Wall time of the original (slow) execution.
+    pub wall: Duration,
+    /// Phase/model breakdown from re-running the query under explain.
+    pub report: ExplainReport,
 }
 
 /// Configures and builds an [`Engine`].
@@ -340,6 +374,7 @@ impl EngineBuilder {
             backend,
             opts: self.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: Some(wal),
             catalog: Some(CatalogState {
                 catalog,
@@ -349,6 +384,7 @@ impl EngineBuilder {
             }),
         };
         engine.save_catalog(false)?;
+        flight::record(flight::FlightKind::EngineOpen, self.pool_pages as u64, 1, 0);
         Ok(engine)
     }
 
@@ -420,6 +456,7 @@ impl EngineBuilder {
             backend,
             opts: saved.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: Some(wal),
             catalog: Some(CatalogState {
                 catalog,
@@ -431,6 +468,7 @@ impl EngineBuilder {
         // Mark in-use (clears clean_shutdown) and persist the reconciled
         // cache directories in one stroke.
         engine.save_catalog(false)?;
+        flight::record(flight::FlightKind::EngineOpen, self.pool_pages as u64, 0, 0);
         Ok(engine)
     }
 
@@ -456,6 +494,7 @@ impl EngineBuilder {
             backend: Backend::Oid(db),
             opts: self.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: None,
             catalog: None,
         })
@@ -468,6 +507,7 @@ impl EngineBuilder {
             backend: Backend::Oid(db),
             opts: self.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: None,
             catalog: None,
         }
@@ -481,6 +521,7 @@ impl EngineBuilder {
             backend: Backend::Levels(levels),
             opts: self.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: None,
             catalog: None,
         }
@@ -493,6 +534,7 @@ impl EngineBuilder {
             backend: Backend::Oid(db),
             opts: self.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: self.wal,
             catalog: None,
         })
@@ -509,6 +551,7 @@ impl EngineBuilder {
             backend: Backend::Oid(db),
             opts: self.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: self.wal,
             catalog: None,
         })
@@ -526,6 +569,7 @@ impl EngineBuilder {
             backend: Backend::Levels(levels),
             opts: self.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: self.wal,
             catalog: None,
         })
@@ -543,6 +587,7 @@ impl EngineBuilder {
             backend: Backend::Proc(db),
             opts: self.opts,
             metrics: self.make_metrics(),
+            slow: None,
             wal: self.wal,
             catalog: None,
         })
@@ -599,6 +644,68 @@ impl Engine {
     pub fn with_options(mut self, opts: ExecOptions) -> Self {
         self.opts = opts;
         self
+    }
+
+    /// Arm the slow-query hook: any [`retrieve`](Self::retrieve) whose
+    /// wall time reaches `threshold` is recorded in the flight journal
+    /// and automatically re-run under [`Engine::explain`] to capture a
+    /// phase breakdown (see [`slow_queries`](Self::slow_queries)).
+    ///
+    /// **Intrusive by design**: the explain capture flushes the buffer
+    /// pool and re-executes the query, so arming the hook perturbs I/O
+    /// accounting and timing *after* a breach. Leave it off (the default)
+    /// for paper-figure measurement runs; the repo's byte-identity
+    /// invariant covers exactly that disabled state.
+    pub fn with_slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.slow = Some(Arc::new(SlowQueryHook {
+            threshold,
+            entries: Mutex::new(Vec::new()),
+            capturing: AtomicBool::new(false),
+        }));
+        self
+    }
+
+    /// Slow queries captured so far (empty when the hook is not armed).
+    /// At most [`SLOW_QUERY_CAP`] entries are retained.
+    pub fn slow_queries(&self) -> Vec<SlowQueryEntry> {
+        self.slow
+            .as_ref()
+            .map(|h| h.entries.lock().expect("slow-query lock").clone())
+            .unwrap_or_default()
+    }
+
+    /// Handle a retrieve that crossed the slow-query threshold: journal
+    /// it, then (one capture at a time) re-run it under explain.
+    fn capture_slow_query(
+        &self,
+        hook: &SlowQueryHook,
+        strategy: Strategy,
+        query: &RetrieveQuery,
+        wall: Duration,
+        values: u64,
+    ) {
+        flight::record(
+            flight::FlightKind::SlowQuery,
+            strategy_tag(strategy),
+            wall.as_nanos() as u64,
+            values,
+        );
+        if hook.capturing.swap(true, Ordering::Acquire) {
+            return; // a concurrent breach is already capturing
+        }
+        let report = self.explain(strategy, &[Query::Retrieve(*query)], None);
+        if let Ok(report) = report {
+            let mut entries = hook.entries.lock().expect("slow-query lock");
+            if entries.len() < SLOW_QUERY_CAP {
+                entries.push(SlowQueryEntry {
+                    query: *query,
+                    strategy,
+                    wall,
+                    report,
+                });
+            }
+        }
+        hook.capturing.store(false, Ordering::Release);
     }
 
     /// The execution options every query runs with.
@@ -728,6 +835,7 @@ impl Engine {
         self.pool().flush_all()?;
         wal.checkpoint(|| self.pool().dirty_page_table())
             .map_err(|e| CorError::Durability(format!("close checkpoint failed: {e}")))?;
+        flight::record(flight::FlightKind::EngineClose, 0, 0, 0);
         Ok(())
     }
 
@@ -776,6 +884,9 @@ impl Engine {
         strategy: Strategy,
         query: &RetrieveQuery,
     ) -> Result<StrategyOutput, CorError> {
+        // The hook times the call even when metrics are off; `None` keeps
+        // the un-instrumented path clock-free.
+        let slow_t0 = self.slow.as_ref().map(|_| Instant::now());
         let obs = self.span_start();
         let out = match &self.backend {
             Backend::Oid(db) => execute_retrieve(db, strategy, query, &self.opts),
@@ -785,6 +896,12 @@ impl Engine {
         if let Some((m, before, t0)) = obs {
             let delta = self.pool().stats().snapshot().since(&before);
             m.record_retrieve(strategy, delta, t0.elapsed(), out.values.len() as u64);
+        }
+        if let (Some(hook), Some(t0)) = (self.slow.as_deref(), slow_t0) {
+            let wall = t0.elapsed();
+            if wall >= hook.threshold {
+                self.capture_slow_query(hook, strategy, query, wall, out.values.len() as u64);
+            }
         }
         Ok(out)
     }
@@ -943,13 +1060,22 @@ impl Engine {
             Backend::Levels(levels) => levels[0].cache_counters(),
             Backend::Proc(db) => Some(db.cache_counters()),
         };
-        Some(build_report(
+        let mut report = build_report(
             m,
             self.pool().telemetry(),
             self.pool().stats().batch_snapshot(),
             cache,
             self.wal.as_ref().map(|w| w.stats()),
-        ))
+        );
+        // Fold the process-global heat map in when collection is on; the
+        // cor_heat_* families are absent otherwise, keeping disabled-state
+        // reports byte-identical to pre-heat ones.
+        if heat::enabled() {
+            heat::global()
+                .report()
+                .push_to(&mut report.snapshot, 5, heat::DEFAULT_ALPHA_Q16);
+        }
+        Some(report)
     }
 }
 

@@ -52,7 +52,7 @@ pub use dbgen::{
     GeneratedDb, SeedStream,
 };
 pub use driver::{run_sequence, run_sequence_trace, QueryTrace, RunResult};
-pub use engine::{Engine, EngineBuilder, EngineSpec};
+pub use engine::{Engine, EngineBuilder, EngineSpec, SlowQueryEntry};
 pub use experiment::{
     best_strategy, compare_strategies, default_threads, parallel_map, run_point, run_point_with,
 };
@@ -63,11 +63,12 @@ pub use hierarchy::{
 };
 pub use matrix::{generate_matrix, run_matrix_point, MatrixRunResult, MatrixSpec, MatrixSystem};
 pub use metrics::{
-    build_report, strategy_from_tag, strategy_tag, EngineMetrics, MetricsReport, REQUIRED_METRICS,
+    build_report, strategy_from_tag, strategy_tag, EngineMetrics, MetricsReport,
+    METRICS_SCHEMA_VERSION, REQUIRED_METRICS,
 };
 pub use params::Params;
 pub use report::{fnum, format_ascii_plot, format_region_map, format_table, write_csv};
 pub use seqgen::{
-    generate_mixed_sequence, generate_sequence, generate_sequence_with, random_retrieve,
-    random_update,
+    generate_mixed_sequence, generate_sequence, generate_sequence_with, generate_zipf_sequence,
+    random_retrieve, random_update,
 };

@@ -24,6 +24,10 @@ use std::time::Duration;
 /// Default capacity of the engine's span ring.
 pub const DEFAULT_TRACE_SPANS: usize = 1024;
 
+/// Version of the exported metrics layout, stamped into every rendered
+/// report (matches the `schema_version` corstat.json carries).
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
 /// Metric families every [`MetricsReport`] must carry; the `corstat`
 /// smoke gate fails if any is missing or non-finite.
 pub const REQUIRED_METRICS: &[&str] = &[
@@ -265,14 +269,28 @@ pub struct MetricsReport {
 }
 
 impl MetricsReport {
-    /// Render the report in Prometheus text exposition format.
+    /// Render the report in Prometheus text exposition format, prefixed
+    /// by a `# cor_meta` comment stamping the metrics schema and engine
+    /// catalog versions (comment lines are ignored by Prometheus parsers,
+    /// including [`cor_obs::parse_prometheus`]).
     pub fn to_prometheus(&self) -> String {
-        cor_obs::to_prometheus(&self.snapshot)
+        format!(
+            "# cor_meta schema_version={} catalog_version={}\n{}",
+            METRICS_SCHEMA_VERSION,
+            crate::catalog::ENGINE_CATALOG_VERSION,
+            cor_obs::to_prometheus(&self.snapshot)
+        )
     }
 
-    /// Render the report as JSON.
+    /// Render the report as JSON, wrapped with the same
+    /// `schema_version` / `catalog_version` stamps corstat.json carries.
     pub fn to_json(&self) -> String {
-        cor_obs::to_json(&self.snapshot)
+        format!(
+            "{{\"schema_version\":{},\"catalog_version\":{},\"metrics\":{}}}",
+            METRICS_SCHEMA_VERSION,
+            crate::catalog::ENGINE_CATALOG_VERSION,
+            cor_obs::to_json(&self.snapshot)
+        )
     }
 
     /// Structural health check: all [`REQUIRED_METRICS`] present, every
@@ -493,6 +511,30 @@ pub fn build_report(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn reports_stamp_schema_and_catalog_versions() {
+        let m = EngineMetrics::new();
+        let report = build_report(&m, None, BatchIoSnapshot::default(), None, None);
+        let meta = format!(
+            "schema_version={} catalog_version={}",
+            METRICS_SCHEMA_VERSION,
+            crate::catalog::ENGINE_CATALOG_VERSION
+        );
+        let prom = report.to_prometheus();
+        assert!(prom.starts_with(&format!("# cor_meta {meta}\n")), "{prom}");
+        cor_obs::parse_prometheus(&prom).expect("meta comment is parser-safe");
+        let json = report.to_json();
+        assert!(
+            json.starts_with(&format!(
+                "{{\"schema_version\":{},\"catalog_version\":{},\"metrics\":",
+                METRICS_SCHEMA_VERSION,
+                crate::catalog::ENGINE_CATALOG_VERSION
+            )),
+            "{json}"
+        );
+        assert!(json.ends_with('}'));
+    }
 
     #[test]
     fn strategy_tags_roundtrip() {

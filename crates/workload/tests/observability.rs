@@ -1,0 +1,159 @@
+//! End-to-end checks for the observability tentpole: enabling the
+//! heat-map and flight-recorder layers must leave the paper's I/O
+//! accounting byte-identical, a Zipf-skewed driver must surface its
+//! generator hot set in the heat report's top-K, and the slow-query
+//! hook must capture an explain breakdown when armed.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use complexobj::{ExecOptions, Query, RetAttr, RetrieveQuery, Strategy};
+use cor_obs::{flight, heat};
+use cor_workload::{
+    build_for_strategy, generate, generate_sequence, generate_zipf_sequence, run_sequence, Engine,
+    Params,
+};
+
+// The heat map and flight recorder are process-global; serialize every
+// test that toggles them so parallel test threads don't interleave.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn small(num_top: u64) -> Params {
+    Params {
+        parent_card: 300,
+        num_top,
+        sequence_len: 200,
+        pr_update: 0.1,
+        size_cache: 20,
+        buffer_pages: 16,
+        ..Params::paper_default()
+    }
+}
+
+#[test]
+fn enabling_observability_leaves_io_accounting_byte_identical() {
+    let _g = GLOBALS.lock().unwrap();
+    let p = small(5);
+    let generated = generate(&p);
+    let sequence = generate_sequence(&p);
+    let opts = ExecOptions::default();
+
+    heat::enable(false);
+    flight::enable(false);
+    let db = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+    let base = run_sequence(&db, Strategy::Dfs, &sequence, &opts).unwrap();
+    let base_snap = db.pool().stats().snapshot();
+
+    heat::enable(true);
+    flight::enable(true);
+    heat::global().reset();
+    let db2 = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+    let hot = run_sequence(&db2, Strategy::Dfs, &sequence, &opts).unwrap();
+    let hot_snap = db2.pool().stats().snapshot();
+    let touches = heat::global().report().touches;
+    heat::enable(false);
+    flight::enable(false);
+
+    // Instrumentation on must not move a single I/O or result counter.
+    assert_eq!(base.total_io, hot.total_io);
+    assert_eq!(base.par_io, hot.par_io);
+    assert_eq!(base.child_io, hot.child_io);
+    assert_eq!(base.update_io, hot.update_io);
+    assert_eq!(base.values_returned, hot.values_returned);
+    assert_eq!(base_snap, hot_snap);
+    // ... while the instrumented run did record heat.
+    assert!(touches > 0, "enabled run recorded no heat touches");
+}
+
+#[test]
+fn zipf_driver_heat_topk_matches_generator_hot_set() {
+    let _g = GLOBALS.lock().unwrap();
+    // num_top = 1: each retrieve touches exactly parent `lo`, so the
+    // heat map's Parent class mirrors the generator's rank distribution.
+    let p = Params {
+        sequence_len: 600,
+        pr_update: 0.0,
+        ..small(1)
+    };
+    let generated = generate(&p);
+    let db = build_for_strategy(&p, &generated, Strategy::Dfs).unwrap();
+
+    heat::enable(true);
+    heat::global().reset();
+    let skewed = generate_zipf_sequence(&p, 1.2);
+    run_sequence(&db, Strategy::Dfs, &skewed, &ExecOptions::default()).unwrap();
+    let zipf_report = heat::global().report();
+
+    heat::global().reset();
+    let uniform = generate_sequence(&p);
+    run_sequence(&db, Strategy::Dfs, &uniform, &ExecOptions::default()).unwrap();
+    let uniform_report = heat::global().report();
+    heat::enable(false);
+
+    let top = zipf_report.top_k(heat::HeatClass::Parent, 5);
+    assert_eq!(top.len(), 5);
+    // The Zipf generator's hot set is {0, 1, 2, ..} by construction.
+    for e in &top {
+        assert!(e.id < 10, "hot id {} outside the generator hot set", e.id);
+    }
+    assert!(top.iter().any(|e| e.id == 0), "rank-0 parent missing");
+
+    let zipf_share = zipf_report.top_share(heat::HeatClass::Parent, 5);
+    let uniform_share = uniform_report.top_share(heat::HeatClass::Parent, 5);
+    assert!(zipf_share > 0.5, "zipf top-5 share {zipf_share}");
+    assert!(uniform_share < 0.2, "uniform top-5 share {uniform_share}");
+    assert!(zipf_share > 3.0 * uniform_share);
+}
+
+#[test]
+fn slow_query_hook_captures_an_explain_report() {
+    let _g = GLOBALS.lock().unwrap();
+    flight::enable(true);
+    let p = small(5);
+    let generated = generate(&p);
+    let engine = Engine::builder()
+        .build_workload(&p, &generated, Strategy::Bfs)
+        .unwrap()
+        .with_slow_query_threshold(Duration::ZERO);
+
+    let query = RetrieveQuery {
+        lo: 0,
+        hi: p.num_top - 1,
+        attr: RetAttr::ALL[0],
+    };
+    let out = engine.retrieve(Strategy::Bfs, &query).unwrap();
+    let slow = engine.slow_queries();
+    let events = flight::snapshot();
+    flight::enable(false);
+
+    assert_eq!(slow.len(), 1, "zero threshold must capture the retrieve");
+    let entry = &slow[0];
+    assert_eq!(entry.query, query);
+    assert_eq!(entry.strategy, Strategy::Bfs);
+    assert!(!entry.report.phases.is_empty(), "explain breakdown missing");
+    assert_eq!(entry.report.retrieves, 1);
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == flight::FlightKind::SlowQuery),
+        "no SlowQuery flight event journaled"
+    );
+    assert!(!out.values.is_empty());
+}
+
+#[test]
+fn unarmed_engine_records_no_slow_queries() {
+    let _g = GLOBALS.lock().unwrap();
+    let p = small(5);
+    let generated = generate(&p);
+    let engine = Engine::builder()
+        .build_workload(&p, &generated, Strategy::Bfs)
+        .unwrap();
+    let sequence = generate_sequence(&p);
+    for q in &sequence {
+        if let Query::Retrieve(r) = q {
+            engine.retrieve(Strategy::Bfs, r).unwrap();
+        }
+    }
+    assert!(engine.slow_queries().is_empty());
+}

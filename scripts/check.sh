@@ -16,6 +16,9 @@ cargo test --workspace -q
 echo "==> corstat smoke (observability gate)"
 cargo run -q -p cor-bench --bin corstat -- --smoke
 
+echo "==> corstat heat smoke (heat-map skew-detection gate)"
+cargo run -q -p cor-bench --bin corstat -- --heat --smoke
+
 echo "==> explain smoke (phase-attribution + cost-model gate)"
 cargo run -q -p cor-bench --bin explain -- --smoke --jsonl results/explain/smoke.jsonl
 
