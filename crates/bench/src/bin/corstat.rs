@@ -11,6 +11,11 @@
 //!     [--heat]        skew-detection leg: drive the same database with a
 //!                     uniform and a Zipf stream and show the heat map
 //!                     separating them (with --smoke: gate on separation)
+//!     [--trace]       causal-trace leg: sample retrieves through the
+//!                     trace-tree collector, gate every tree against the
+//!                     PhaseProfile ledger, and export the deepest one as
+//!                     Chrome trace-event JSON (with --json FILE: write it
+//!                     there; load the file at ui.perfetto.dev)
 //!     [--watch]       live mode: concurrent streams with a sliding-window
 //!                     rate / p50 / p99 line per tick
 //! ```
@@ -352,6 +357,145 @@ fn run_heat_leg(base: &Params, smoke: bool) -> i32 {
     0
 }
 
+/// The `--trace` leg: run every strategy over the retrieve-only
+/// workload, sample one retrieve in four through
+/// [`Engine::trace_query`], and check each causal tree against the
+/// authoritative [`PhaseProfile`](cor_obs::PhaseProfile) ledger: the
+/// tree must be well-formed (rooted, parents before children, child
+/// intervals inside their parents') and its per-phase read/write sums
+/// must equal the profile deltas for that query *exactly* — both are
+/// fed by the same `IoStats` calls, so any drift is a collector bug.
+/// The deepest tree is exported as Chrome trace-event JSON.
+fn run_trace_leg(base: &Params, smoke: bool, json_path: Option<&std::path::Path>) -> i32 {
+    use cor_obs::{Phase, TraceTree};
+
+    const SAMPLE_EVERY: usize = 4;
+    let params = Params {
+        pr_update: 0.0,
+        ..base.clone()
+    };
+    println!(
+        "corstat --trace — causal trace trees over sampled retrieves{}\n\
+         |ParentRel| = {}, {} queries per strategy, 1 in {SAMPLE_EVERY} traced\n",
+        if smoke { " (smoke)" } else { "" },
+        params.parent_card,
+        params.sequence_len,
+    );
+
+    let generated = generate(&params);
+    let mut failures: Vec<String> = Vec::new();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut best: Option<TraceTree> = None;
+    for strategy in Strategy::ALL {
+        let engine = Engine::builder()
+            .build_workload(&params, &generated, strategy)
+            .expect("engine builds");
+        let stats = engine.pool().stats().clone();
+        let profile = stats.enable_profile();
+        engine.pool().flush_and_clear().expect("cold start");
+        let sequence = generate_sequence(&params);
+        let mut traced = 0usize;
+        for (i, q) in sequence.iter().enumerate() {
+            let Query::Retrieve(r) = q else { continue };
+            if i % SAMPLE_EVERY != 0 {
+                engine.retrieve(strategy, r).expect("retrieve runs");
+                continue;
+            }
+            let before = profile.snapshot();
+            let (_, tree) = engine.trace_query(strategy, r).expect("traced retrieve");
+            let delta = profile.snapshot().since(&before);
+            let Some(tree) = tree else {
+                failures.push(format!("{strategy}: sampled retrieve produced no trace"));
+                continue;
+            };
+            traced += 1;
+            if let Err(e) = tree.validate() {
+                failures.push(format!("{strategy}: malformed trace tree: {e}"));
+            }
+            let (reads, writes) = (tree.reads_by_phase(), tree.writes_by_phase());
+            for phase in Phase::ALL {
+                let (tr, tw) = (reads[phase.index()], writes[phase.index()]);
+                if tr != delta.reads_of(phase) || tw != delta.writes_of(phase) {
+                    failures.push(format!(
+                        "{strategy}: {} tree sums {tr}r/{tw}w != profile {}r/{}w",
+                        phase.name(),
+                        delta.reads_of(phase),
+                        delta.writes_of(phase)
+                    ));
+                }
+            }
+            if smoke && tree.dropped > 0 {
+                failures.push(format!(
+                    "{strategy}: trace dropped {} node(s)",
+                    tree.dropped
+                ));
+            }
+            rows.push(vec![
+                strategy.name().to_string(),
+                tree.id.to_string(),
+                tree.nodes.len().to_string(),
+                tree.total_reads().to_string(),
+                tree.total_writes().to_string(),
+                us(tree.total_ns),
+            ]);
+            if best
+                .as_ref()
+                .is_none_or(|b| tree.nodes.len() > b.nodes.len())
+            {
+                best = Some(tree);
+            }
+        }
+        if traced == 0 {
+            failures.push(format!("{strategy}: no retrieves sampled"));
+        }
+    }
+
+    println!(
+        "{}",
+        format_table(
+            &["Strategy", "Trace", "Nodes", "Reads", "Writes", "Wall us"],
+            &rows,
+        )
+    );
+
+    if let Some(tree) = &best {
+        let path = json_path
+            .map(std::path::Path::to_path_buf)
+            .unwrap_or_else(|| "corstat_trace.json".into());
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        match std::fs::write(&path, tree.to_chrome_json()) {
+            Ok(()) => eprintln!(
+                "wrote {} ({} nodes; load at ui.perfetto.dev)",
+                path.display(),
+                tree.nodes.len()
+            ),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", path.display());
+                return 1;
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!(
+                "corstat trace{} FAIL: {f}",
+                if smoke { " smoke" } else { "" }
+            );
+        }
+        return 1;
+    }
+    if smoke {
+        println!(
+            "corstat trace smoke: OK ({} trees gated against the phase ledger)",
+            rows.len()
+        );
+    }
+    0
+}
+
 /// The `--watch` leg: concurrent streams with a live sliding-window view
 /// (rate and latency quantiles over the last window, not since start).
 fn run_watch_leg(base: &Params, smoke: bool) -> i32 {
@@ -459,6 +603,7 @@ fn main() {
             a.as_str() != "--smoke"
                 && a.as_str() != "--json"
                 && a.as_str() != "--heat"
+                && a.as_str() != "--trace"
                 && a.as_str() != "--watch"
                 && !(*i > 0 && cfg.rest[i - 1] == "--json")
         })
@@ -490,6 +635,9 @@ fn main() {
 
     if cfg.has_flag("--heat") {
         std::process::exit(run_heat_leg(&params, smoke));
+    }
+    if cfg.has_flag("--trace") {
+        std::process::exit(run_trace_leg(&params, smoke, json_path.as_deref()));
     }
     if cfg.has_flag("--watch") {
         std::process::exit(run_watch_leg(&params, smoke));

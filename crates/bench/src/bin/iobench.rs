@@ -449,11 +449,14 @@ fn main() {
     );
 
     let json = format!(
-        "{{\"schema_version\":1,\"scale\":{},\"smoke\":{},\
+        "{{\"schema_version\":1,\"catalog_version\":{},\
+         \"metrics_schema_version\":{},\"scale\":{},\"smoke\":{},\
          \"params\":{{\"parent_card\":{},\"num_top\":{},\"sequence_len\":{},\
          \"buffer_pages\":{},\"shards\":{},\"seed\":{}}},\
          \"io_options\":{{\"batch\":{},\"readahead\":{},\"seek_us\":{}}},\
          \"strategies\":[{}]}}\n",
+        cor_workload::ENGINE_CATALOG_VERSION,
+        cor_workload::METRICS_SCHEMA_VERSION,
         cfg.scale,
         smoke,
         params.parent_card,

@@ -51,11 +51,15 @@ pub enum FlightKind {
     FaultInjected = 8,
     /// A free-form progress marker (a/b/c owned by the caller).
     PointMark = 9,
+    /// A captured query was traced: joins this black box with a
+    /// `cor_obs::tracetree::TraceTree`
+    /// (a = trace id, b = strategy tag, c = wall ns).
+    TraceLink = 10,
 }
 
 impl FlightKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [FlightKind; 9] = [
+    pub const ALL: [FlightKind; 10] = [
         FlightKind::EngineOpen,
         FlightKind::EngineClose,
         FlightKind::Checkpoint,
@@ -65,6 +69,7 @@ impl FlightKind {
         FlightKind::SlowQuery,
         FlightKind::FaultInjected,
         FlightKind::PointMark,
+        FlightKind::TraceLink,
     ];
 
     /// Stable snake_case name for dumps.
@@ -79,6 +84,7 @@ impl FlightKind {
             FlightKind::SlowQuery => "slow_query",
             FlightKind::FaultInjected => "fault_injected",
             FlightKind::PointMark => "point_mark",
+            FlightKind::TraceLink => "trace_link",
         }
     }
 

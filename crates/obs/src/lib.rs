@@ -24,6 +24,10 @@
 //! * [`Phase`] / [`PhaseGuard`] / [`PhaseProfile`] — thread-scoped phase
 //!   attribution for physical I/O, so a profiler can say *where* each
 //!   page went, not just how many moved ([`phase`]);
+//! * [`TraceTree`] — per-query causal span trees riding the phase layer,
+//!   exported as Chrome trace-event JSON ([`tracetree`]);
+//! * [`WaitClass`] / [`WaitProfile`] — timed-wait histograms over the
+//!   engine's blocking points, the `cor_wait_*` families ([`wait`]);
 //! * [`costmodel`] — the paper's closed-form expected-I/O formulas per
 //!   strategy, for predicted-vs-measured comparison.
 //!
@@ -42,6 +46,8 @@ pub mod metric;
 pub mod phase;
 pub mod registry;
 pub mod trace;
+pub mod tracetree;
+pub mod wait;
 pub mod window;
 
 pub use export::{
@@ -60,4 +66,6 @@ pub use registry::{
     MetricsSnapshot,
 };
 pub use trace::{Span, TraceRing};
+pub use tracetree::{TraceGuard, TraceNode, TraceTree, MAX_TRACE_NODES};
+pub use wait::{WaitClass, WaitProfile, WaitReport, WAIT_CLASSES};
 pub use window::{SlidingWindow, WindowView};

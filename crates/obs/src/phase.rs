@@ -179,6 +179,7 @@ impl PhaseGuard {
                 charge_current();
             }
             CURRENT.with(|c| c.set(phase));
+            crate::tracetree::on_phase_enter(phase);
         }
         PhaseGuard { prev, changed }
     }
@@ -205,6 +206,7 @@ impl Drop for PhaseGuard {
                 charge_current();
             }
             CURRENT.with(|c| c.set(self.prev));
+            crate::tracetree::on_phase_exit();
         }
     }
 }

@@ -1,0 +1,142 @@
+//! Trace-tree integration tests: proptest-driven phase-guard scripts
+//! proving that per-node I/O attribution in a causal trace equals the
+//! [`PhaseProfile`] ledger *exactly* — both are fed by the same calls,
+//! so the tree is the profile, refined with structure — plus structural
+//! well-formedness of the tree and its Chrome export under arbitrary
+//! guard nesting.
+
+use cor_obs::{tracetree, Phase, PhaseGuard, PhaseProfile, PHASE_COUNT};
+use proptest::prelude::*;
+
+/// One scripted operation against the phase layer: what a query does,
+/// reduced to its observable effects.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `PhaseGuard::enter` — strategy-level bracket.
+    Enter(Phase),
+    /// `PhaseGuard::enter_default` — access-layer bracket.
+    EnterDefault(Phase),
+    /// Drop the innermost open guard (if any).
+    Exit,
+    /// One page read, charged like `IoStats::record_read` charges it:
+    /// profile and trace collector from the same call site.
+    Read,
+    /// One page write, ditto.
+    Write,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..5, 0usize..PHASE_COUNT).prop_map(|(op, ph)| {
+        let phase = Phase::ALL[ph];
+        match op {
+            0 => Op::Enter(phase),
+            1 => Op::EnterDefault(phase),
+            2 => Op::Exit,
+            3 => Op::Read,
+            _ => Op::Write,
+        }
+    })
+}
+
+/// Run a script under an active trace, feeding `profile` and the
+/// collector through the same charge points. Guards unwind innermost
+/// first (LIFO), like real call frames.
+fn run_script(ops: &[Op], profile: &PhaseProfile) -> tracetree::TraceGuard {
+    let guard = tracetree::start("prop script");
+    let mut stack: Vec<PhaseGuard> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Enter(phase) => stack.push(PhaseGuard::enter(*phase)),
+            Op::EnterDefault(phase) => stack.push(PhaseGuard::enter_default(*phase)),
+            Op::Exit => {
+                stack.pop();
+            }
+            Op::Read => {
+                profile.record_read();
+                tracetree::charge_read();
+            }
+            Op::Write => {
+                profile.record_write();
+                tracetree::charge_write();
+            }
+        }
+    }
+    while stack.pop().is_some() {}
+    guard
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The tentpole invariant: for any interleaving of phase brackets
+    /// and I/O, the tree's per-phase read/write sums equal the
+    /// `PhaseProfile` deltas for the traced window — not approximately,
+    /// exactly. Attribution is never lost, duplicated, or misfiled.
+    #[test]
+    fn tree_sums_equal_profile_deltas(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let profile = PhaseProfile::new();
+        let before = profile.snapshot();
+        let tree = run_script(&ops, &profile)
+            .finish()
+            .expect("trace started by this test must finish");
+        let delta = profile.snapshot().since(&before);
+
+        let (reads, writes) = (tree.reads_by_phase(), tree.writes_by_phase());
+        for phase in Phase::ALL {
+            prop_assert_eq!(
+                reads[phase.index()], delta.reads_of(phase),
+                "{} reads drifted from the profile ledger", phase.name()
+            );
+            prop_assert_eq!(
+                writes[phase.index()], delta.writes_of(phase),
+                "{} writes drifted from the profile ledger", phase.name()
+            );
+        }
+        prop_assert_eq!(tree.total_reads(), delta.total_reads());
+        prop_assert_eq!(tree.total_writes(), delta.total_writes());
+    }
+
+    /// Any script yields a structurally valid tree (rooted, parents
+    /// before children, child intervals inside their parents') whose
+    /// Chrome export is balanced JSON carrying every node.
+    #[test]
+    fn tree_is_well_formed_and_exports(ops in proptest::collection::vec(op_strategy(), 0..200)) {
+        let profile = PhaseProfile::new();
+        let tree = run_script(&ops, &profile)
+            .finish()
+            .expect("trace started by this test must finish");
+        prop_assert!(tree.validate().is_ok(), "{:?}", tree.validate());
+
+        // Node count is bounded by the phase *transitions* (plus the
+        // root): same-phase re-entry must not mint nodes.
+        let enters = ops.iter()
+            .filter(|o| matches!(o, Op::Enter(_) | Op::EnterDefault(_)))
+            .count();
+        prop_assert!(tree.nodes.len() <= enters + 1);
+
+        let json = tree.to_chrome_json();
+        prop_assert_eq!(
+            json.matches('{').count(), json.matches('}').count(),
+            "unbalanced braces in chrome export"
+        );
+        prop_assert_eq!(json.matches("\"ph\":\"X\"").count(), tree.nodes.len());
+        prop_assert!(json.contains(&format!("\"trace_id\":{}", tree.id)));
+    }
+}
+
+/// Charges landing while no trace is active must not leak into the next
+/// trace on the same thread.
+#[test]
+fn untraced_charges_do_not_leak_into_later_traces() {
+    let profile = PhaseProfile::new();
+    profile.record_read();
+    tracetree::charge_read();
+    let tree = run_script(
+        &[Op::Enter(Phase::HeapFetch), Op::Write, Op::Exit],
+        &profile,
+    )
+    .finish()
+    .expect("trace finishes");
+    assert_eq!(tree.total_reads(), 0, "pre-trace read leaked into the tree");
+    assert_eq!(tree.total_writes(), 1);
+}

@@ -52,6 +52,9 @@ pub enum BufferError {
         /// The shard's hit ratio at failure time, when the pool was built
         /// with telemetry enabled.
         hit_ratio: Option<f64>,
+        /// Total nanoseconds the shard stalled waiting for a concurrent
+        /// unpin before giving up.
+        waited_ns: u64,
     },
     /// A page was freed while pinned.
     PagePinned(PageId),
@@ -67,6 +70,7 @@ impl std::fmt::Display for BufferError {
                 shard,
                 pinned,
                 hit_ratio,
+                waited_ns,
             } => {
                 write!(
                     f,
@@ -75,6 +79,7 @@ impl std::fmt::Display for BufferError {
                 if let Some(ratio) = hit_ratio {
                     write!(f, " (shard hit ratio {:.1}%)", ratio * 100.0)?;
                 }
+                write!(f, " after waiting {:.1}ms", *waited_ns as f64 / 1e6)?;
                 Ok(())
             }
             BufferError::PagePinned(p) => write!(f, "page {p} freed while pinned"),
@@ -764,11 +769,13 @@ mod tests {
                     shard,
                     pinned,
                     hit_ratio,
+                    waited_ns,
                 }) => {
                     assert_eq!(pid, b, "error names the requesting page");
                     assert_eq!(shard, 0, "error names the page's home shard");
                     assert_eq!(pinned, 1, "error counts the pinned frames");
                     assert_eq!(hit_ratio, None, "telemetry is off by default");
+                    assert!(waited_ns > 0, "error reports the stall duration");
                     true
                 }
                 other => panic!("expected NoFreeFrames, got {other:?}"),

@@ -18,10 +18,20 @@ use crate::policy::{ReplacementPolicy, ReplacementState};
 use crate::stats::IoStats;
 use crate::telemetry::{ShardTelemetry, ShardTelemetrySnapshot};
 use crate::wal::{Lsn, WalHook, NO_LSN};
-use cor_obs::{flight, heat};
-use parking_lot::{Mutex, RwLock};
+use cor_obs::{flight, heat, wait};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// How often a fully-pinned shard re-checks for a victim before giving
+/// up with [`BufferError::NoFreeFrames`]. Pin counts drop without the
+/// shard lock, so a concurrent unpin can free a victim while we hold it.
+const FRAME_STALL_RETRIES: usize = 20;
+
+/// Sleep between victim re-checks; total stall budget before failing is
+/// `FRAME_STALL_RETRIES * FRAME_STALL_SLEEP` (~1 ms) plus scheduling.
+const FRAME_STALL_SLEEP: Duration = Duration::from_micros(50);
 
 pub(crate) struct FrameData {
     pub(crate) page_id: PageId,
@@ -130,6 +140,14 @@ impl Shard {
         self.frames.len()
     }
 
+    /// Acquire the shard lock on a pin path, feeding the acquisition
+    /// time to the wait profile (`shard_lock` class) when profiling is
+    /// on. One relaxed load otherwise.
+    #[inline]
+    fn lock_pinning(&self) -> MutexGuard<'_, ShardInner> {
+        wait::timed(wait::WaitClass::ShardLock, || self.inner.lock())
+    }
+
     pub(crate) fn frame(&self, idx: usize) -> &Frame {
         &self.frames[idx]
     }
@@ -168,7 +186,7 @@ impl Shard {
         wal: Option<&dyn WalHook>,
     ) -> Result<usize, BufferError> {
         heat::touch(heat::HeatClass::PoolShard, self.index as u64);
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_pinning();
         let tick = inner.repl.advance();
         if let Some(&idx) = inner.page_table.get(&pid) {
             self.frames[idx].pin_count.fetch_add(1, Ordering::Acquire);
@@ -237,7 +255,7 @@ impl Shard {
             self.index as u64,
             pids.len() as u64,
         );
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_pinning();
         // Unique pages pinned by this call, in first-seen order.
         let mut pinned: Vec<(PageId, usize)> = Vec::with_capacity(pids.len());
         let mut seen: HashMap<PageId, usize> = HashMap::with_capacity(pids.len());
@@ -342,7 +360,7 @@ impl Shard {
         stats: &IoStats,
         wal: Option<&dyn WalHook>,
     ) -> Result<usize, BufferError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock_pinning();
         let idx = self.acquire_frame(&mut inner, pid, policy, disk, stats, wal)?;
         let mut st = self.frames[idx].state.write();
         st.page_id = pid;
@@ -358,9 +376,16 @@ impl Shard {
 
     /// Find a victim frame (unpinned, per the replacement policy), write
     /// it back if dirty, detach it from the page table, and return it
-    /// pinned. On failure reports `pid` (the page that wanted a frame),
-    /// which stripe it is homed to, how many frames were pinned, and —
-    /// when telemetry is on — the stripe's hit ratio at failure time.
+    /// pinned.
+    ///
+    /// When every candidate is pinned, the shard stalls briefly —
+    /// re-checking for a victim up to [`FRAME_STALL_RETRIES`] times,
+    /// since pin counts drop without the shard lock — before giving up.
+    /// The stall (whether it ended in a victim or not) is fed to the
+    /// wait profile under `frame_stall`. On failure reports `pid` (the
+    /// page that wanted a frame), which stripe it is homed to, how many
+    /// frames were pinned, how long the stall lasted, and — when
+    /// telemetry is on — the stripe's hit ratio at failure time.
     fn acquire_frame(
         &self,
         inner: &mut ShardInner,
@@ -371,28 +396,44 @@ impl Shard {
         wal: Option<&dyn WalHook>,
     ) -> Result<usize, BufferError> {
         let n = self.frames.len();
-        let Some(victim) = inner.repl.pick_victim(policy, n, |i| {
-            self.frames[i].pin_count.load(Ordering::Acquire) == 0
-        }) else {
+        let unpinned = |i: usize| self.frames[i].pin_count.load(Ordering::Acquire) == 0;
+        let mut victim = inner.repl.pick_victim(policy, n, unpinned);
+        if victim.is_none() {
+            // Off the hot path: the clock reads below price the stall for
+            // the error context regardless of wait profiling.
             self.count(|t| t.pin_waits.inc());
-            let pinned = self
-                .frames
-                .iter()
-                .filter(|f| f.pin_count.load(Ordering::Acquire) != 0)
-                .count();
-            flight::record(
-                flight::FlightKind::NoFreeFrames,
-                self.index as u64,
-                pid as u64,
-                pinned as u64,
-            );
-            return Err(BufferError::NoFreeFrames {
-                pid,
-                shard: self.index,
-                pinned,
-                hit_ratio: self.telemetry.as_ref().map(ShardTelemetry::hit_ratio),
-            });
-        };
+            let t0 = Instant::now();
+            for _ in 0..FRAME_STALL_RETRIES {
+                std::thread::sleep(FRAME_STALL_SLEEP);
+                victim = inner.repl.pick_victim(policy, n, unpinned);
+                if victim.is_some() {
+                    break;
+                }
+            }
+            let waited_ns = t0.elapsed().as_nanos() as u64;
+            wait::record(wait::WaitClass::FrameStall, waited_ns);
+            if victim.is_none() {
+                let pinned = self
+                    .frames
+                    .iter()
+                    .filter(|f| f.pin_count.load(Ordering::Acquire) != 0)
+                    .count();
+                flight::record(
+                    flight::FlightKind::NoFreeFrames,
+                    self.index as u64,
+                    pid as u64,
+                    pinned as u64,
+                );
+                return Err(BufferError::NoFreeFrames {
+                    pid,
+                    shard: self.index,
+                    pinned,
+                    hit_ratio: self.telemetry.as_ref().map(ShardTelemetry::hit_ratio),
+                    waited_ns,
+                });
+            }
+        }
+        let victim = victim.expect("checked above");
         // Pin immediately so a concurrent caller cannot also claim it.
         self.frames[victim]
             .pin_count

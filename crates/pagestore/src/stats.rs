@@ -23,6 +23,12 @@ use std::sync::{Arc, OnceLock};
 /// phase sums always equal the totals exactly. Until then the profile
 /// path is a single uncontended pointer load and the stats behave (and
 /// cost) exactly as before.
+///
+/// When the recording thread is collecting a causal trace
+/// (`cor_obs::tracetree`), the same calls also charge the innermost
+/// trace node — again in the same call, so trace sums equal the totals
+/// too. With no trace active (always, unless a query is being traced
+/// on this thread) that path is one thread-local flag load.
 #[derive(Debug, Default)]
 pub struct IoStats {
     reads: AtomicU64,
@@ -69,6 +75,7 @@ impl IoStats {
         if let Some(p) = self.profile.get() {
             p.record_read();
         }
+        cor_obs::tracetree::charge_read();
     }
 
     /// Record one physical page write.
@@ -78,6 +85,7 @@ impl IoStats {
         if let Some(p) = self.profile.get() {
             p.record_write();
         }
+        cor_obs::tracetree::charge_write();
     }
 
     /// Record one page allocation (page appended to the store).

@@ -43,7 +43,7 @@ use complexobj::{
     Query, RetrieveQuery, Strategy, StrategyOutput, UpdateQuery,
 };
 use cor_access::{Catalog, CatalogError};
-use cor_obs::{flight, heat};
+use cor_obs::{flight, heat, tracetree, wait, TraceTree};
 use cor_pagestore::{
     BufferPool, DiskManager, FileDisk, IoDelta, ReplacementPolicy, DEFAULT_POOL_PAGES,
 };
@@ -145,6 +145,11 @@ pub struct SlowQueryEntry {
     pub wall: Duration,
     /// Phase/model breakdown from re-running the query under explain.
     pub report: ExplainReport,
+    /// Causal trace of the explain re-execution. Its id is journaled as
+    /// a `trace_link` flight event, so crashtest black boxes can be
+    /// joined with the tree. `None` only when another trace was already
+    /// active on the capturing thread.
+    pub trace: Option<TraceTree>,
 }
 
 /// Configures and builds an [`Engine`].
@@ -693,7 +698,19 @@ impl Engine {
         if hook.capturing.swap(true, Ordering::Acquire) {
             return; // a concurrent breach is already capturing
         }
+        // Trace the explain re-execution and journal the trace id, so the
+        // black box carries a join key to the tree.
+        let guard = tracetree::start(&format!("slow {strategy} {}..={}", query.lo, query.hi));
         let report = self.explain(strategy, &[Query::Retrieve(*query)], None);
+        let trace = guard.finish();
+        if let Some(t) = &trace {
+            flight::record(
+                flight::FlightKind::TraceLink,
+                t.id,
+                strategy_tag(strategy),
+                wall.as_nanos() as u64,
+            );
+        }
         if let Ok(report) = report {
             let mut entries = hook.entries.lock().expect("slow-query lock");
             if entries.len() < SLOW_QUERY_CAP {
@@ -702,6 +719,7 @@ impl Engine {
                     strategy,
                     wall,
                     report,
+                    trace,
                 });
             }
         }
@@ -906,6 +924,36 @@ impl Engine {
         Ok(out)
     }
 
+    /// Run one retrieve while collecting a causal trace tree: every
+    /// phase transition becomes a parent/child node carrying its wall
+    /// time and the page I/O charged while it was innermost (see
+    /// [`cor_obs::tracetree`]). Render the tree with
+    /// [`TraceTree::to_chrome_json`] and load it in Perfetto.
+    ///
+    /// Tracing rides the query without changing it: the same
+    /// [`retrieve`](Self::retrieve) path runs, [`IoStats`] counts are
+    /// identical traced or not, and per-phase node sums equal the
+    /// query's `PhaseProfile` deltas exactly (the collector and the
+    /// profile are fed by the same calls). The tree is `None` only when
+    /// another trace was already active on this thread.
+    ///
+    /// [`IoStats`]: cor_pagestore::IoStats
+    pub fn trace_query(
+        &self,
+        strategy: Strategy,
+        query: &RetrieveQuery,
+    ) -> Result<(StrategyOutput, Option<TraceTree>), CorError> {
+        let guard = tracetree::start(&format!("{strategy} {}..={}", query.lo, query.hi));
+        let out = match self.retrieve(strategy, query) {
+            Ok(out) => out,
+            Err(e) => {
+                drop(guard);
+                return Err(e);
+            }
+        };
+        Ok((out, guard.finish()))
+    }
+
     /// Run one multi-dot retrieve across the hierarchy (single-database
     /// engines behave as one-level hierarchies).
     pub fn retrieve_multilevel(
@@ -1074,6 +1122,11 @@ impl Engine {
             heat::global()
                 .report()
                 .push_to(&mut report.snapshot, 5, heat::DEFAULT_ALPHA_Q16);
+        }
+        // Same contract for the wait profile: cor_wait_* families appear
+        // only while wait profiling is on.
+        if wait::enabled() {
+            wait::report().push_to(&mut report.snapshot);
         }
         Some(report)
     }

@@ -1,14 +1,15 @@
 //! End-to-end checks for the observability tentpole: enabling the
-//! heat-map and flight-recorder layers must leave the paper's I/O
-//! accounting byte-identical, a Zipf-skewed driver must surface its
-//! generator hot set in the heat report's top-K, and the slow-query
-//! hook must capture an explain breakdown when armed.
+//! heat-map, flight-recorder, wait-profiling, and trace-tree layers
+//! must leave the paper's I/O accounting byte-identical, a Zipf-skewed
+//! driver must surface its generator hot set in the heat report's
+//! top-K, and the slow-query hook must capture an explain breakdown
+//! (and a linked causal trace) when armed.
 
 use std::sync::Mutex;
 use std::time::Duration;
 
 use complexobj::{ExecOptions, Query, RetAttr, RetrieveQuery, Strategy};
-use cor_obs::{flight, heat};
+use cor_obs::{flight, heat, wait, Phase};
 use cor_workload::{
     build_for_strategy, generate, generate_sequence, generate_zipf_sequence, run_sequence, Engine,
     Params,
@@ -139,6 +140,208 @@ fn slow_query_hook_captures_an_explain_report() {
         "no SlowQuery flight event journaled"
     );
     assert!(!out.values.is_empty());
+}
+
+/// Wait profiling and causal tracing ride the same "free when disabled,
+/// read-only when enabled" contract as the heat map: turning both on
+/// (and tracing every retrieve) must not move a single I/O counter.
+#[test]
+fn wait_profiling_and_tracing_leave_io_accounting_byte_identical() {
+    let _g = GLOBALS.lock().unwrap();
+    let p = Params {
+        pr_update: 0.0,
+        ..small(5)
+    };
+    let generated = generate(&p);
+    let sequence = generate_sequence(&p);
+
+    let run = |instrumented: bool| {
+        let engine = Engine::builder()
+            .build_workload(&p, &generated, Strategy::Bfs)
+            .unwrap();
+        let mut values = 0usize;
+        let mut trees = 0usize;
+        for q in &sequence {
+            let Query::Retrieve(r) = q else { continue };
+            values += if instrumented {
+                let (out, tree) = engine.trace_query(Strategy::Bfs, r).unwrap();
+                let tree = tree.expect("no trace was active, so this one collects");
+                tree.validate().unwrap();
+                trees += 1;
+                out.values.len()
+            } else {
+                engine.retrieve(Strategy::Bfs, r).unwrap().values.len()
+            };
+        }
+        (engine.pool().stats().snapshot(), values, trees)
+    };
+
+    wait::enable(false);
+    let (base_snap, base_values, _) = run(false);
+    wait::enable(true);
+    wait::global().reset();
+    let (hot_snap, hot_values, trees) = run(true);
+    let waits = wait::report().total_waits();
+    wait::enable(false);
+
+    assert_eq!(base_snap, hot_snap, "instrumentation moved an I/O counter");
+    assert_eq!(base_values, hot_values);
+    assert!(trees > 0, "no trace trees collected");
+    assert!(
+        waits > 0,
+        "enabled run recorded no waits (shard locks alone should)"
+    );
+}
+
+/// `cor_wait_*` families appear in both exporters exactly when wait
+/// profiling is on — the disabled report stays byte-compatible with
+/// pre-wait-profiling consumers.
+#[test]
+fn wait_families_exported_only_when_enabled() {
+    let _g = GLOBALS.lock().unwrap();
+    let p = small(5);
+    let generated = generate(&p);
+    let query = RetrieveQuery {
+        lo: 0,
+        hi: p.num_top - 1,
+        attr: RetAttr::ALL[0],
+    };
+
+    let report_with = |on: bool| {
+        wait::enable(on);
+        if on {
+            wait::global().reset();
+        }
+        let engine = Engine::builder()
+            .metrics(true)
+            .build_workload(&p, &generated, Strategy::Dfs)
+            .unwrap();
+        engine.retrieve(Strategy::Dfs, &query).unwrap();
+        let report = engine.metrics().expect("metrics are on");
+        wait::enable(false);
+        report
+    };
+
+    let off = report_with(false);
+    for family in ["cor_wait_count_total", "cor_wait_ns_total", "cor_wait_ns"] {
+        assert!(
+            off.snapshot.family(family).is_none(),
+            "{family} exported while wait profiling is off"
+        );
+        assert!(!off.to_prometheus().contains(family));
+        assert!(!off.to_json().contains(family));
+    }
+
+    let on = report_with(true);
+    on.validate().expect("report with wait families validates");
+    for family in ["cor_wait_count_total", "cor_wait_ns_total", "cor_wait_ns"] {
+        assert!(
+            on.snapshot.family(family).is_some(),
+            "{family} missing while wait profiling is on"
+        );
+        assert!(
+            on.to_prometheus().contains(family),
+            "{family} not in Prometheus text"
+        );
+        assert!(on.to_json().contains(family), "{family} not in JSON");
+    }
+    let shard_lock = on
+        .snapshot
+        .family("cor_wait_count_total")
+        .and_then(|f| {
+            f.samples.iter().find(|s| {
+                s.labels
+                    .iter()
+                    .any(|(k, v)| k == "class" && v == "shard_lock")
+            })
+        })
+        .map(|s| match s.value {
+            cor_obs::MetricValue::Counter(c) => c,
+            _ => 0,
+        })
+        .unwrap_or(0);
+    assert!(shard_lock > 0, "retrieve took no timed shard locks");
+}
+
+/// Engine-level exactness: a traced query's per-phase node sums equal
+/// the pool's `PhaseProfile` deltas.
+#[test]
+fn traced_query_matches_profile_ledger() {
+    let _g = GLOBALS.lock().unwrap();
+    let p = small(5);
+    let generated = generate(&p);
+    let engine = Engine::builder()
+        .build_workload(&p, &generated, Strategy::Bfs)
+        .unwrap();
+    let profile = engine.pool().stats().enable_profile();
+    let query = RetrieveQuery {
+        lo: 0,
+        hi: p.num_top - 1,
+        attr: RetAttr::ALL[0],
+    };
+
+    let before = profile.snapshot();
+    let (out, tree) = engine.trace_query(Strategy::Bfs, &query).unwrap();
+    let delta = profile.snapshot().since(&before);
+
+    let tree = tree.expect("trace collects");
+    tree.validate().unwrap();
+    assert!(!out.values.is_empty());
+    assert!(tree.nodes.len() > 1, "BFS retrieve produced a trivial tree");
+    let (reads, writes) = (tree.reads_by_phase(), tree.writes_by_phase());
+    for phase in Phase::ALL {
+        assert_eq!(
+            reads[phase.index()],
+            delta.reads_of(phase),
+            "{}",
+            phase.name()
+        );
+        assert_eq!(
+            writes[phase.index()],
+            delta.writes_of(phase),
+            "{}",
+            phase.name()
+        );
+    }
+}
+
+/// An armed slow-query hook captures a causal trace alongside the
+/// explain breakdown and journals a `TraceLink` flight event pointing
+/// at it — the path from "that query was slow" to its tree.
+#[test]
+fn slow_capture_carries_a_linked_trace() {
+    let _g = GLOBALS.lock().unwrap();
+    flight::enable(true);
+    let p = small(5);
+    let generated = generate(&p);
+    let engine = Engine::builder()
+        .build_workload(&p, &generated, Strategy::Bfs)
+        .unwrap()
+        .with_slow_query_threshold(Duration::ZERO);
+    let query = RetrieveQuery {
+        lo: 0,
+        hi: p.num_top - 1,
+        attr: RetAttr::ALL[0],
+    };
+    engine.retrieve(Strategy::Bfs, &query).unwrap();
+    let events = flight::snapshot();
+    flight::enable(false);
+
+    let slow = engine.slow_queries();
+    assert_eq!(slow.len(), 1);
+    let linked = slow[0]
+        .trace
+        .as_ref()
+        .expect("slow capture carries a trace");
+    linked.validate().unwrap();
+    assert!(linked.total_ns > 0);
+    assert!(
+        events
+            .iter()
+            .any(|e| e.kind == flight::FlightKind::TraceLink && e.a == linked.id),
+        "no TraceLink flight event for trace {}",
+        linked.id
+    );
 }
 
 #[test]

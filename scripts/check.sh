@@ -19,6 +19,9 @@ cargo run -q -p cor-bench --bin corstat -- --smoke
 echo "==> corstat heat smoke (heat-map skew-detection gate)"
 cargo run -q -p cor-bench --bin corstat -- --heat --smoke
 
+echo "==> corstat trace smoke (causal trace trees vs the phase ledger)"
+cargo run -q -p cor-bench --bin corstat -- --trace --smoke --json results/trace/smoke_trace.json
+
 echo "==> explain smoke (phase-attribution + cost-model gate)"
 cargo run -q -p cor-bench --bin explain -- --smoke --jsonl results/explain/smoke.jsonl
 
@@ -33,5 +36,9 @@ cargo run -q --release -p cor-bench --bin crashtest -- --logical --smoke
 
 echo "==> iobench smoke (batched-I/O gate: batch-1 identity + submission accounting)"
 cargo run -q --release -p cor-bench --bin iobench -- --smoke --json results/iobench/smoke.json
+
+echo "==> corperf smoke x2 (perf observatory: exact-I/O baseline + wall gate on the 2nd run)"
+cargo run -q --release -p cor-bench --bin corperf -- --smoke --json results/corperf/smoke_core.json
+cargo run -q --release -p cor-bench --bin corperf -- --smoke --json results/corperf/smoke_core.json
 
 echo "All checks passed."

@@ -24,12 +24,14 @@ fn error_messages_are_informative() {
         shard: 1,
         pinned: 3,
         hit_ratio: Some(0.25),
+        waited_ns: 1_200_000,
     }
     .to_string();
     assert!(exhausted.contains("pinned"));
     assert!(exhausted.contains('7') && exhausted.contains('3'));
     assert!(exhausted.contains("shard 1"), "{exhausted}");
     assert!(exhausted.contains("25.0%"), "{exhausted}");
+    assert!(exhausted.contains("1.2ms"), "{exhausted}");
     assert!(AccessError::BadKeyLen(3).to_string().contains("3"));
     assert!(AccessError::EntryTooLarge.to_string().contains("large"));
     assert!(AccessError::UnsortedBulkLoad
