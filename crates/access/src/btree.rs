@@ -1308,13 +1308,21 @@ impl BTreeRange {
     /// entries yielded are identical either way. `window == 0` (the
     /// default) disables readahead entirely.
     ///
-    /// The window ramps: the first prefetch covers at most 4 pages and
-    /// each subsequent one doubles up to `window`, so a short scan
-    /// wastes at most a few speculative pages while a long one still
-    /// reaches full-window coalescing.
+    /// On a synchronous pool the window ramps: the first prefetch covers
+    /// at most 4 pages and each subsequent one doubles up to `window`,
+    /// so a short scan wastes at most a few speculative pages while a
+    /// long one still reaches full-window coalescing. On a pool with an
+    /// async submission engine (`queue_depth > 1`) the ramp is skipped
+    /// and the first prefetch already covers the full window —
+    /// speculative pages overlap with the scan instead of blocking it,
+    /// so eagerness costs latency nothing and keeps the queue fed.
     pub fn with_readahead(mut self, window: usize) -> Self {
         self.readahead = window;
-        self.ra_cur = window.min(4);
+        self.ra_cur = if self.pool.queue_depth() > 1 {
+            window
+        } else {
+            window.min(4)
+        };
         self
     }
 }

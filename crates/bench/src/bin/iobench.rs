@@ -23,6 +23,14 @@
 //! Batching is a physical optimisation only: both modes must return the
 //! same values and read the same pages (batched mode may read fewer of
 //! them twice, never more). `iobench` asserts both on every run.
+//!
+//! On top of the batched comparison, the file-backed legs of BFS and
+//! DFSCLUST are swept across async submission queue depths 1/4/16
+//! (`cor-aio`). The sweep gates its own invariants: the depth-1 leg
+//! must be byte-identical to the synchronous batched leg — same
+//! checksum, reads, and batch counters, with every `aio_*` counter at
+//! zero — and deeper queues must return identical results while handing
+//! the disk no more submissions than the synchronous path read pages.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -101,6 +109,8 @@ impl DiskManager for SeekDisk {
 
 /// One (strategy, disk, mode) measurement.
 struct Leg {
+    /// Name of the pool's active async backend ("sync" at depth 1).
+    backend: &'static str,
     retrieves: usize,
     /// Order-insensitive digest of every returned value, for the
     /// results-identical invariant.
@@ -136,6 +146,7 @@ fn run_leg(
     let builder = BufferPool::builder()
         .capacity(params.buffer_pages)
         .shards(params.shards)
+        .queue_depth(opts.io.queue_depth)
         .telemetry(true);
     let builder = match disk {
         Disk::Mem => builder,
@@ -190,6 +201,7 @@ fn run_leg(
     let total_ns: u64 = lat.iter().sum();
     lat.sort_unstable();
     Leg {
+        backend: engine.pool().aio_backend().name(),
         retrieves,
         checksum,
         reads,
@@ -255,12 +267,78 @@ fn check_pair(strategy: Strategy, disk: Disk, off: &Leg, on: &Leg) -> Vec<String
     bad
 }
 
+/// Invariants for one (strategy, disk) queue-depth sweep.
+///
+/// Depth 1 never constructs an async engine, so that leg must be
+/// **byte-identical** to the synchronous batched leg: same checksum,
+/// same reads, same batch counters, every `aio_*` counter zero. Deeper
+/// queues must return identical results and may only *overlap*
+/// submissions, never multiply them: the runs handed to the async
+/// engine are bounded by the pages the synchronous path read one by
+/// one.
+fn check_sweep(
+    strategy: Strategy,
+    disk: Disk,
+    off: &Leg,
+    on: &Leg,
+    sweep: &[(usize, Leg)],
+) -> Vec<String> {
+    let ctx = format!("{} on {}", strategy.name(), disk.name());
+    let mut bad = Vec::new();
+    for (depth, leg) in sweep {
+        if leg.checksum != off.checksum || leg.retrieves != off.retrieves {
+            bad.push(format!(
+                "{ctx} depth {depth}: results differ from synchronous run"
+            ));
+        }
+        if *depth <= 1 {
+            if leg.reads != on.reads || leg.batch != on.batch {
+                bad.push(format!(
+                    "{ctx} depth 1: not byte-identical to the synchronous batched leg \
+                     (reads {} vs {}, batch {:?} vs {:?})",
+                    leg.reads, on.reads, leg.batch, on.batch
+                ));
+            }
+            if leg.batch.aio_submitted != 0
+                || leg.batch.aio_completed != 0
+                || leg.batch.aio_in_flight_peak != 0
+            {
+                bad.push(format!(
+                    "{ctx} depth 1: aio counters moved ({:?})",
+                    leg.batch
+                ));
+            }
+        } else {
+            if leg.batch.aio_submitted == 0 {
+                bad.push(format!(
+                    "{ctx} depth {depth}: no async submissions recorded"
+                ));
+            }
+            if leg.batch.aio_submitted > off.reads {
+                bad.push(format!(
+                    "{ctx} depth {depth}: more async submissions ({}) than synchronous \
+                     reads ({})",
+                    leg.batch.aio_submitted, off.reads
+                ));
+            }
+            if leg.batch.aio_completed > leg.batch.aio_submitted {
+                bad.push(format!(
+                    "{ctx} depth {depth}: harvested {} of {} submissions",
+                    leg.batch.aio_completed, leg.batch.aio_submitted
+                ));
+            }
+        }
+    }
+    bad
+}
+
 fn json_leg(l: &Leg) -> String {
     format!(
         "{{\"retrieves\":{},\"reads\":{},\"throughput_qps\":{:.3},\
          \"mean_us\":{:.3},\"p50_us\":{:.3},\"p99_us\":{:.3},\
          \"batch_reads\":{},\"coalesced_runs\":{},\
          \"prefetch_issued\":{},\"prefetch_hits\":{},\
+         \"aio_submitted\":{},\"aio_completed\":{},\"aio_in_flight_peak\":{},\
          \"pool_hits\":{},\"pool_misses\":{}}}",
         l.retrieves,
         l.reads,
@@ -272,6 +350,9 @@ fn json_leg(l: &Leg) -> String {
         l.batch.coalesced_runs,
         l.batch.prefetch_issued,
         l.batch.prefetch_hits,
+        l.batch.aio_submitted,
+        l.batch.aio_completed,
+        l.batch.aio_in_flight_peak,
         l.pool_hits,
         l.pool_misses,
     )
@@ -284,6 +365,7 @@ fn main() {
     let mut io = IoOptions {
         batch: 16,
         readahead: 32,
+        queue_depth: 1,
     };
     let mut seek_us: u64 = 100;
     let mut it = cfg.rest.iter().peekable();
@@ -370,11 +452,17 @@ fn main() {
         ..ExecOptions::default()
     };
     let strategies = [Strategy::Bfs, Strategy::DfsClust, Strategy::DfsCache];
+    // The sweep covers the two readahead-driven strategies on the
+    // file-backed disks — the legs where submission overlap can matter.
+    const SWEEP_DEPTHS: [usize; 3] = [1, 4, 16];
     let generated = generate(&params);
     let mut scratch: Vec<PathBuf> = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut sweep_rows: Vec<Vec<String>> = Vec::new();
     let mut json_strategies: Vec<String> = Vec::new();
+    let mut json_sweep: Vec<String> = Vec::new();
+    let mut aio_backend: &'static str = "sync";
     let seek = std::time::Duration::from_micros(seek_us);
     for strategy in strategies {
         let mut json_disks: Vec<String> = Vec::new();
@@ -418,6 +506,72 @@ fn main() {
                 json_leg(&on),
                 speedup,
             ));
+
+            let swept = matches!(disk, Disk::File | Disk::FileSeek)
+                && matches!(strategy, Strategy::Bfs | Strategy::DfsClust);
+            if !swept {
+                continue;
+            }
+            let sweep: Vec<(usize, Leg)> = SWEEP_DEPTHS
+                .iter()
+                .map(|&depth| {
+                    let opts = ExecOptions {
+                        io: IoOptions {
+                            queue_depth: depth,
+                            ..io
+                        },
+                        ..ExecOptions::default()
+                    };
+                    let leg = run_leg(
+                        &params,
+                        &generated,
+                        strategy,
+                        disk,
+                        seek,
+                        &opts,
+                        &mut scratch,
+                    );
+                    (depth, leg)
+                })
+                .collect();
+            failures.extend(check_sweep(strategy, disk, &off, &on, &sweep));
+            let base_qps = sweep
+                .iter()
+                .find(|(d, _)| *d == 1)
+                .map(|(_, l)| l.qps)
+                .unwrap_or(0.0);
+            for (depth, leg) in &sweep {
+                if *depth > 1 {
+                    aio_backend = leg.backend;
+                }
+                let vs_d1 = if base_qps > 0.0 {
+                    leg.qps / base_qps
+                } else {
+                    0.0
+                };
+                sweep_rows.push(vec![
+                    strategy.name().to_string(),
+                    disk.name().to_string(),
+                    depth.to_string(),
+                    leg.backend.to_string(),
+                    fnum(leg.qps),
+                    fnum(leg.p99_ns as f64 / 1e3),
+                    leg.batch.aio_submitted.to_string(),
+                    leg.batch.aio_completed.to_string(),
+                    leg.batch.aio_in_flight_peak.to_string(),
+                    format!("{vs_d1:.2}x"),
+                ]);
+                json_sweep.push(format!(
+                    "{{\"strategy\":\"{}\",\"disk\":\"{}\",\"queue_depth\":{},\
+                     \"backend\":\"{}\",\"speedup_vs_depth1\":{:.4},\"leg\":{}}}",
+                    strategy.name(),
+                    disk.name(),
+                    depth,
+                    leg.backend,
+                    vs_d1,
+                    json_leg(leg),
+                ));
+            }
         }
         json_strategies.push(format!(
             "{{\"strategy\":\"{}\",{}}}",
@@ -447,18 +601,38 @@ fn main() {
             &rows,
         )
     );
+    println!(
+        "queue-depth sweep (async backend: {aio_backend})\n{}",
+        format_table(
+            &[
+                "Strategy",
+                "Disk",
+                "depth",
+                "backend",
+                "q/s",
+                "p99us",
+                "submitted",
+                "harvested",
+                "peak",
+                "vs d=1",
+            ],
+            &sweep_rows,
+        )
+    );
 
     let json = format!(
-        "{{\"schema_version\":1,\"catalog_version\":{},\
+        "{{\"schema_version\":2,\"catalog_version\":{},\
          \"metrics_schema_version\":{},\"scale\":{},\"smoke\":{},\
+         \"aio_backend\":\"{}\",\
          \"params\":{{\"parent_card\":{},\"num_top\":{},\"sequence_len\":{},\
          \"buffer_pages\":{},\"shards\":{},\"seed\":{}}},\
          \"io_options\":{{\"batch\":{},\"readahead\":{},\"seek_us\":{}}},\
-         \"strategies\":[{}]}}\n",
+         \"strategies\":[{}],\"queue_sweep\":[{}]}}\n",
         cor_workload::ENGINE_CATALOG_VERSION,
         cor_workload::METRICS_SCHEMA_VERSION,
         cfg.scale,
         smoke,
+        aio_backend,
         params.parent_card,
         params.num_top,
         params.sequence_len,
@@ -468,7 +642,8 @@ fn main() {
         io.batch,
         io.readahead,
         seek_us,
-        json_strategies.join(",")
+        json_strategies.join(","),
+        json_sweep.join(",")
     );
     if let Some(dir) = json_path.parent().filter(|d| !d.as_os_str().is_empty()) {
         let _ = std::fs::create_dir_all(dir);
@@ -483,9 +658,10 @@ fn main() {
 
     if failures.is_empty() {
         println!(
-            "iobench{}: OK ({} strategies x 3 disks validated)",
+            "iobench{}: OK ({} strategies x 3 disks + {} queue-depth legs validated)",
             if smoke { " smoke" } else { "" },
-            strategies.len()
+            strategies.len(),
+            sweep_rows.len(),
         );
     } else {
         for f in &failures {

@@ -15,7 +15,10 @@
 //! * [`WaitClass::WalLock`] — acquiring the WAL mutex (the group-commit
 //!   queue: appenders serialize here);
 //! * [`WaitClass::WalFsync`] — inside the physical log sync that makes a
-//!   group of commits durable.
+//!   group of commits durable;
+//! * [`WaitClass::AioCompletion`] — a demand access blocked on an
+//!   in-flight `cor-aio` run that has not completed yet (readahead that
+//!   was speculated but not finished when the page was needed).
 //!
 //! Like [`heat`](crate::heat) and [`flight`](crate::flight), the profile
 //! is a process global behind an [`AtomicBool`]: a feed site costs one
@@ -36,7 +39,7 @@ use std::sync::OnceLock;
 use std::time::Instant;
 
 /// Number of distinct wait classes.
-pub const WAIT_CLASSES: usize = 4;
+pub const WAIT_CLASSES: usize = 5;
 
 /// Where a thread waited. Discriminants are stable (they index the
 /// profile's histogram array and appear in exported labels).
@@ -52,6 +55,8 @@ pub enum WaitClass {
     WalLock = 2,
     /// The physical log sync (fsync) making appended records durable.
     WalFsync = 3,
+    /// Blocked harvesting an in-flight `cor-aio` run on demand access.
+    AioCompletion = 4,
 }
 
 impl WaitClass {
@@ -61,6 +66,7 @@ impl WaitClass {
         WaitClass::FrameStall,
         WaitClass::WalLock,
         WaitClass::WalFsync,
+        WaitClass::AioCompletion,
     ];
 
     /// Stable snake_case name (the `class` label in exports).
@@ -70,6 +76,7 @@ impl WaitClass {
             WaitClass::FrameStall => "frame_stall",
             WaitClass::WalLock => "wal_lock",
             WaitClass::WalFsync => "wal_fsync",
+            WaitClass::AioCompletion => "aio_completion",
         }
     }
 
@@ -238,6 +245,7 @@ mod tests {
         }
         assert_eq!(WaitClass::ShardLock.name(), "shard_lock");
         assert_eq!(WaitClass::WalFsync.name(), "wal_fsync");
+        assert_eq!(WaitClass::AioCompletion.name(), "aio_completion");
     }
 
     #[test]

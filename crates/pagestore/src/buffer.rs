@@ -26,6 +26,7 @@
 //! in a production cache. [`IoStats`] counters are atomic, so totals stay
 //! exact under any thread count.
 
+use crate::aio::{AioConfig, AioEngine};
 use crate::disk::{DiskError, DiskManager, MemDisk};
 use crate::page::{PageBuf, PageId, PageMut, PageView};
 use crate::policy::ReplacementPolicy;
@@ -125,6 +126,7 @@ pub struct BufferPoolBuilder {
     stats: Option<Arc<IoStats>>,
     telemetry: bool,
     wal: Option<Arc<dyn WalHook>>,
+    queue_depth: usize,
 }
 
 impl BufferPoolBuilder {
@@ -180,6 +182,18 @@ impl BufferPoolBuilder {
         self
     }
 
+    /// `cor-aio` submission queue depth (default 1). At depth 1 no
+    /// engine is created at all and every path — prefetch, batched
+    /// fetch, demand pin — is the exact synchronous code, so results
+    /// *and* [`IoStats`] are byte-identical to a pool without the knob.
+    /// At depth > 1 the pool routes `prefetch` speculation and batched
+    /// demand fills through an [`AioEngine`](crate::aio::AioEngine)
+    /// that keeps up to `queue_depth` coalesced runs in flight.
+    pub fn queue_depth(mut self, queue_depth: usize) -> Self {
+        self.queue_depth = queue_depth.max(1);
+        self
+    }
+
     /// Build the pool.
     ///
     /// # Panics
@@ -200,12 +214,25 @@ impl BufferPoolBuilder {
         let shards: Vec<Shard> = (0..self.shards)
             .map(|i| Shard::new(base + usize::from(i < extra), i, self.telemetry))
             .collect();
+        let disk: Arc<dyn DiskManager> =
+            Arc::from(self.disk.unwrap_or_else(|| Box::new(MemDisk::new())));
+        let stats = self.stats.unwrap_or_default();
+        // Depth 1 creates no engine: the pool runs the exact synchronous
+        // code paths (the byte-identity contract of the knob's default).
+        let aio = (self.queue_depth > 1).then(|| {
+            AioEngine::new(
+                Arc::clone(&disk),
+                Arc::clone(&stats),
+                AioConfig::with_depth(self.queue_depth),
+            )
+        });
         BufferPool {
-            disk: self.disk.unwrap_or_else(|| Box::new(MemDisk::new())),
-            stats: self.stats.unwrap_or_default(),
+            disk,
+            stats,
             policy: self.policy,
             shards,
             wal: self.wal,
+            aio,
         }
     }
 }
@@ -228,11 +255,13 @@ impl BufferPoolBuilder {
 /// assert_eq!(pool.stats().reads(), 0); // everything stayed resident
 /// ```
 pub struct BufferPool {
-    disk: Box<dyn DiskManager>,
+    disk: Arc<dyn DiskManager>,
     stats: Arc<IoStats>,
     policy: ReplacementPolicy,
     shards: Vec<Shard>,
     wal: Option<Arc<dyn WalHook>>,
+    /// The `cor-aio` submission engine; `Some` iff `queue_depth > 1`.
+    aio: Option<AioEngine>,
 }
 
 impl BufferPool {
@@ -246,7 +275,22 @@ impl BufferPool {
             stats: None,
             telemetry: false,
             wal: None,
+            queue_depth: 1,
         }
+    }
+
+    /// The backend the `cor-aio` engine resolved to:
+    /// [`AioBackend::Sync`](crate::aio::AioBackend::Sync) when the pool
+    /// runs at queue depth 1 (no engine).
+    pub fn aio_backend(&self) -> crate::aio::AioBackend {
+        self.aio
+            .as_ref()
+            .map_or(crate::aio::AioBackend::Sync, AioEngine::backend)
+    }
+
+    /// The effective `cor-aio` queue depth (1 = synchronous).
+    pub fn queue_depth(&self) -> usize {
+        self.aio.as_ref().map_or(1, AioEngine::queue_depth)
     }
 
     /// The attached WAL hook, if any.
@@ -492,6 +536,7 @@ impl BufferPool {
                 &self.stats,
                 self.wal_ref(),
                 prefetch,
+                self.aio.as_ref(),
             )?;
             pinned.extend(got.into_iter().map(|(pid, idx)| (pid, s, idx)));
             Ok(())
@@ -583,6 +628,27 @@ impl BufferPool {
             return Ok(());
         }
         self.stats.record_prefetch_issued(wanted.len() as u64);
+        // With an engine attached, speculation is genuinely asynchronous:
+        // runs are submitted and parked as pending completions, nothing
+        // blocks, no frame is consumed until the bytes are demanded, and
+        // never-demanded pages never count as reads. Without one, the
+        // historical blocking path faults the pages in now.
+        if let Some(engine) = &self.aio {
+            if self.shards.len() == 1 {
+                self.shards[0].prefetch_async(&wanted, engine);
+            } else {
+                let mut groups: Vec<Vec<PageId>> = vec![Vec::new(); self.shards.len()];
+                for &pid in &wanted {
+                    groups[self.shard_index_of(pid)].push(pid);
+                }
+                for (s, group) in groups.iter().enumerate() {
+                    if !group.is_empty() {
+                        self.shards[s].prefetch_async(group, engine);
+                    }
+                }
+            }
+            return Ok(());
+        }
         let pinned = self.pin_batch(&wanted, true)?;
         for &(_, s, idx) in &pinned {
             self.shards[s].unpin(idx);

@@ -22,10 +22,15 @@
 //!   transfer counts;
 //! * [`wal`] — the write-ahead-log seam: per-page LSNs and the
 //!   [`wal::WalHook`] through which the pool logs mutations and enforces
-//!   WAL-before-data (the log implementation lives in `cor-wal`).
+//!   WAL-before-data (the log implementation lives in `cor-wal`);
+//! * [`aio`] — the `cor-aio` asynchronous submission layer: a
+//!   completion-queue model over any [`disk::DiskManager`] with bounded
+//!   in-flight queue depth, backing the pool's speculative readahead
+//!   when `queue_depth > 1`.
 
 #![warn(missing_docs)]
 
+pub mod aio;
 pub mod buffer;
 pub mod disk;
 pub mod page;
@@ -35,6 +40,9 @@ pub mod stats;
 pub mod telemetry;
 pub mod wal;
 
+pub use aio::{
+    AioBackend, AioBackendChoice, AioConfig, AioEngine, Completion, SubmissionTicket, TicketStatus,
+};
 pub use buffer::{BufferError, BufferPool, BufferPoolBuilder, DEFAULT_POOL_PAGES};
 pub use disk::{DiskError, DiskManager, Durability, FaultMode, FaultyDisk, FileDisk, MemDisk};
 pub use page::{

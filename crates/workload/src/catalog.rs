@@ -27,8 +27,17 @@ use complexobj::{CorError, ExecOptions, IoOptions, JoinChoice, SavedOidDb, Saved
 use cor_pagestore::{PageId, ReplacementPolicy};
 use cor_wal::crc::crc32;
 
-/// On-disk layout version this build reads and writes.
-pub const ENGINE_CATALOG_VERSION: u32 = 1;
+/// On-disk layout version this build writes.
+///
+/// * v1 — the PR 6 layout.
+/// * v2 — appends `io.queue_depth` to the [`IoOptions`] block. v1 blobs
+///   are still decoded (the missing knob defaults to 1, the synchronous
+///   behaviour every v1 store actually had), so existing stores reopen
+///   with identical semantics and silently upgrade on their next save.
+pub const ENGINE_CATALOG_VERSION: u32 = 2;
+
+/// Oldest on-disk layout version this build still decodes.
+pub const ENGINE_CATALOG_MIN_VERSION: u32 = 1;
 
 /// Name of the blob entry holding the engine catalog on page 0.
 pub const ENGINE_BLOB: &str = "engine";
@@ -87,6 +96,7 @@ impl EngineCatalog {
         e.u64(self.opts.sort_work_mem as u64);
         e.u64(self.opts.io.batch as u64);
         e.u64(self.opts.io.readahead as u64);
+        e.u64(self.opts.io.queue_depth as u64);
         e.u32(self.free_pages.len() as u32);
         for &pid in &self.free_pages {
             e.u32(pid);
@@ -128,7 +138,7 @@ impl EngineCatalog {
             return Err(CorError::CatalogMissing);
         }
         let found = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]);
-        if found != ENGINE_CATALOG_VERSION {
+        if !(ENGINE_CATALOG_MIN_VERSION..=ENGINE_CATALOG_VERSION).contains(&found) {
             return Err(CorError::CatalogVersion {
                 found,
                 expected: ENGINE_CATALOG_VERSION,
@@ -160,6 +170,8 @@ impl EngineCatalog {
         let io = IoOptions {
             batch: d.u64()? as usize,
             readahead: d.u64()? as usize,
+            // v1 predates the knob; those stores ran synchronously.
+            queue_depth: if found >= 2 { d.u64()? as usize } else { 1 },
         };
         let n = d.u32()? as usize;
         let mut free_pages = Vec::with_capacity(n);
@@ -220,6 +232,7 @@ mod tests {
                 io: IoOptions {
                     batch: 8,
                     readahead: 2,
+                    queue_depth: 4,
                 },
             },
             free_pages: vec![7, 9, 30],
@@ -256,6 +269,28 @@ mod tests {
         assert_eq!(back.opts, cat.opts);
         assert_eq!(back.free_pages, vec![7, 9, 30]);
         assert!(matches!(back.backend, SavedBackend::Oid(_)));
+    }
+
+    #[test]
+    fn v1_blob_decodes_with_synchronous_queue_depth() {
+        let mut cat = sample();
+        cat.opts.io.queue_depth = 1;
+        let v2 = cat.encode();
+        // Rebuild the same blob in the v1 layout: drop the queue_depth
+        // word — 8 bytes at payload offset 47 (after clean_shutdown,
+        // pool_pages, shards, policy, smart_threshold, join,
+        // sort_work_mem, batch, readahead) — and restamp version + CRC.
+        let mut payload = v2[16..].to_vec();
+        payload.drain(47..55);
+        let mut v1 = Vec::with_capacity(16 + payload.len());
+        v1.extend_from_slice(&v2[..8]);
+        v1.extend_from_slice(&1u32.to_le_bytes());
+        v1.extend_from_slice(&crc32(&payload).to_le_bytes());
+        v1.extend_from_slice(&payload);
+        let back = EngineCatalog::decode(&v1).unwrap();
+        assert_eq!(back.opts.io.queue_depth, 1, "v1 stores ran synchronously");
+        assert_eq!(back.opts, cat.opts);
+        assert_eq!(back.free_pages, cat.free_pages);
     }
 
     #[test]

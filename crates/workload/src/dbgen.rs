@@ -248,11 +248,19 @@ pub fn make_pool(params: &Params) -> Arc<BufferPool> {
 /// separate hit/miss/eviction counters readable via
 /// [`BufferPool::telemetry`].
 pub fn make_pool_telemetry(params: &Params, telemetry: bool) -> Arc<BufferPool> {
+    make_pool_async(params, telemetry, 1)
+}
+
+/// Like [`make_pool_telemetry`], with an async submission queue depth:
+/// `queue_depth > 1` builds a `cor-aio` engine into the pool, 1 is the
+/// synchronous byte-identical default.
+pub fn make_pool_async(params: &Params, telemetry: bool, queue_depth: usize) -> Arc<BufferPool> {
     Arc::new(
         BufferPool::builder()
             .capacity(params.buffer_pages)
             .shards(params.shards)
             .telemetry(telemetry)
+            .queue_depth(queue_depth)
             .build(),
     )
 }

@@ -28,7 +28,7 @@ use crate::catalog::{EngineCatalog, SavedBackend, ENGINE_BLOB};
 use crate::concurrent::{
     run_concurrent_streams, run_concurrent_streams_observed, ConcurrentRunResult, LiveTick,
 };
-use crate::dbgen::{build_for_strategy, build_for_strategy_on, make_pool_telemetry, GeneratedDb};
+use crate::dbgen::{build_for_strategy_on, make_pool_async, GeneratedDb};
 use crate::driver::{run_sequence, RunResult};
 use crate::explain::ExplainReport;
 use crate::metrics::{build_report, strategy_tag, EngineMetrics, MetricsReport};
@@ -275,6 +275,7 @@ impl EngineBuilder {
             .capacity(self.pool_pages)
             .shards(self.shards)
             .policy(self.policy)
+            .queue_depth(self.opts.io.queue_depth)
             .telemetry(self.metrics);
         if let Some(disk) = &self.disk {
             b = b.disk(Box::new(disk.clone()));
@@ -434,6 +435,10 @@ impl EngineBuilder {
         self.pool_pages = saved.pool_pages;
         self.shards = saved.shards;
         self.policy = saved.policy;
+        // The pool's async submission depth is part of the recorded
+        // execution options, so a reopened store keeps the queue depth
+        // it was created with.
+        self.opts = saved.opts;
         self.disk = Some(disk);
         self.wal = Some(Arc::clone(&wal));
         let pool = self.make_pool();
@@ -489,12 +494,8 @@ impl EngineBuilder {
         generated: &GeneratedDb,
         strategy: Strategy,
     ) -> Result<Engine, CorError> {
-        let db = if self.metrics {
-            let pool = make_pool_telemetry(params, true);
-            build_for_strategy_on(pool, params, generated, strategy)?
-        } else {
-            build_for_strategy(params, generated, strategy)?
-        };
+        let pool = make_pool_async(params, self.metrics, self.opts.io.queue_depth);
+        let db = build_for_strategy_on(pool, params, generated, strategy)?;
         Ok(Engine {
             backend: Backend::Oid(db),
             opts: self.opts,
@@ -646,6 +647,12 @@ impl Engine {
     }
 
     /// Replace the engine's execution options.
+    ///
+    /// One caveat: `io.queue_depth` configures the buffer pool's async
+    /// submission engine, which is constructed when the pool is built.
+    /// Set it through [`EngineBuilder::exec_options`] (or inherit it
+    /// from the store's catalog on reopen); changing it here after the
+    /// pool exists does not alter the pool's I/O path.
     pub fn with_options(mut self, opts: ExecOptions) -> Self {
         self.opts = opts;
         self
@@ -1135,7 +1142,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::dbgen::generate;
+    use crate::dbgen::{build_for_strategy, generate};
     use crate::seqgen::generate_sequence;
     use complexobj::RetAttr;
 

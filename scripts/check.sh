@@ -13,6 +13,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cargo test (io_uring feature: raw-syscall aio backend + runtime fallback)"
+cargo test -p cor-pagestore --features io_uring -q
+
 echo "==> corstat smoke (observability gate)"
 cargo run -q -p cor-bench --bin corstat -- --smoke
 
@@ -34,7 +37,7 @@ cargo run -q --release -p cor-bench --bin crashtest -- --smoke
 echo "==> crashtest --logical smoke (lifecycle gate: crash, reopen via catalog, verify answers)"
 cargo run -q --release -p cor-bench --bin crashtest -- --logical --smoke
 
-echo "==> iobench smoke (batched-I/O gate: batch-1 identity + submission accounting)"
+echo "==> iobench smoke (batched-I/O + queue-depth sweep gate: depth-1 identity, checksums, submission bounds)"
 cargo run -q --release -p cor-bench --bin iobench -- --smoke --json results/iobench/smoke.json
 
 echo "==> corperf smoke x2 (perf observatory: exact-I/O baseline + wall gate on the 2nd run)"
