@@ -195,7 +195,8 @@ fn json_report(scale: f64, params: &Params, stats: &[StrategyStat]) -> String {
         "{{\"schema_version\":1,\"catalog_version\":{ENGINE_CATALOG_VERSION},\"scale\":{scale},\
          \"params\":{{\"parent_card\":{},\"size_unit\":{},\"use_factor\":{},\
          \"overlap_factor\":{},\"num_top\":{},\"size_cache\":{},\"buffer_pages\":{},\
-         \"sequence_len\":{},\"shards\":{},\"pr_update\":{},\"seed\":{}}},\
+         \"sequence_len\":{},\"shards\":{},\"pr_update\":{},\"seed\":{},\
+         \"policy\":\"{}\"}},\
          \"parent_card\":{},\"sequence_len\":{},\"shards\":{},\
          \"pr_update\":{},\"strategies\":[{}]}}\n",
         params.parent_card,
@@ -209,6 +210,7 @@ fn json_report(scale: f64, params: &Params, stats: &[StrategyStat]) -> String {
         params.shards,
         params.pr_update,
         params.seed,
+        cor_pagestore::ReplacementPolicy::default().name(),
         params.parent_card,
         params.sequence_len,
         params.shards,

@@ -549,6 +549,24 @@ fn main() {
                 } else {
                     0.0
                 };
+                // A deeper queue losing to depth 1 on a leg without
+                // artificial seek latency means the submission overlap
+                // is not paying for its bookkeeping there: the page
+                // cache serves preads too fast to hide anything behind.
+                // Flagged (not failed): the wall-clock win needs the
+                // device cost to be real — an O_DIRECT backend that
+                // bypasses the page cache is the follow-on that would
+                // make these legs behave like `filedisk_seek`.
+                let regressed = *depth > 1 && disk != Disk::FileSeek && vs_d1 < 1.0;
+                if regressed {
+                    eprintln!(
+                        "iobench WARN: {} on {} at depth {depth} ran {vs_d1:.2}x \
+                         vs depth 1 (no seek latency to hide; see the O_DIRECT \
+                         note in docs/benchmarks.md)",
+                        strategy.name(),
+                        disk.name(),
+                    );
+                }
                 sweep_rows.push(vec![
                     strategy.name().to_string(),
                     disk.name().to_string(),
@@ -563,12 +581,14 @@ fn main() {
                 ]);
                 json_sweep.push(format!(
                     "{{\"strategy\":\"{}\",\"disk\":\"{}\",\"queue_depth\":{},\
-                     \"backend\":\"{}\",\"speedup_vs_depth1\":{:.4},\"leg\":{}}}",
+                     \"backend\":\"{}\",\"speedup_vs_depth1\":{:.4},\
+                     \"regressed\":{},\"leg\":{}}}",
                     strategy.name(),
                     disk.name(),
                     depth,
                     leg.backend,
                     vs_d1,
+                    regressed,
                     json_leg(leg),
                 ));
             }
@@ -621,11 +641,11 @@ fn main() {
     );
 
     let json = format!(
-        "{{\"schema_version\":2,\"catalog_version\":{},\
+        "{{\"schema_version\":3,\"catalog_version\":{},\
          \"metrics_schema_version\":{},\"scale\":{},\"smoke\":{},\
          \"aio_backend\":\"{}\",\
          \"params\":{{\"parent_card\":{},\"num_top\":{},\"sequence_len\":{},\
-         \"buffer_pages\":{},\"shards\":{},\"seed\":{}}},\
+         \"buffer_pages\":{},\"shards\":{},\"seed\":{},\"policy\":\"{}\"}},\
          \"io_options\":{{\"batch\":{},\"readahead\":{},\"seek_us\":{}}},\
          \"strategies\":[{}],\"queue_sweep\":[{}]}}\n",
         cor_workload::ENGINE_CATALOG_VERSION,
@@ -639,6 +659,7 @@ fn main() {
         params.buffer_pages,
         params.shards,
         params.seed,
+        cor_pagestore::ReplacementPolicy::default().name(),
         io.batch,
         io.readahead,
         seek_us,

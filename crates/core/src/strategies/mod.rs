@@ -100,6 +100,13 @@ pub struct ExecOptions {
     pub sort_work_mem: usize,
     /// Batched / prefetching I/O (defaults reproduce page-at-a-time runs).
     pub io: IoOptions,
+    /// Buffer-pool replacement policy. Like `io.queue_depth`, this
+    /// configures the pool at construction time: engines apply it when
+    /// they build their pool (and persist it in the engine catalog);
+    /// changing it on a running engine does not re-policy an existing
+    /// pool. The default (LRU) reproduces the paper's buffer behaviour
+    /// byte for byte.
+    pub pool_policy: cor_pagestore::ReplacementPolicy,
 }
 
 impl Default for ExecOptions {
@@ -109,6 +116,7 @@ impl Default for ExecOptions {
             join: JoinChoice::Auto,
             sort_work_mem: cor_access::DEFAULT_WORK_MEM,
             io: IoOptions::default(),
+            pool_policy: cor_pagestore::ReplacementPolicy::Lru,
         }
     }
 }
@@ -200,6 +208,7 @@ mod tests {
         let o = ExecOptions::default();
         assert_eq!(o.smart_threshold, 300);
         assert_eq!(o.join, JoinChoice::Auto);
+        assert_eq!(o.pool_policy, cor_pagestore::ReplacementPolicy::Lru);
     }
 
     fn c(k: u64) -> Oid {

@@ -571,6 +571,79 @@ pub fn predict_batch(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-policy buffer-miss term
+// ---------------------------------------------------------------------------
+
+/// The poolbench scan-flood shape: a `hot_pages` re-referenced set (the
+/// B-tree inner nodes a query sequence keeps descending through)
+/// interleaved with `scan_pages` of one-touch flood per round (a BFS
+/// merge pass or DFSCLUST cluster scan), repeated `rounds` times against
+/// a `buffer_pages` pool. Where the miss curve bends as the pool grows
+/// depends on the replacement policy, not just the pool size — which is
+/// exactly what the Cardenas-Yao term above cannot express.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FloodWorkload {
+    /// Pages re-referenced every round (the hot set).
+    pub hot_pages: f64,
+    /// One-touch pages scanned per round (the flood).
+    pub scan_pages: f64,
+    /// Rounds of (hot probes + scan).
+    pub rounds: f64,
+    /// Pool capacity in pages.
+    pub buffer_pages: f64,
+}
+
+/// Expected buffer misses for one replacement policy over a
+/// [`FloodWorkload`]. Policy names are the stable lower-case spellings
+/// (`lru`, `fifo`, `clock`, `sieve`, `2q`); unknown names return `None`.
+///
+/// Closed forms, with `H` hot, `S` scan, `B` buffer and `R` rounds —
+/// every policy pays the `H + S` compulsory first-round faults, and they
+/// differ only in the per-round *re*-miss term:
+///
+/// * **Recency-driven policies (LRU / FIFO / CLOCK)** cannot tell a
+///   one-touch scan page from a hot page: once the round's churn
+///   `H + S` overflows the pool, the flood evicts everything and every
+///   re-reference misses. The re-miss fraction interpolates through
+///   [`cold_fraction`] — 0 while `H + S ≤ B`, 1 from `2B` up — so the
+///   predicted curve bends only at `B ≈ H + S`. CLOCK's second chance
+///   is defeated by a cyclic flood (every bit is cleared each lap) and
+///   is modelled as LRU.
+/// * **Scan-resistant policies (SIEVE / 2Q)** retain the hot set in
+///   their protected region — all but one frame for SIEVE's hand, the
+///   `Am` three-quarters for 2Q — so hot pages re-miss only past *that*
+///   bend (`B ≈ H`), while the one-touch scan pages re-miss every round
+///   whenever the round does not fit the pool outright.
+pub fn predict_policy_misses(policy: &str, w: &FloodWorkload) -> Option<f64> {
+    let (h, s, b) = (w.hot_pages, w.scan_pages, w.buffer_pages);
+    let repeats = (w.rounds - 1.0).max(0.0);
+    let compulsory = h + s;
+    let round_fits = h + s <= b;
+    let protected = match policy {
+        "lru" | "fifo" | "clock" => {
+            // One shared region: re-misses are all-or-nothing in the
+            // round churn, smoothed exactly like the index-descent term.
+            let f = cold_fraction(h + s, 0.0, b);
+            return Some(compulsory + repeats * f * (h + s));
+        }
+        "sieve" => (b - 1.0).max(0.0),
+        "2q" => b - (b / 4.0).floor().max(1.0),
+        _ => return None,
+    };
+    let hot_resident = h.min(protected.max(0.0));
+    let hot_re = h - hot_resident;
+    let scan_re = if round_fits { 0.0 } else { s };
+    Some(compulsory + repeats * (hot_re + scan_re))
+}
+
+/// Relative error of a measured miss count against the model,
+/// `|measured − predicted| / max(predicted, 1)` — the poolbench
+/// measured-vs-predicted report.
+pub fn policy_miss_rel_error(measured: f64, predicted: f64) -> f64 {
+    (measured - predicted).abs() / predicted.max(1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -823,5 +896,68 @@ mod tests {
             assert!(p.total().is_finite() && p.total() > 0.0, "{name}");
         }
         assert!(predict_by_name("NOPE", &w, &g).is_none());
+    }
+
+    #[test]
+    fn policy_term_scan_resistant_policies_bend_earlier() {
+        // The poolbench gate operating point: 100-page pool, hot set that
+        // fits, per-round flood that does not.
+        let w = FloodWorkload {
+            hot_pages: 60.0,
+            scan_pages: 300.0,
+            rounds: 10.0,
+            buffer_pages: 100.0,
+        };
+        let lru = predict_policy_misses("lru", &w).unwrap();
+        let clock = predict_policy_misses("clock", &w).unwrap();
+        let sieve = predict_policy_misses("sieve", &w).unwrap();
+        let two_q = predict_policy_misses("2q", &w).unwrap();
+        // Recency policies re-fault the whole round, every round.
+        assert_eq!(lru, 360.0 + 9.0 * 360.0);
+        assert_eq!(clock, lru);
+        assert_eq!(predict_policy_misses("fifo", &w), Some(lru));
+        // Scan-resistant policies keep the hot set: only the flood re-misses.
+        assert_eq!(sieve, 360.0 + 9.0 * 300.0);
+        assert_eq!(two_q, sieve);
+        assert!(sieve < lru);
+        assert!(predict_policy_misses("mru", &w).is_none());
+    }
+
+    #[test]
+    fn policy_term_collapses_when_the_round_fits_the_pool() {
+        // Below every bend point all five policies predict compulsory
+        // misses only — the curves are indistinguishable there.
+        let w = FloodWorkload {
+            hot_pages: 20.0,
+            scan_pages: 30.0,
+            rounds: 8.0,
+            buffer_pages: 200.0,
+        };
+        for policy in ["lru", "fifo", "clock", "sieve", "2q"] {
+            assert_eq!(predict_policy_misses(policy, &w), Some(50.0), "{policy}");
+        }
+    }
+
+    #[test]
+    fn policy_term_degrades_past_the_protected_capacity() {
+        // Hot set bigger than 2Q's Am region: the overflow re-misses each
+        // round, and SIEVE (protecting all but the hand's frame) misses
+        // strictly less.
+        let w = FloodWorkload {
+            hot_pages: 90.0,
+            scan_pages: 300.0,
+            rounds: 10.0,
+            buffer_pages: 100.0,
+        };
+        let sieve = predict_policy_misses("sieve", &w).unwrap();
+        let two_q = predict_policy_misses("2q", &w).unwrap();
+        // 2Q protects B - floor(B/4) = 75 pages; 15 hot pages churn.
+        assert_eq!(two_q, 390.0 + 9.0 * (15.0 + 300.0));
+        assert_eq!(sieve, 390.0 + 9.0 * 300.0);
+        assert!(sieve < two_q);
+        assert!(two_q < predict_policy_misses("lru", &w).unwrap());
+        // Rel-error helper: exact match is zero, floor guards division.
+        assert_eq!(policy_miss_rel_error(sieve, sieve), 0.0);
+        assert_eq!(policy_miss_rel_error(3.0, 0.0), 3.0);
     }
 }

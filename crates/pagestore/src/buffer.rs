@@ -1084,12 +1084,58 @@ mod tests {
     }
 
     #[test]
+    fn sieve_retains_rereferenced_pages_across_a_scan() {
+        let p = pool_with(4, ReplacementPolicy::Sieve);
+        let hot: Vec<_> = (0..2).map(|_| p.allocate_page().unwrap()).collect();
+        // Establish reuse: the hot pages carry visited bits.
+        for &pid in &hot {
+            p.read(pid, |_| ()).unwrap();
+        }
+        let before = p.stats().reads();
+        // A sustained one-touch scan flood interleaved with hot
+        // re-references — the hand sweeps the scan pages out while every
+        // lap's reprieve is renewed for the hot pair.
+        for _ in 0..10 {
+            for _ in 0..2 {
+                p.allocate_page().unwrap();
+            }
+            for &pid in &hot {
+                p.read(pid, |_| ()).unwrap();
+            }
+        }
+        assert_eq!(
+            p.stats().reads(),
+            before,
+            "SIEVE kept the re-referenced pages resident through the flood"
+        );
+    }
+
+    #[test]
+    fn two_q_scan_churns_probation_not_the_main_queue() {
+        let p = pool_with(8, ReplacementPolicy::TwoQ);
+        let hot: Vec<_> = (0..2).map(|_| p.allocate_page().unwrap()).collect();
+        // Second touch promotes the hot pages into Am.
+        for &pid in &hot {
+            p.read(pid, |_| ()).unwrap();
+        }
+        // Flood with one-touch allocations: they cycle through A1in.
+        for _ in 0..20 {
+            p.allocate_page().unwrap();
+        }
+        let before = p.stats().reads();
+        for &pid in &hot {
+            p.read(pid, |_| ()).unwrap();
+        }
+        assert_eq!(
+            p.stats().reads(),
+            before,
+            "2Q kept the promoted pages resident through the flood"
+        );
+    }
+
+    #[test]
     fn all_policies_are_transparent_caches() {
-        for policy in [
-            ReplacementPolicy::Lru,
-            ReplacementPolicy::Fifo,
-            ReplacementPolicy::Clock,
-        ] {
+        for policy in ReplacementPolicy::ALL {
             let p = pool_with(3, policy);
             let pids: Vec<_> = (0..10).map(|_| p.allocate_page().unwrap()).collect();
             for (i, &pid) in pids.iter().enumerate() {

@@ -14,7 +14,9 @@
 //! * [`buffer`] — a lock-striped buffer pool that counts every transfer
 //!   crossing its boundary (single-shard mode reproduces the paper's
 //!   global-LRU counts exactly; more shards serve concurrent streams);
-//! * [`policy`] — the pluggable replacement policies (LRU/FIFO/Clock);
+//! * [`policy`] — the pluggable replacement policies (LRU/FIFO/CLOCK
+//!   plus the scan-resistant SIEVE and 2Q), with O(1) eviction over an
+//!   intrusive recency arena;
 //! * [`stats`] — shared I/O counters with snapshot/delta support, used to
 //!   split query cost into the paper's `ParCost` and `ChildCost`;
 //! * [`telemetry`] — opt-in per-shard behaviour counters (hits, misses,

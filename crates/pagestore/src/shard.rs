@@ -238,7 +238,7 @@ impl Shard {
             st.rec_lsn = NO_LSN;
         }
         inner.page_table.insert(pid, idx);
-        inner.repl.on_load(idx, tick);
+        inner.repl.on_load(idx, tick, policy);
         Ok(idx)
     }
 
@@ -350,7 +350,7 @@ impl Shard {
                         stats.record_prefetch_hit();
                     }
                     inner.page_table.insert(pid, idx);
-                    inner.repl.on_load(idx, tick);
+                    inner.repl.on_load(idx, tick, policy);
                     pinned.push((pid, idx));
                     seen.insert(pid, idx);
                     continue;
@@ -360,7 +360,7 @@ impl Shard {
             // shard lock is held until the fill completes, so no other
             // thread can observe the staged (still-empty) frame.
             inner.page_table.insert(pid, idx);
-            inner.repl.on_load(idx, tick);
+            inner.repl.on_load(idx, tick, policy);
             staged.push((pid, idx));
             pinned.push((pid, idx));
             seen.insert(pid, idx);
@@ -484,7 +484,7 @@ impl Shard {
         drop(st);
         inner.page_table.insert(pid, idx);
         let tick = inner.repl.advance();
-        inner.repl.on_load(idx, tick);
+        inner.repl.on_load(idx, tick, policy);
         Ok(idx)
     }
 

@@ -2,8 +2,8 @@
 //! model, the buffer pool against a write-through model.
 
 use cor_pagestore::{
-    BatchIoSnapshot, BufferError, BufferPool, DiskError, IoStats, PageMut, PageView, SlotId,
-    PAGE_SIZE,
+    BatchIoSnapshot, BufferError, BufferPool, DiskError, IoStats, PageMut, PageView,
+    ReplacementPolicy, SlotId, PAGE_SIZE,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -505,5 +505,64 @@ proptest! {
             prop_assert_eq!(got, 0xC0DE_0000 | i as u32);
         }
         prop_assert!(stats.aio_completed() <= stats.aio_submitted());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every replacement policy is a transparent, fully accounted cache:
+    /// arbitrary access sequences over a pool smaller than the page set
+    /// always read back the exact stamps, the shard telemetry books every
+    /// access as exactly one hit or one miss, and every miss is one
+    /// physical read.
+    #[test]
+    fn every_policy_is_a_transparent_accounted_cache(
+        capacity in 2usize..10,
+        accesses in proptest::collection::vec(0usize..24, 1..120),
+    ) {
+        for policy in ReplacementPolicy::ALL {
+            let stats = IoStats::new();
+            let pool = BufferPool::builder()
+                .capacity(capacity)
+                .shards(1)
+                .policy(policy)
+                .telemetry(true)
+                .stats(Arc::clone(&stats))
+                .build();
+            let pids: Vec<_> = (0..24).map(|_| pool.allocate_page().unwrap()).collect();
+            for (i, &pid) in pids.iter().enumerate() {
+                pool.write(pid, |mut p| {
+                    p.init();
+                    p.set_flags(0xC0DE_0000 | i as u32);
+                })
+                .unwrap();
+            }
+            pool.flush_and_clear().unwrap();
+            stats.reset();
+            let before: (u64, u64) = pool
+                .telemetry()
+                .unwrap()
+                .iter()
+                .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+
+            for &i in &accesses {
+                let got = pool.read(pids[i], |p| p.flags()).unwrap();
+                prop_assert_eq!(got, 0xC0DE_0000 | i as u32, "policy {}", policy.name());
+            }
+
+            let after: (u64, u64) = pool
+                .telemetry()
+                .unwrap()
+                .iter()
+                .fold((0, 0), |(h, m), s| (h + s.hits, m + s.misses));
+            let (hits, misses) = (after.0 - before.0, after.1 - before.1);
+            let distinct = accesses.iter().collect::<std::collections::HashSet<_>>().len() as u64;
+            prop_assert_eq!(hits + misses, accesses.len() as u64, "policy {}", policy.name());
+            prop_assert_eq!(misses, stats.reads(), "policy {}", policy.name());
+            // The first touch of each page is a compulsory miss under
+            // every policy.
+            prop_assert!(misses >= distinct, "policy {}", policy.name());
+        }
     }
 }

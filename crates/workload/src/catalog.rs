@@ -34,7 +34,14 @@ use cor_wal::crc::crc32;
 ///   are still decoded (the missing knob defaults to 1, the synchronous
 ///   behaviour every v1 store actually had), so existing stores reopen
 ///   with identical semantics and silently upgrade on their next save.
-pub const ENGINE_CATALOG_VERSION: u32 = 2;
+/// * v3 — widens the replacement-policy byte's value range with the
+///   scan-resistant policies (`Sieve` = 3, `TwoQ` = 4). The layout is
+///   unchanged; the bump exists so a v2 build that cannot *run* those
+///   policies refuses the store loudly with
+///   [`CorError::CatalogVersion`] instead of failing on an "unknown
+///   policy tag". v1/v2 blobs (tags 0–2, LRU by default) decode as
+///   before and silently upgrade on their next save.
+pub const ENGINE_CATALOG_VERSION: u32 = 3;
 
 /// Oldest on-disk layout version this build still decodes.
 pub const ENGINE_CATALOG_MIN_VERSION: u32 = 1;
@@ -86,6 +93,8 @@ impl EngineCatalog {
             ReplacementPolicy::Lru => 0,
             ReplacementPolicy::Fifo => 1,
             ReplacementPolicy::Clock => 2,
+            ReplacementPolicy::Sieve => 3,
+            ReplacementPolicy::TwoQ => 4,
         });
         e.u64(self.opts.smart_threshold);
         e.u8(match self.opts.join {
@@ -157,6 +166,9 @@ impl EngineCatalog {
             0 => ReplacementPolicy::Lru,
             1 => ReplacementPolicy::Fifo,
             2 => ReplacementPolicy::Clock,
+            // v3 tags; a v1/v2 writer could not have produced these.
+            3 => ReplacementPolicy::Sieve,
+            4 => ReplacementPolicy::TwoQ,
             _ => return Err(CorError::Durability("unknown policy tag".into())),
         };
         let smart_threshold = d.u64()?;
@@ -206,6 +218,10 @@ impl EngineCatalog {
                 join,
                 sort_work_mem,
                 io,
+                // One byte on disk is authoritative for the policy; the
+                // ExecOptions mirror is re-synced here so readers of
+                // either field agree.
+                pool_policy: policy,
             },
             free_pages,
             backend,
@@ -234,6 +250,7 @@ mod tests {
                     readahead: 2,
                     queue_depth: 4,
                 },
+                pool_policy: ReplacementPolicy::Clock,
             },
             free_pages: vec![7, 9, 30],
             backend: SavedBackend::Oid(SavedOidDb {
@@ -291,6 +308,52 @@ mod tests {
         assert_eq!(back.opts.io.queue_depth, 1, "v1 stores ran synchronously");
         assert_eq!(back.opts, cat.opts);
         assert_eq!(back.free_pages, cat.free_pages);
+    }
+
+    #[test]
+    fn scan_resistant_policies_roundtrip() {
+        for p in [ReplacementPolicy::Sieve, ReplacementPolicy::TwoQ] {
+            let mut cat = sample();
+            cat.policy = p;
+            cat.opts.pool_policy = p;
+            let back = EngineCatalog::decode(&cat.encode()).unwrap();
+            assert_eq!(back.policy, p);
+            assert_eq!(back.opts.pool_policy, p, "decode re-syncs the mirror");
+        }
+    }
+
+    /// Restamp `blob`'s version header as `version` (layout is shared
+    /// across v2/v3, so only the header and CRC change).
+    fn restamp(blob: &[u8], version: u32) -> Vec<u8> {
+        let payload = &blob[16..];
+        let mut out = Vec::with_capacity(blob.len());
+        out.extend_from_slice(&blob[..8]);
+        out.extend_from_slice(&version.to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn v2_blob_decodes_and_upgrades_to_v3() {
+        // A default v2 store: LRU (policy tag 0), the only policies v2
+        // could write being tags 0–2.
+        let mut cat = sample();
+        cat.policy = ReplacementPolicy::Lru;
+        cat.opts.pool_policy = ReplacementPolicy::Lru;
+        let v2 = restamp(&cat.encode(), 2);
+        let back = EngineCatalog::decode(&v2).unwrap();
+        assert_eq!(back.policy, ReplacementPolicy::Lru, "v2 stores open LRU");
+        assert_eq!(back.opts.pool_policy, ReplacementPolicy::Lru);
+        assert_eq!(back.opts, cat.opts);
+        // The next save upgrades the header to v3 with the same payload.
+        let resaved = back.encode();
+        assert_eq!(&resaved[8..12], &3u32.to_le_bytes());
+        assert_eq!(&resaved[16..], &v2[16..]);
+        // A non-default v2 policy (Clock) survives too.
+        let clocked = restamp(&sample().encode(), 2);
+        let back = EngineCatalog::decode(&clocked).unwrap();
+        assert_eq!(back.policy, ReplacementPolicy::Clock);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use complexobj::{
     CacheConfig, ClusterAssignment, CorDatabase, CorError, DatabaseSpec, ObjectSpec, Strategy,
     SubobjectSpec, Unit,
 };
-use cor_pagestore::BufferPool;
+use cor_pagestore::{BufferPool, ReplacementPolicy};
 use cor_relational::Oid;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -255,10 +255,23 @@ pub fn make_pool_telemetry(params: &Params, telemetry: bool) -> Arc<BufferPool> 
 /// `queue_depth > 1` builds a `cor-aio` engine into the pool, 1 is the
 /// synchronous byte-identical default.
 pub fn make_pool_async(params: &Params, telemetry: bool, queue_depth: usize) -> Arc<BufferPool> {
+    make_pool_policy(params, telemetry, queue_depth, ReplacementPolicy::default())
+}
+
+/// Like [`make_pool_async`], with an explicit replacement policy — the
+/// poolbench entry point. The default (LRU) reproduces every other
+/// helper's pool byte for byte.
+pub fn make_pool_policy(
+    params: &Params,
+    telemetry: bool,
+    queue_depth: usize,
+    policy: ReplacementPolicy,
+) -> Arc<BufferPool> {
     Arc::new(
         BufferPool::builder()
             .capacity(params.buffer_pages)
             .shards(params.shards)
+            .policy(policy)
             .telemetry(telemetry)
             .queue_depth(queue_depth)
             .build(),

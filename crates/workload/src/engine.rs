@@ -28,7 +28,7 @@ use crate::catalog::{EngineCatalog, SavedBackend, ENGINE_BLOB};
 use crate::concurrent::{
     run_concurrent_streams, run_concurrent_streams_observed, ConcurrentRunResult, LiveTick,
 };
-use crate::dbgen::{build_for_strategy_on, make_pool_async, GeneratedDb};
+use crate::dbgen::{build_for_strategy_on, make_pool_policy, GeneratedDb};
 use crate::driver::{run_sequence, RunResult};
 use crate::explain::ExplainReport;
 use crate::metrics::{build_report, strategy_tag, EngineMetrics, MetricsReport};
@@ -212,9 +212,12 @@ impl EngineBuilder {
         self
     }
 
-    /// Replacement policy (default LRU).
+    /// Replacement policy (default LRU). Kept in sync with
+    /// `ExecOptions::pool_policy` — the two are one knob; the last
+    /// setter called wins.
     pub fn policy(mut self, policy: ReplacementPolicy) -> Self {
         self.policy = policy;
+        self.opts.pool_policy = policy;
         self
     }
 
@@ -224,9 +227,12 @@ impl EngineBuilder {
         self
     }
 
-    /// Execution options used by every query this engine runs.
+    /// Execution options used by every query this engine runs. The
+    /// `pool_policy` carried in the options also configures the pool
+    /// this builder constructs (same knob as [`policy`](Self::policy)).
     pub fn exec_options(mut self, opts: ExecOptions) -> Self {
         self.opts = opts;
+        self.policy = opts.pool_policy;
         self
     }
 
@@ -494,7 +500,7 @@ impl EngineBuilder {
         generated: &GeneratedDb,
         strategy: Strategy,
     ) -> Result<Engine, CorError> {
-        let pool = make_pool_async(params, self.metrics, self.opts.io.queue_depth);
+        let pool = make_pool_policy(params, self.metrics, self.opts.io.queue_depth, self.policy);
         let db = build_for_strategy_on(pool, params, generated, strategy)?;
         Ok(Engine {
             backend: Backend::Oid(db),
@@ -832,12 +838,17 @@ impl Engine {
             }
             Backend::Proc(db) => SavedBackend::Proc(db.save_state()),
         };
+        // The pool was built with `cs.policy`; force the ExecOptions
+        // mirror to match so the blob cannot record a policy the pool
+        // is not actually running.
+        let mut opts = self.opts;
+        opts.pool_policy = cs.policy;
         let cat = EngineCatalog {
             clean_shutdown: clean,
             pool_pages: cs.pool_pages,
             shards: cs.shards,
             policy: cs.policy,
-            opts: self.opts,
+            opts,
             free_pages: self.pool().free_page_ids(),
             backend,
         };
@@ -1117,7 +1128,9 @@ impl Engine {
         };
         let mut report = build_report(
             m,
-            self.pool().telemetry(),
+            self.pool()
+                .telemetry()
+                .map(|shards| (self.pool().policy(), shards)),
             self.pool().stats().batch_snapshot(),
             cache,
             self.wal.as_ref().map(|w| w.stats()),
@@ -1758,6 +1771,37 @@ mod tests {
             reopened.database().unwrap().save_state().parent_count,
             allocators
         );
+    }
+
+    #[test]
+    fn scan_resistant_policy_survives_reopen() {
+        let p = tiny();
+        let generated = generate(&p);
+        let q = RetrieveQuery {
+            lo: 0,
+            hi: 9,
+            attr: RetAttr::Ret1,
+        };
+        for policy in [ReplacementPolicy::Sieve, ReplacementPolicy::TwoQ] {
+            let (disk, store) = mem_stores();
+            let engine = Engine::builder()
+                .pool_pages(16)
+                .policy(policy)
+                .create_on(
+                    disk.clone(),
+                    store.clone(),
+                    &EngineSpec::Standard(generated.spec.clone()),
+                )
+                .unwrap();
+            assert_eq!(engine.pool().policy(), policy);
+            let expected = sorted_values(&engine, &q);
+            engine.close().unwrap();
+            // The builder asks for nothing: the catalog's policy wins.
+            let reopened = Engine::builder().open_on(disk, store).unwrap();
+            assert_eq!(reopened.pool().policy(), policy, "{policy:?}");
+            assert_eq!(reopened.options().pool_policy, policy, "{policy:?}");
+            assert_eq!(sorted_values(&reopened, &q), expected);
+        }
     }
 
     #[test]

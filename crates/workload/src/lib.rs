@@ -49,7 +49,7 @@ pub use concurrent::{
 };
 pub use dbgen::{
     build_for_strategy, build_for_strategy_on, generate, make_pool, make_pool_async,
-    make_pool_telemetry, rng_for, GeneratedDb, SeedStream,
+    make_pool_policy, make_pool_telemetry, rng_for, GeneratedDb, SeedStream,
 };
 pub use driver::{run_sequence, run_sequence_trace, QueryTrace, RunResult};
 pub use engine::{Engine, EngineBuilder, EngineSpec, SlowQueryEntry};

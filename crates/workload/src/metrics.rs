@@ -16,7 +16,7 @@
 
 use complexobj::{CacheCounters, Strategy};
 use cor_obs::{labels, Counter, Histogram, MetricsRegistry, MetricsSnapshot, Span, TraceRing};
-use cor_pagestore::{BatchIoSnapshot, IoDelta, ShardTelemetrySnapshot};
+use cor_pagestore::{BatchIoSnapshot, IoDelta, ReplacementPolicy, ShardTelemetrySnapshot};
 use cor_wal::WalStatsSnapshot;
 use std::sync::Arc;
 use std::time::Duration;
@@ -321,7 +321,7 @@ impl MetricsReport {
 /// export byte-identical to the pre-aio layout.
 pub fn build_report(
     metrics: &EngineMetrics,
-    pool: Option<Vec<ShardTelemetrySnapshot>>,
+    pool: Option<(ReplacementPolicy, Vec<ShardTelemetrySnapshot>)>,
     io: BatchIoSnapshot,
     cache: Option<CacheCounters>,
     wal: Option<WalStatsSnapshot>,
@@ -384,7 +384,17 @@ pub fn build_report(
             );
         }
     }
-    if let Some(shards) = &pool {
+    if let Some((policy, shards)) = &pool {
+        // Info-style metric: the constant value 1 carries the active
+        // replacement policy in its label, the Prometheus idiom for
+        // configuration facts. Follows the telemetry gating so a
+        // metrics-off engine's export stays byte-identical.
+        snapshot.push_gauge(
+            "cor_pool_policy",
+            "active buffer replacement policy (info metric, value is always 1)",
+            labels(&[("policy", policy.name())]),
+            1.0,
+        );
         for s in shards {
             let lbls = labels(&[("shard", &s.shard.to_string())]);
             snapshot.push_counter(
@@ -529,7 +539,7 @@ pub fn build_report(
         snapshot,
         spans,
         spans_dropped,
-        pool: pool.unwrap_or_default(),
+        pool: pool.map(|(_, shards)| shards).unwrap_or_default(),
         cache,
         wal,
     }
@@ -661,12 +671,19 @@ mod tests {
         };
         let report = build_report(
             &m,
-            Some(pool),
+            Some((ReplacementPolicy::TwoQ, pool)),
             BatchIoSnapshot::default(),
             Some(cache),
             None,
         );
         report.validate().expect("complete report");
+        assert!(
+            report
+                .to_prometheus()
+                .contains("cor_pool_policy{policy=\"2q\"} 1"),
+            "policy info metric rides with the pool section"
+        );
+        assert!(report.to_json().contains("cor_pool_policy"));
         assert_eq!(
             report
                 .snapshot

@@ -44,4 +44,7 @@ echo "==> corperf smoke x2 (perf observatory: exact-I/O baseline + wall gate on 
 cargo run -q --release -p cor-bench --bin corperf -- --smoke --json results/corperf/smoke_core.json
 cargo run -q --release -p cor-bench --bin corperf -- --smoke --json results/corperf/smoke_core.json
 
+echo "==> poolbench smoke (replacement-policy gate: scan-flood retention, miss-model error, results identity)"
+cargo run -q --release -p cor-bench --bin poolbench -- --smoke --json results/poolbench/smoke.json
+
 echo "All checks passed."
